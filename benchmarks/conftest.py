@@ -1,0 +1,74 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's experiment index).  Numeric results are written to
+``benchmark_results/<test name>.txt`` and echoed to stdout (visible with
+``pytest -s``); EXPERIMENTS.md summarizes them against the paper.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.workloads import build_empdept
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+class Reporter:
+    """Collects report lines for one experiment."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        self._lines.append(str(text))
+
+    def table(self, headers: list[str], rows: list[list], widths=None) -> None:
+        widths = widths or [max(12, len(h) + 2) for h in headers]
+        header = "".join(f"{h:>{w}}" for h, w in zip(headers, widths))
+        self._lines.append(header)
+        self._lines.append("-" * len(header))
+        for row in rows:
+            rendered = []
+            for value, width in zip(row, widths):
+                if isinstance(value, float):
+                    rendered.append(f"{value:>{width}.3f}")
+                else:
+                    rendered.append(f"{str(value):>{width}}")
+            self._lines.append("".join(rendered))
+
+    def text(self) -> str:
+        return "\n".join(self._lines)
+
+
+@pytest.fixture
+def report(request):
+    """A per-test reporter persisted under benchmark_results/."""
+    reporter = Reporter(request.node.name)
+    yield reporter
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{request.node.name}.txt"
+    path.write_text(reporter.text() + "\n", encoding="utf-8")
+    print(f"\n===== {request.node.name} =====")
+    print(reporter.text())
+
+
+@pytest.fixture(scope="session")
+def empdept():
+    """The Figure 1 database, sized so costs are non-trivial."""
+    return build_empdept(employees=2000, departments=50, jobs=5, seed=42)
+
+
+def measure_cold(db, planned):
+    """Execute a plan against a cold buffer pool; return (snapshot, result)."""
+    db.cold_cache()
+    result = db.executor().execute(planned)
+    return db.counters.snapshot(), result
+
+
+def weighted(snapshot, w: float) -> float:
+    return snapshot.page_fetches + w * snapshot.rsi_calls

@@ -1,0 +1,105 @@
+"""A3 — ablation: the deferred-Cartesian-product join-order heuristic.
+
+"A heuristic is used to reduce the join order permutations which are
+considered ... all joins requiring Cartesian products are performed as late
+in the join sequence as possible."
+
+The bench compares DP search effort (subsets expanded, plans considered,
+entries stored) and final plan cost with the heuristic on and off, for
+chain joins of growing size.
+"""
+
+import random
+
+from repro.optimizer.binder import Binder
+from repro.sql import parse_statement
+from repro.workloads import build_database, chain_join_query, random_chain_spec
+
+SIZES = [3, 4, 5, 6, 7]
+
+
+def test_join_order_heuristic(report, benchmark):
+    rng = random.Random(21)
+    specs = random_chain_spec(max(SIZES), rng, min_rows=100, max_rows=300)
+    db = build_database(specs, seed=21)
+
+    rows = []
+    overhead_ratios = []
+    for size in SIZES:
+        sql = chain_join_query(specs[:size])
+        results = {}
+        for heuristic in (True, False):
+            db.use_heuristic = heuristic
+            optimizer = db.optimizer()
+            block = Binder(db.catalog).bind(parse_statement(sql))
+
+            def run(optimizer=optimizer, block=block):
+                return optimizer.run_join_search(block)[0]
+
+            if size == SIZES[0] and heuristic:
+                search = benchmark.pedantic(run, rounds=3, iterations=1)
+            else:
+                search = run()
+            planned = optimizer.plan_block(
+                Binder(db.catalog).bind(parse_statement(sql))
+            )
+            results[heuristic] = (search, planned)
+        db.use_heuristic = True
+
+        on_search, on_plan = results[True]
+        off_search, off_plan = results[False]
+        overhead_ratios.append(
+            off_search.stats.plans_considered
+            / max(1, on_search.stats.plans_considered)
+        )
+        rows.append(
+            [
+                size,
+                on_search.stats.plans_considered,
+                off_search.stats.plans_considered,
+                on_search.total_entries(),
+                off_search.total_entries(),
+                on_plan.estimated_total(),
+                off_plan.estimated_total(),
+            ]
+        )
+
+    report.line("A3 — join-order heuristic: ON vs OFF (connected chain joins)")
+    report.table(
+        [
+            "tables",
+            "plans ON",
+            "plans OFF",
+            "stored ON",
+            "stored OFF",
+            "cost ON",
+            "cost OFF",
+        ],
+        rows,
+        widths=[8, 11, 11, 11, 11, 12, 12],
+    )
+    report.line()
+    report.line(
+        f"search-effort inflation without the heuristic: "
+        f"{overhead_ratios[0]:.1f}x at {SIZES[0]} tables -> "
+        f"{overhead_ratios[-1]:.1f}x at {SIZES[-1]} tables"
+    )
+    report.line(
+        "On connected queries the heuristic loses nothing: the chosen cost"
+    )
+    report.line(
+        "matches while the searched space shrinks (its known risk — missing"
+    )
+    report.line(
+        "an estimated-cheaper early-Cartesian plan — needs disconnected "
+        "predicates)."
+    )
+
+    for row in rows:
+        # Heuristic always searches less...
+        assert row[1] <= row[2]
+        assert row[3] <= row[4]
+        # ...and on connected chains finds an equally cheap plan.
+        assert row[5] <= row[6] * 1.0001 + 1e-9
+    # The saving grows with the number of relations.
+    assert overhead_ratios[-1] > overhead_ratios[0]

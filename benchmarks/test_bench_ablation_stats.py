@@ -1,0 +1,137 @@
+"""A4 — ablation: optimizer statistics ON vs OFF.
+
+"We assume that a lack of statistics implies that the relation is small" —
+without UPDATE STATISTICS the optimizer falls back to arbitrary defaults
+(1/10 selectivities, NCARD=10) and its access-path choices degrade.  The
+bench plans the same query suite with and without statistics and measures
+both plan sets cold.
+"""
+
+from conftest import measure_cold, weighted
+from repro.optimizer.explain import plan_summary
+from repro.workloads import FIG1_QUERY, build_empdept
+
+QUERIES = [
+    ("point lookup", "SELECT NAME FROM EMP WHERE DNO = 3"),
+    ("unselective range", "SELECT NAME FROM EMP WHERE SAL > 0.0"),
+    ("fig1 join", FIG1_QUERY),
+    (
+        "join + filters",
+        "SELECT NAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO "
+        "AND LOC = 'DENVER' AND SAL > 500.0",
+    ),
+    (
+        # Without statistics every relation "is small", so join-order
+        # decisions degenerate to FROM-list habits; putting the big table
+        # first makes the blind choice expensive.
+        "join order trap",
+        "SELECT NAME, DNAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO "
+        "AND DNAME = 'DEPT7'",
+    ),
+]
+
+
+def test_statistics_ablation(report, benchmark):
+    db = build_empdept(employees=2000, departments=50, jobs=5, seed=42)
+
+    def plan_suite():
+        return {label: db.plan(sql) for label, sql in QUERIES}
+
+    with_stats = benchmark(plan_suite)
+
+    saved_relation = {
+        t.name: db.catalog.relation_stats(t.name) for t in db.catalog.tables()
+    }
+    saved_index = {
+        i.name: db.catalog.index_stats(i.name)
+        for t in db.catalog.tables()
+        for i in db.catalog.indexes_on(t.name)
+    }
+    db.catalog.clear_statistics()
+    without_stats = plan_suite()
+    # Restore statistics so execution-time measurements are fair.
+    for name, stats in saved_relation.items():
+        if stats is not None:
+            db.catalog.set_relation_stats(name, stats)
+    for name, stats in saved_index.items():
+        if stats is not None:
+            db.catalog.set_index_stats(name, stats)
+
+    rows = []
+    total_with = total_without = 0.0
+    for label, __ in QUERIES:
+        for mode, planned in (("with", with_stats[label]), ("without", without_stats[label])):
+            measured, ___ = measure_cold(db, planned)
+            cost = weighted(measured, planned.w)
+            if mode == "with":
+                total_with += cost
+            else:
+                total_without += cost
+            rows.append(
+                [label, mode, cost, plan_summary(planned.root)[:64]]
+            )
+
+    report.line("A4 — statistics ON vs OFF (measured cost of chosen plans)")
+    report.table(
+        ["query", "stats", "meas cost", "plan"],
+        rows,
+        widths=[20, 9, 12, 66],
+    )
+    report.line()
+    report.line(
+        f"suite total: with stats {total_with:.1f}, without {total_without:.1f}"
+    )
+    report.line(
+        "Observation: on this schema the defaults often reach the same plan"
+    )
+    report.line(
+        "(ties break luckily); the decisive statistics are the key ranges"
+    )
+    report.line("behind Table 1's interpolation, isolated below.")
+    report.line()
+
+    # -- interpolation trap: two indexed ranges, one truly selective ---------
+    from repro import Database
+    from repro.workloads import load_rows
+
+    trap = Database(buffer_pages=8)
+    trap.execute(
+        "CREATE TABLE R (A INTEGER, B INTEGER, PAD VARCHAR(52))"
+    )
+    load_rows(
+        trap,
+        "R",
+        [((i * 13) % 100, (i * 7) % 100, "x" * 44) for i in range(3000)],
+    )
+    # B's index first: the no-statistics tie-break lands on it.
+    trap.execute("CREATE INDEX R_B ON R (B)")
+    trap.execute("CREATE INDEX R_A ON R (A)")
+    trap.execute("UPDATE STATISTICS")
+    trap_sql = "SELECT A FROM R WHERE B > 5 AND A > 95"
+
+    with_plan = trap.plan(trap_sql)
+    with_measured, __ = measure_cold(trap, with_plan)
+    trap.catalog.clear_statistics()
+    without_plan = trap.plan(trap_sql)
+    trap.execute("UPDATE STATISTICS")  # restore for fair execution
+    without_measured, __ = measure_cold(trap, without_plan)
+
+    with_cost = weighted(with_measured, with_plan.w)
+    without_cost = weighted(without_measured, without_plan.w)
+    report.line("interpolation trap: WHERE B > 5 AND A > 95 (both indexed)")
+    report.line(
+        f"  with stats:    {plan_summary(with_plan.root):<40} "
+        f"measured {with_cost:.1f}"
+    )
+    report.line(
+        f"  without stats: {plan_summary(without_plan.root):<40} "
+        f"measured {without_cost:.1f}"
+    )
+    report.line(
+        f"  degradation without statistics: {without_cost / with_cost:.1f}x"
+    )
+
+    # The interpolation-driven choice must be strictly better.
+    assert with_cost < without_cost
+    # And across the whole suite, statistics never hurt by much.
+    assert total_with <= total_without * 1.3

@@ -1,0 +1,41 @@
+"""E3 — Figure 1: the paper's worked JOIN example, planned and executed.
+
+"Retrieve the name, salary, job title, and department name of employees
+who are clerks and work for departments in Denver."
+"""
+
+from conftest import measure_cold, weighted
+from repro.optimizer.explain import plan_summary
+from repro.workloads import FIG1_QUERY
+
+
+def test_fig1_join_example(empdept, report, benchmark):
+    planned = empdept.plan(FIG1_QUERY)
+
+    def run():
+        return measure_cold(empdept, planned)
+
+    measured, result = benchmark(run)
+
+    report.line("E3 / Figure 1 — the EMP/DEPT/JOB example")
+    report.line(FIG1_QUERY)
+    report.line()
+    report.line(f"chosen plan: {plan_summary(planned.root)}")
+    report.line(
+        f"predicted: {planned.estimated_cost.pages:.1f} pages "
+        f"+ W*{planned.estimated_cost.rsi:.0f} RSI "
+        f"= {planned.estimated_total():.2f}"
+    )
+    report.line(
+        f"measured:  {measured.page_fetches} pages "
+        f"+ W*{measured.rsi_calls} RSI "
+        f"= {weighted(measured, planned.w):.2f}"
+    )
+    report.line(f"result: {len(result.rows)} Denver clerks")
+    assert len(result.rows) > 0
+    # The prediction should be within an order of magnitude of the
+    # measurement ("costs predicted ... often not accurate in absolute
+    # value", §7 — TITLE and LOC carry default selectivity guesses here).
+    ratio = weighted(measured, planned.w) / planned.estimated_total()
+    report.line(f"measured / predicted = {ratio:.2f}")
+    assert 0.1 < ratio < 10.0

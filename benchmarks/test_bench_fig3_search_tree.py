@@ -1,0 +1,43 @@
+"""E5 — Figure 3: the search tree after the single-relation pass.
+
+The surviving DP entries for each single relation: the cheapest solution
+per interesting order plus the cheapest unordered solution.
+"""
+
+from repro.optimizer.binder import Binder
+from repro.optimizer.explain import format_order, solutions_table
+from repro.sql import parse_statement
+from repro.workloads import FIG1_QUERY
+
+
+def test_fig3_single_relation_tree(empdept, report, benchmark):
+    optimizer = empdept.optimizer()
+
+    def search():
+        block = Binder(empdept.catalog).bind(parse_statement(FIG1_QUERY))
+        return optimizer.run_join_search(block)[0]
+
+    result = benchmark(search)
+
+    rows = [
+        [
+            "{" + ",".join(entry["relations"]) + "}",
+            format_order(entry["order"]),
+            entry["cost"],
+            entry["rows"],
+            entry["plan"],
+        ]
+        for entry in solutions_table(result, optimizer.cost_model, size=1)
+    ]
+    report.line("E5 / Figure 3 — search tree, single relations")
+    report.table(
+        ["relations", "order", "cost", "rows", "plan"],
+        rows,
+        widths=[12, 14, 12, 12, 40],
+    )
+    # As in the figure: EMP keeps DNO-order, JOB-order, and unordered
+    # solutions; DEPT and JOB keep at most two each.
+    emp_entries = [row for row in rows if row[0] == "{EMP}"]
+    assert len(emp_entries) == 3
+    dept_entries = [row for row in rows if row[0] == "{DEPT}"]
+    assert 1 <= len(dept_entries) <= 2

@@ -1,0 +1,54 @@
+"""E6 — Figure 4: the extended search tree for pairs, nested-loop joins.
+
+The figure shows second-level solutions (EMP,DEPT), (DEPT,EMP), (JOB,EMP),
+(EMP,JOB) built with nested loops; our DP stores the surviving (pair,
+order) entries, nested-loop and merge alike — this bench isolates the
+nested-loop ones.
+"""
+
+from repro.optimizer.binder import Binder
+from repro.optimizer.explain import format_order, solutions_table
+from repro.optimizer.joins import JoinSearch
+from repro.optimizer.plan import NestedLoopJoinNode
+from repro.sql import parse_statement
+from repro.workloads import FIG1_QUERY
+
+
+def test_fig4_pairs_nested_loop(empdept, report, benchmark):
+    optimizer = empdept.optimizer()
+
+    def search() -> JoinSearch:
+        block = Binder(empdept.catalog).bind(parse_statement(FIG1_QUERY))
+        return optimizer.run_join_search(block)[0]
+
+    result = benchmark(search)
+
+    pair_rows = solutions_table(result, optimizer.cost_model, size=2)
+    nested = [row for row in pair_rows if row["plan"].startswith("NL(")]
+    report.line("E6 / Figure 4 — two-relation solutions (nested loops)")
+    report.table(
+        ["relations", "order", "cost", "rows", "plan"],
+        [
+            [
+                "{" + ",".join(row["relations"]) + "}",
+                format_order(row["order"]),
+                row["cost"],
+                row["rows"],
+                row["plan"],
+            ]
+            for row in nested
+        ],
+        widths=[14, 14, 12, 12, 44],
+    )
+    # The join heuristic admits exactly the connected pairs: EMP-DEPT and
+    # EMP-JOB (DEPT-JOB has no join predicate).
+    pairs = {row["relations"] for row in pair_rows}
+    assert ("DEPT", "EMP") in pairs
+    assert ("EMP", "JOB") in pairs
+    assert ("DEPT", "JOB") not in pairs
+    assert nested, "nested-loop solutions must survive for some pair"
+    # Every nested-loop solution's outer order is its produced order.
+    full_entries = result.best[frozenset({"DEPT", "EMP"})]
+    for entry in full_entries.values():
+        if isinstance(entry.plan, NestedLoopJoinNode):
+            assert entry.plan.order_columns == entry.plan.outer.order_columns

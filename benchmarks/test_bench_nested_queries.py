@@ -1,0 +1,107 @@
+"""E12 — Section 6: correlated subquery re-evaluation strategies.
+
+A correlated subquery is re-evaluated per candidate tuple; the paper notes
+the re-evaluation "can be made conditional ... if the current referenced
+value is the same as the one in the previous candidate tuple", and that it
+may even pay to *sort* the outer relation on the referenced column.  The
+planner implements that decision; this bench measures evaluation counts and
+weighted cost across the strategies, isolating the planner's contribution.
+"""
+
+import pytest
+
+from conftest import weighted
+from repro import Database
+from repro.workloads import load_rows
+
+EMPLOYEES = 600
+MANAGERS = 12
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE E (ENO INTEGER, SALARY INTEGER, MANAGER INTEGER)"
+    )
+    rows = [(i, 50 + (i * 13) % 150, (i * 31) % MANAGERS) for i in range(EMPLOYEES)]
+    load_rows(database, "E", rows)
+    database.execute("CREATE INDEX E_MGR ON E (MANAGER)")
+    database.execute("UPDATE STATISTICS")
+    return database
+
+
+QUERY = (
+    "SELECT ENO FROM E X WHERE SALARY > "
+    "(SELECT AVG(SALARY) FROM E WHERE MANAGER = X.MANAGER)"
+)
+
+
+def run(db, mode, planner_ordering):
+    db.subquery_cache_mode = mode
+    db.correlation_ordering = planner_ordering
+    planned = db.plan(QUERY)
+    executor = db.executor()
+    db.cold_cache()
+    result = executor.execute(planned)
+    snapshot = db.counters.snapshot()
+    evaluations = sum(executor.last_runtime.evaluation_counts.values())
+    db.correlation_ordering = None
+    return evaluations, weighted(snapshot, planned.w), len(result.rows), planned
+
+
+def test_nested_query_strategies(db, report, benchmark):
+    benchmark.pedantic(lambda: run(db, "prev", True), rounds=3, iterations=1)
+
+    configurations = [
+        ("no caching", "none", False),
+        ("prev-value skip, unordered plan", "prev", False),
+        ("prev-value skip + planner orders outer", "prev", True),
+        ("full memoization", "memo", False),
+    ]
+    rows = []
+    results = {}
+    for label, mode, ordering in configurations:
+        evaluations, cost, count, planned = run(db, mode, ordering)
+        results[label] = (evaluations, cost, count)
+        rows.append([label, evaluations, cost, count])
+
+    report.line("E12 — correlated subquery evaluation (Section 6)")
+    report.line(
+        f"{EMPLOYEES} candidate tuples, {MANAGERS} distinct referenced values"
+    )
+    report.table(
+        ["strategy", "evaluations", "weighted cost", "rows"],
+        rows,
+        widths=[40, 13, 15, 8],
+    )
+    report.line()
+    report.line(
+        '"the re-evaluation can be made conditional" — and "it might even'
+    )
+    report.line(
+        'pay to sort the referenced relation on the referenced column":'
+    )
+    report.line(
+        "the planner orders the outer on MANAGER, collapsing evaluations"
+    )
+    report.line("to one per distinct value.")
+
+    # All strategies agree on the answer.
+    counts = {value[2] for value in results.values()}
+    assert len(counts) == 1
+    # Without caching: one evaluation per candidate tuple.
+    assert results["no caching"][0] == EMPLOYEES
+    # The skip alone helps only as much as accidental ordering allows...
+    unordered = results["prev-value skip, unordered plan"][0]
+    # ...while the planner-ordered outer reaches one per distinct value.
+    ordered = results["prev-value skip + planner orders outer"][0]
+    assert ordered == MANAGERS
+    assert ordered <= unordered
+    # Memoization reaches the same bound without any ordering.
+    assert results["full memoization"][0] == MANAGERS
+    # And the measured cost improves accordingly.
+    assert (
+        results["prev-value skip + planner orders outer"][1]
+        < results["no caching"][1]
+    )

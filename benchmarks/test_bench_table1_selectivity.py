@@ -1,0 +1,108 @@
+"""E1 — TABLE 1: predicted selectivity factors vs measured fractions.
+
+For every predicate kind of TABLE 1 we generate data with a known
+distribution, ask the estimator for F, and measure the true fraction of
+tuples satisfying the predicate.  The paper's formulas are exact for the
+indexed/uniform cases and deliberate guesses elsewhere; the table shows
+which is which.
+"""
+
+import pytest
+
+from repro.optimizer.binder import Binder
+from repro.optimizer.predicates import to_cnf_factors
+from repro.optimizer.selectivity import SelectivityEstimator
+from repro.sql import parse_statement
+from repro.workloads import build_database, ColumnSpec, IndexSpec, TableSpec
+
+ROWS = 4000
+
+
+@pytest.fixture(scope="module")
+def db():
+    spec = [
+        TableSpec(
+            name="S",
+            rows=ROWS,
+            columns=[
+                ColumnSpec("KEYED", distinct=80),  # indexed, uniform
+                ColumnSpec("PLAIN", distinct=80),  # same data, no index
+                ColumnSpec("RNG", distinct=1000),  # indexed, for ranges
+            ],
+            indexes=[
+                IndexSpec("S_KEYED", ["KEYED"]),
+                IndexSpec("S_RNG", ["RNG"]),
+            ],
+        ),
+        TableSpec(
+            name="S2",
+            rows=500,
+            columns=[ColumnSpec("KEYED", distinct=80), ColumnSpec("FLAG", distinct=4)],
+            indexes=[IndexSpec("S2_KEYED", ["KEYED"])],
+        ),
+    ]
+    return build_database(spec, seed=99)
+
+
+PREDICATES = [
+    ("column = value (indexed)", "KEYED = 17", "1/ICARD"),
+    ("column = value (no index)", "PLAIN = 17", "1/10 guess"),
+    ("column <> value", "KEYED <> 17", "1 - 1/ICARD"),
+    ("column > value", "RNG > 750", "interpolation"),
+    ("column < value", "RNG < 250", "interpolation"),
+    ("column BETWEEN", "RNG BETWEEN 250 AND 500", "interpolation"),
+    ("column IN (list)", "KEYED IN (1, 2, 3, 4)", "n/ICARD"),
+    ("pred OR pred", "KEYED = 1 OR RNG > 900", "f1+f2-f1*f2"),
+    ("pred AND pred", "KEYED = 1 AND RNG > 500", "f1*f2"),
+    ("NOT pred", "NOT KEYED = 17", "1-f"),
+    (
+        "column IN (subquery)",
+        "KEYED IN (SELECT KEYED FROM S2 WHERE FLAG = 1)",
+        "qcard ratio",
+    ),
+]
+
+
+def test_table1_selectivity(db, report, benchmark):
+    estimator = SelectivityEstimator(db.catalog)
+
+    def estimate_all():
+        results = []
+        for __, where, ___ in PREDICATES:
+            block = Binder(db.catalog).bind(
+                parse_statement(f"SELECT * FROM S WHERE {where}")
+            )
+            factors = to_cnf_factors(block.where, block)
+            f = 1.0
+            for factor in factors:
+                f *= estimator.factor_selectivity(factor)
+            results.append(f)
+        return results
+
+    predicted = benchmark(estimate_all)
+
+    rows = []
+    max_exact_error = 0.0
+    for (label, where, formula), f in zip(PREDICATES, predicted):
+        actual = (
+            db.execute(f"SELECT COUNT(*) FROM S WHERE {where}").scalar() / ROWS
+        )
+        error = abs(f - actual)
+        if formula in ("1/ICARD", "interpolation", "n/ICARD", "1 - 1/ICARD"):
+            max_exact_error = max(max_exact_error, error)
+        rows.append([label, formula, f, actual, error])
+
+    report.line("E1 / TABLE 1 — selectivity factor F: predicted vs measured")
+    report.line(f"relation S: NCARD={ROWS}")
+    report.table(
+        ["predicate", "formula", "F (pred)", "F (meas)", "abs err"],
+        rows,
+        widths=[30, 16, 12, 12, 12],
+    )
+    report.line()
+    report.line(
+        "Statistics-backed formulas (ICARD / interpolation) track the truth;"
+    )
+    report.line("the 1/10-style defaults are the paper's deliberate guesses.")
+    # The statistics-driven formulas must be accurate on uniform data.
+    assert max_exact_error < 0.08

@@ -1,0 +1,64 @@
+"""Quickstart: create a database, load data, and watch the optimizer work.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Database
+
+
+def main() -> None:
+    db = Database()
+
+    # -- DDL: a table and two indexes ------------------------------------
+    db.execute(
+        "CREATE TABLE EMP (ENO INTEGER, NAME VARCHAR(20), DNO INTEGER, "
+        "SAL FLOAT)"
+    )
+    db.execute("CREATE UNIQUE INDEX EMP_ENO ON EMP (ENO)")
+    db.execute("CREATE INDEX EMP_DNO ON EMP (DNO)")
+
+    # -- load some rows ----------------------------------------------------
+    for eno in range(1, 501):
+        name = f"EMP{eno}"
+        dno = eno % 25
+        sal = 100.0 + (eno * 37 % 900)
+        db.execute(
+            f"INSERT INTO EMP VALUES ({eno}, '{name}', {dno}, {sal})"
+        )
+
+    # Statistics drive the optimizer; System R updated them on demand.
+    db.execute("UPDATE STATISTICS")
+
+    # -- the optimizer picks access paths by cost ---------------------------
+    for sql in (
+        "SELECT NAME FROM EMP WHERE ENO = 123",  # unique index: 2 pages
+        "SELECT NAME FROM EMP WHERE DNO = 7",  # matching index
+        "SELECT NAME FROM EMP WHERE SAL > 900.0",  # segment scan + SARG
+        "SELECT DNO, AVG(SAL) FROM EMP GROUP BY DNO",  # index avoids a sort
+    ):
+        print("=" * 72)
+        print(sql)
+        print(db.explain(sql))
+        db.cold_cache()
+        result = db.execute(sql)
+        counters = db.counters
+        print(
+            f"--> {len(result.rows)} row(s); measured "
+            f"{counters.page_fetches} page fetches, "
+            f"{counters.rsi_calls} RSI calls"
+        )
+        for row in result.rows[:3]:
+            print("   ", row)
+
+    # -- DML goes through the same access path selection ---------------------
+    print("=" * 72)
+    updated = db.execute("UPDATE EMP SET SAL = SAL * 1.1 WHERE DNO = 7")
+    print(f"gave department 7 a raise: {updated.affected_rows} employees")
+    deleted = db.execute("DELETE FROM EMP WHERE SAL < 150.0")
+    print(f"deleted {deleted.affected_rows} underpaid employees")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro — a reproduction of Selinger et al. (SIGMOD 1979),
+"Access Path Selection in a Relational Database Management System".
+
+A miniature System R in pure Python: paged storage with B-tree indexes and
+a buffer pool (the RSS), a SQL front end, a catalog with optimizer
+statistics, the Selinger cost-based optimizer (selectivity factors, TABLE 2
+cost formulas, interesting orders, dynamic-programming join enumeration,
+nested-query handling), and a plan interpreter whose page fetches and RSI
+calls are counted so predictions can be validated against measurements.
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.execute("CREATE TABLE EMP (ENO INTEGER, NAME VARCHAR(20), DNO INTEGER)")
+    db.execute("CREATE INDEX EMP_DNO ON EMP (DNO)")
+    db.execute("INSERT INTO EMP VALUES (1, 'SMITH', 50)")
+    db.execute("UPDATE STATISTICS")
+    print(db.execute("SELECT NAME FROM EMP WHERE DNO = 50").rows)
+    print(db.explain("SELECT NAME FROM EMP WHERE DNO = 50"))
+"""
+
+from .database import Database, StatementResult
+from .datatypes import DataType, FLOAT, INTEGER, TypeKind, varchar
+from .errors import (
+    CatalogError,
+    ExecutionError,
+    IntegrityError,
+    LexerError,
+    ParseError,
+    PlannerError,
+    ReproError,
+    SemanticError,
+    SqlError,
+    StorageError,
+)
+from .optimizer.cost import DEFAULT_W
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CatalogError",
+    "DEFAULT_W",
+    "DataType",
+    "Database",
+    "ExecutionError",
+    "FLOAT",
+    "INTEGER",
+    "IntegrityError",
+    "LexerError",
+    "ParseError",
+    "PlannerError",
+    "ReproError",
+    "SemanticError",
+    "SqlError",
+    "StatementResult",
+    "StorageError",
+    "TypeKind",
+    "varchar",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Baseline planners for the evaluation experiments.
+
+The paper's conclusion claims the optimizer "selects the true optimal path
+in a large majority of cases"; validating that requires alternatives to
+compare against:
+
+- :mod:`repro.baselines.common` — a shared builder of executable left-deep
+  plans for an explicit join order and explicit per-step choices.
+- :mod:`repro.baselines.exhaustive` — enumerate *every* candidate plan
+  (all permutations, all methods, all access paths, Cartesian products
+  included) so the true optimum can be found by measurement.
+- :mod:`repro.baselines.greedy` — smallest-intermediate-result-first
+  greedy join ordering.
+- :mod:`repro.baselines.random_order` — seeded random plan choice.
+- :mod:`repro.baselines.naive` — the "syntactic" planner: FROM-list order,
+  segment scans, nested loops only (what a system without access path
+  selection would do).
+"""
+
+from .common import LeftDeepBuilder
+from .exhaustive import ExhaustivePlanner
+from .greedy import GreedyPlanner
+from .naive import NaivePlanner
+from .random_order import RandomPlanner
+
+__all__ = [
+    "ExhaustivePlanner",
+    "GreedyPlanner",
+    "LeftDeepBuilder",
+    "NaivePlanner",
+    "RandomPlanner",
+]

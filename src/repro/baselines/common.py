@@ -1,0 +1,244 @@
+"""Shared plumbing for baseline planners: explicit left-deep plan assembly.
+
+:class:`LeftDeepBuilder` turns an explicit join order and explicit per-step
+choices (access path, join method, sort placement) into the same executable
+plan nodes the real optimizer emits, with costs from the same cost model —
+so baseline plans and optimizer plans are comparable both in prediction and
+in measurement.
+"""
+
+from __future__ import annotations
+
+from ..catalog.catalog import Catalog
+from ..optimizer.access_paths import PathCandidate, enumerate_paths, probe_factor
+from ..optimizer.bound import BoundQueryBlock
+from ..optimizer.cost import Cost, CostModel, tuple_byte_width
+from ..optimizer.orders import InterestingOrders
+from ..optimizer.plan import (
+    MergeJoinNode,
+    NestedLoopJoinNode,
+    PlanNode,
+    SortNode,
+)
+from ..optimizer.predicates import (
+    BooleanFactor,
+    join_factor_as_sarg,
+    partition_factors,
+)
+from ..optimizer.selectivity import SelectivityEstimator
+from ..sql import ast
+
+
+class LeftDeepBuilder:
+    """Builds executable left-deep plans for explicit choices."""
+
+    def __init__(
+        self,
+        block: BoundQueryBlock,
+        factors: list[BooleanFactor],
+        catalog: Catalog,
+        estimator: SelectivityEstimator,
+        cost_model: CostModel,
+    ):
+        self.block = block
+        self.factors = factors
+        self._catalog = catalog
+        self._estimator = estimator
+        self._cost = cost_model
+        self.orders = InterestingOrders(block, factors)
+        self.partition = partition_factors(factors, block.aliases)
+
+    # -- estimates ---------------------------------------------------------------
+
+    def subset_rows(self, aliases: frozenset[str]) -> float:
+        """Estimated rows of the join over ``aliases`` (order-independent)."""
+        rows = 1.0
+        for alias in aliases:
+            rows *= self._cost.ncard(self.block.alias_table(alias))
+        for factor in self.factors:
+            if factor.aliases and factor.aliases <= aliases:
+                rows *= self._estimator.factor_selectivity(factor)
+        return rows
+
+    # -- single relations ------------------------------------------------------------
+
+    def path_candidates(
+        self, alias: str, probes: list[BooleanFactor] | None = None
+    ) -> list[PathCandidate]:
+        """Access path candidates for one relation (probe factors optional)."""
+        return enumerate_paths(
+            alias,
+            self.block.alias_table(alias),
+            self.partition.local[alias],
+            self._catalog,
+            self._estimator,
+            self._cost,
+            self.orders,
+            probe_factors=probes,
+        )
+
+    def cheapest_path(
+        self, alias: str, probes: list[BooleanFactor] | None = None
+    ) -> PathCandidate:
+        """The cheapest access path candidate by weighted total."""
+        return min(
+            self.path_candidates(alias, probes),
+            key=lambda candidate: self._cost.total(candidate.node.cost),
+        )
+
+    def segment_scan_path(self, alias: str) -> PathCandidate:
+        """The relation's segment-scan candidate (always exists)."""
+        from ..optimizer.plan import SegmentAccess
+
+        for candidate in self.path_candidates(alias):
+            if isinstance(candidate.node.access, SegmentAccess):
+                return candidate
+        raise AssertionError("segment scan is always enumerated")
+
+    # -- joins ---------------------------------------------------------------------------
+
+    def connecting_factors(
+        self, built: frozenset[str], alias: str
+    ) -> list[BooleanFactor]:
+        """Join predicates linking ``alias`` to the already-built set."""
+        return [
+            factor
+            for factor in self.partition.joins
+            if alias in factor.aliases and factor.aliases <= built | {alias}
+        ]
+
+    def probes_for(
+        self, built: frozenset[str], alias: str
+    ) -> tuple[list[BooleanFactor], list[ast.Expr]]:
+        """Join predicates as probe factors for an inner scan, plus leftovers."""
+        probes: list[BooleanFactor] = []
+        residual: list[ast.Expr] = []
+        for factor in self.connecting_factors(built, alias):
+            sarg = join_factor_as_sarg(factor, alias)
+            if sarg is not None:
+                probes.append(probe_factor(factor, sarg))
+            else:
+                residual.append(factor.expr)
+        return probes, residual
+
+    def multi_residual(
+        self, built: frozenset[str], alias: str
+    ) -> list[ast.Expr]:
+        """Multi-relation residual factors that become applicable at this step."""
+        new_set = built | {alias}
+        return [
+            factor.expr
+            for factor in self.partition.multi
+            if factor.aliases <= new_set and not factor.aliases <= built
+        ]
+
+    def nested_loop(
+        self,
+        outer: PlanNode,
+        built: frozenset[str],
+        alias: str,
+        inner: PathCandidate | None = None,
+    ) -> NestedLoopJoinNode:
+        """A nested-loop join step; picks the best inner path if none given."""
+        from ..optimizer.access_paths import inner_resident_cap
+
+        probes, join_residual = self.probes_for(built, alias)
+        available = self._cost.inner_available_buffer(outer.buffer_claim)
+        if inner is None:
+            inner = min(
+                self.path_candidates(alias, probes),
+                key=lambda candidate: self._cost.total(
+                    self._cost.nested_loop_cost(
+                        candidate.node.cost.scaled(0.0),
+                        outer.rows,
+                        candidate.node.cost,
+                        inner_resident_cap(self._cost, candidate.node, available),
+                    )
+                ),
+            )
+        new_set = built | {alias}
+        cap = inner_resident_cap(self._cost, inner.node, available)
+        cost = self._cost.nested_loop_cost(
+            outer.cost, outer.rows, inner.node.cost, cap
+        )
+        return NestedLoopJoinNode(
+            outer=outer,
+            inner=inner.node,
+            residual=join_residual + self.multi_residual(built, alias),
+            cost=cost,
+            rows=self.subset_rows(new_set),
+            order_columns=outer.order_columns,
+            buffer_claim=outer.buffer_claim + (cap if cap is not None else 2.0),
+        )
+
+    def merge_with_sorts(
+        self,
+        outer: PlanNode,
+        built: frozenset[str],
+        alias: str,
+        merge_factor: BooleanFactor,
+    ) -> MergeJoinNode:
+        """Merge join sorting both sides explicitly (the conservative form)."""
+        join = merge_factor.join
+        assert join is not None and join.is_equijoin
+        inner_column = join.column_for(alias)
+        outer_column = join.other_column(alias)
+        new_set = built | {alias}
+
+        outer_bytes = sum(
+            tuple_byte_width(self.block.alias_table(a)) for a in built
+        )
+        sorted_outer = SortNode(
+            child=outer,
+            keys=[(outer_column, False)],
+            cost=self._cost.sort_build_cost(outer.cost, outer.rows, outer_bytes)
+            + self._cost.temp_scan_cost(outer.rows, outer_bytes),
+            rows=outer.rows,
+            order_columns=((outer_column.alias, outer_column.position),),
+        )
+        inner_path = self.cheapest_path(alias)
+        inner_bytes = tuple_byte_width(self.block.alias_table(alias))
+        inner_rows = inner_path.node.rows
+        matches = (
+            outer.rows
+            * inner_rows
+            * self._estimator.factor_selectivity(merge_factor)
+        )
+        sorted_inner = SortNode(
+            child=inner_path.node,
+            keys=[(inner_column, False)],
+            cost=self._cost.sort_build_cost(
+                inner_path.node.cost, inner_rows, inner_bytes
+            )
+            + Cost(
+                pages=self._cost.temp_pages(inner_rows, inner_bytes),
+                rsi=max(inner_rows, matches),
+            ),
+            rows=inner_rows,
+            order_columns=((inner_column.alias, inner_column.position),),
+        )
+        residual = [
+            factor.expr
+            for factor in self.connecting_factors(built, alias)
+            if factor is not merge_factor
+        ] + self.multi_residual(built, alias)
+        return MergeJoinNode(
+            outer=sorted_outer,
+            inner=sorted_inner,
+            outer_column=outer_column,
+            inner_column=inner_column,
+            residual=residual,
+            cost=sorted_outer.cost + sorted_inner.cost,
+            rows=self.subset_rows(new_set),
+            order_columns=((outer_column.alias, outer_column.position),),
+        )
+
+    def equijoin_factors(
+        self, built: frozenset[str], alias: str
+    ) -> list[BooleanFactor]:
+        """The equi-join predicates usable as a merge key at this step."""
+        return [
+            factor
+            for factor in self.connecting_factors(built, alias)
+            if factor.join is not None and factor.join.is_equijoin
+        ]

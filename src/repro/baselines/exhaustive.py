@@ -1,0 +1,101 @@
+"""Exhaustive plan enumeration: the ground truth for plan quality (E9).
+
+Enumerates every left-deep plan — all join orders (Cartesian products
+included), every access path for the leading relation, every inner access
+path for each nested-loop step, and the sort-both-sides merge join for each
+equi-join predicate — then lets the caller cost or *execute* each plan to
+determine the true optimum the paper's conclusion refers to.
+
+This is factorial work; it is only feasible for the small FROM lists the
+experiments use, which is exactly why the real optimizer exists.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..catalog.catalog import Catalog
+from ..optimizer.bound import BoundQueryBlock
+from ..optimizer.plan import PlanNode
+from ..optimizer.planner import Optimizer, PlannedStatement
+from ..optimizer.predicates import to_cnf_factors
+from .common import LeftDeepBuilder
+
+DEFAULT_MAX_PLANS = 2000
+
+
+class ExhaustivePlanner:
+    """Enumerates all candidate plans for a query block."""
+
+    def __init__(self, optimizer: Optimizer, catalog: Catalog):
+        self._optimizer = optimizer
+        self._catalog = catalog
+
+    def enumerate_statements(
+        self,
+        block: BoundQueryBlock,
+        max_plans: int = DEFAULT_MAX_PLANS,
+    ) -> list[PlannedStatement]:
+        """All candidate plans, each finished into a runnable statement."""
+        factors = to_cnf_factors(block.where, block)
+        builder = LeftDeepBuilder(
+            block,
+            factors,
+            self._catalog,
+            self._optimizer.estimator,
+            self._optimizer.cost_model,
+        )
+        plans = self._enumerate_roots(builder, max_plans)
+        return [
+            self._optimizer.wrap_plan(block, factors, root) for root in plans
+        ]
+
+    def _enumerate_roots(
+        self, builder: LeftDeepBuilder, max_plans: int
+    ) -> list[PlanNode]:
+        aliases = builder.block.aliases
+        plans: list[PlanNode] = []
+        for permutation in itertools.permutations(aliases):
+            first, rest = permutation[0], permutation[1:]
+            for candidate in builder.path_candidates(first):
+                stack: list[tuple[PlanNode, frozenset[str], int]] = [
+                    (candidate.node, frozenset({first}), 0)
+                ]
+                while stack:
+                    plan, built, depth = stack.pop()
+                    if depth == len(rest):
+                        plans.append(plan)
+                        if len(plans) >= max_plans:
+                            return plans
+                        continue
+                    alias = rest[depth]
+                    probes, __ = builder.probes_for(built, alias)
+                    for inner in builder.path_candidates(alias, probes):
+                        stack.append(
+                            (
+                                builder.nested_loop(plan, built, alias, inner),
+                                built | {alias},
+                                depth + 1,
+                            )
+                        )
+                    for merge_factor in builder.equijoin_factors(built, alias):
+                        stack.append(
+                            (
+                                builder.merge_with_sorts(
+                                    plan, built, alias, merge_factor
+                                ),
+                                built | {alias},
+                                depth + 1,
+                            )
+                        )
+        return plans
+
+    def plan_count_estimate(self, block: BoundQueryBlock) -> int:
+        """A quick upper bound on the candidate space (for reporting)."""
+        import math
+
+        n = len(block.aliases)
+        paths = 1
+        for entry in block.tables:
+            paths = max(paths, 1 + len(self._catalog.indexes_on(entry.table.name)))
+        return math.factorial(n) * paths**n * 2 ** max(0, n - 1)

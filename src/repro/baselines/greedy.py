@@ -1,0 +1,63 @@
+"""Greedy join ordering: smallest estimated intermediate result first.
+
+A common pre-Selinger (and post-Selinger shortcut) strategy: start from the
+relation with the fewest estimated qualifying tuples, then repeatedly join
+the connected relation minimizing the estimated size of the next composite.
+Each step uses the cheaper of nested loops (best inner path) and
+sort-both-sides merge.  No interesting-order bookkeeping, no backtracking.
+"""
+
+from __future__ import annotations
+
+from ..catalog.catalog import Catalog
+from ..optimizer.bound import BoundQueryBlock
+from ..optimizer.plan import PlanNode
+from ..optimizer.planner import Optimizer, PlannedStatement
+from ..optimizer.predicates import to_cnf_factors
+from .common import LeftDeepBuilder
+
+
+class GreedyPlanner:
+    """Greedy smallest-result-first planner."""
+
+    def __init__(self, optimizer: Optimizer, catalog: Catalog):
+        self._optimizer = optimizer
+        self._catalog = catalog
+
+    def plan_block(self, block: BoundQueryBlock) -> PlannedStatement:
+        """Plan one block greedily: smallest estimated intermediate first."""
+        factors = to_cnf_factors(block.where, block)
+        builder = LeftDeepBuilder(
+            block,
+            factors,
+            self._catalog,
+            self._optimizer.estimator,
+            self._optimizer.cost_model,
+        )
+        cost_model = self._optimizer.cost_model
+        aliases = list(block.aliases)
+        start = min(
+            aliases, key=lambda alias: builder.subset_rows(frozenset({alias}))
+        )
+        plan: PlanNode = builder.cheapest_path(start).node
+        built = frozenset({start})
+        remaining = [alias for alias in aliases if alias != start]
+        while remaining:
+            connected = [
+                alias
+                for alias in remaining
+                if builder.connecting_factors(built, alias)
+            ] or remaining
+            alias = min(
+                connected,
+                key=lambda a: builder.subset_rows(built | {a}),
+            )
+            options: list[PlanNode] = [builder.nested_loop(plan, built, alias)]
+            for merge_factor in builder.equijoin_factors(built, alias):
+                options.append(
+                    builder.merge_with_sorts(plan, built, alias, merge_factor)
+                )
+            plan = min(options, key=lambda node: cost_model.total(node.cost))
+            built = built | {alias}
+            remaining.remove(alias)
+        return self._optimizer.wrap_plan(block, factors, plan)

@@ -1,0 +1,51 @@
+"""The "syntactic" planner: what a system without access path selection does.
+
+Joins relations in FROM-list order with nested loops and segment scans
+everywhere.  Sargable predicates still ride along as SARGs (that filtering
+happens inside the storage system regardless of planning), but no index is
+ever chosen and no join order is ever reconsidered — the INGRES-era
+strawman the paper's cost-based approach is measured against.
+"""
+
+from __future__ import annotations
+
+from ..catalog.catalog import Catalog
+from ..optimizer.bound import BoundQueryBlock
+from ..optimizer.plan import PlanNode
+from ..optimizer.planner import Optimizer, PlannedStatement
+from ..optimizer.predicates import to_cnf_factors
+from .common import LeftDeepBuilder
+
+
+class NaivePlanner:
+    """FROM-order nested loops over segment scans."""
+
+    def __init__(self, optimizer: Optimizer, catalog: Catalog):
+        self._optimizer = optimizer
+        self._catalog = catalog
+
+    def plan_block(self, block: BoundQueryBlock) -> PlannedStatement:
+        """Plan one block syntactically: FROM order, segment scans, nested loops."""
+        factors = to_cnf_factors(block.where, block)
+        builder = LeftDeepBuilder(
+            block,
+            factors,
+            self._catalog,
+            self._optimizer.estimator,
+            self._optimizer.cost_model,
+        )
+        aliases = list(block.aliases)
+        plan: PlanNode = builder.segment_scan_path(aliases[0]).node
+        built = frozenset({aliases[0]})
+        for alias in aliases[1:]:
+            probes, __ = builder.probes_for(built, alias)
+            inner = None
+            for candidate in builder.path_candidates(alias, probes):
+                from ..optimizer.plan import SegmentAccess
+
+                if isinstance(candidate.node.access, SegmentAccess):
+                    inner = candidate
+                    break
+            plan = builder.nested_loop(plan, built, alias, inner)
+            built = built | {alias}
+        return self._optimizer.wrap_plan(block, factors, plan)

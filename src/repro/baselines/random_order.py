@@ -1,0 +1,55 @@
+"""Random plan choice: the distributional baseline for plan quality.
+
+Draws a uniformly random join order, a random access path for the leading
+relation, and a random method + inner path for every step.  Running many
+seeds shows the cost distribution an optimizer-less system samples from —
+the denominator behind "how much does optimization matter".
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..catalog.catalog import Catalog
+from ..optimizer.bound import BoundQueryBlock
+from ..optimizer.plan import PlanNode
+from ..optimizer.planner import Optimizer, PlannedStatement
+from ..optimizer.predicates import to_cnf_factors
+from .common import LeftDeepBuilder
+
+
+class RandomPlanner:
+    """Seeded random left-deep planner."""
+
+    def __init__(self, optimizer: Optimizer, catalog: Catalog, seed: int = 0):
+        self._optimizer = optimizer
+        self._catalog = catalog
+        self._random = random.Random(seed)
+
+    def plan_block(self, block: BoundQueryBlock) -> PlannedStatement:
+        """Plan one block with uniformly random order, paths, and methods."""
+        factors = to_cnf_factors(block.where, block)
+        builder = LeftDeepBuilder(
+            block,
+            factors,
+            self._catalog,
+            self._optimizer.estimator,
+            self._optimizer.cost_model,
+        )
+        aliases = list(block.aliases)
+        self._random.shuffle(aliases)
+        first = aliases[0]
+        plan: PlanNode = self._random.choice(builder.path_candidates(first)).node
+        built = frozenset({first})
+        for alias in aliases[1:]:
+            choices: list[PlanNode] = []
+            probes, __ = builder.probes_for(built, alias)
+            for inner in builder.path_candidates(alias, probes):
+                choices.append(builder.nested_loop(plan, built, alias, inner))
+            for merge_factor in builder.equijoin_factors(built, alias):
+                choices.append(
+                    builder.merge_with_sorts(plan, built, alias, merge_factor)
+                )
+            plan = self._random.choice(choices)
+            built = built | {alias}
+        return self._optimizer.wrap_plan(block, factors, plan)

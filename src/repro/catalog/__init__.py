@@ -1,0 +1,22 @@
+"""System catalog: schemas, indexes, and optimizer statistics.
+
+This package is the System R catalog of the reproduction.  It records table
+and index definitions (:mod:`repro.catalog.schema`), holds them in a
+:class:`~repro.catalog.catalog.Catalog`, and maintains the statistics the
+optimizer consumes — NCARD, TCARD, P, ICARD, NINDX and key ranges
+(:mod:`repro.catalog.statistics`).
+"""
+
+from .schema import Column, IndexDef, TableDef
+from .catalog import Catalog
+from .statistics import IndexStats, RelationStats, collect_statistics
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "IndexDef",
+    "IndexStats",
+    "RelationStats",
+    "TableDef",
+    "collect_statistics",
+]

@@ -1,0 +1,106 @@
+"""Optimizer statistics: the exact quantities of Section 4.
+
+For each relation T:
+
+- ``NCARD(T)`` — cardinality of T,
+- ``TCARD(T)`` — number of segment pages holding tuples of T,
+- ``P(T)``     — TCARD(T) / (non-empty pages in T's segment).
+
+For each index I on T:
+
+- ``ICARD(I)`` — distinct keys in I,
+- ``NINDX(I)`` — pages in I,
+- plus the low/high key values of the first key column, which Table 1's
+  linear interpolation needs for range predicates on arithmetic columns.
+
+Statistics are collected by an explicit ``UPDATE STATISTICS`` pass (System R
+deliberately did not maintain them per-INSERT to avoid catalog contention);
+:func:`collect_statistics` is that pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..rss.storage import StorageEngine
+    from .catalog import Catalog
+    from .schema import TableDef
+
+
+@dataclass(frozen=True)
+class RelationStats:
+    """NCARD / TCARD / P for one relation."""
+
+    ncard: int
+    tcard: int
+    fraction: float  # P(T): TCARD / non-empty pages in segment
+
+    def __str__(self) -> str:
+        return f"NCARD={self.ncard} TCARD={self.tcard} P={self.fraction:.3f}"
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """ICARD / NINDX and first-column key range for one index."""
+
+    icard: int
+    nindx: int
+    low_key: object = None
+    high_key: object = None
+
+    def __str__(self) -> str:
+        return (
+            f"ICARD={self.icard} NINDX={self.nindx} "
+            f"keys=[{self.low_key!r}..{self.high_key!r}]"
+        )
+
+
+def collect_statistics(
+    catalog: "Catalog",
+    storage: "StorageEngine",
+    table_name: str | None = None,
+) -> None:
+    """Run UPDATE STATISTICS for one table, or for every table.
+
+    Scans data and indexes directly (uncounted — this is catalog
+    maintenance, not query execution) and installs fresh
+    :class:`RelationStats` / :class:`IndexStats` in the catalog.
+    """
+    tables = (
+        [catalog.table(table_name)] if table_name is not None else catalog.tables()
+    )
+    for table in tables:
+        _collect_for_table(catalog, storage, table)
+
+
+def _collect_for_table(
+    catalog: "Catalog", storage: "StorageEngine", table: "TableDef"
+) -> None:
+    with storage.suppress_counting():
+        segment = storage.segment(table.segment_name)
+        ncard = 0
+        pages_with_tuples: set[int] = set()
+        for tid, __ in storage._raw_scan(table):
+            ncard += 1
+            pages_with_tuples.add(tid.page_id)
+        tcard = len(pages_with_tuples)
+        non_empty = segment.non_empty_pages()
+        fraction = tcard / non_empty if non_empty else 0.0
+        catalog.set_relation_stats(
+            table.name, RelationStats(ncard=ncard, tcard=tcard, fraction=fraction)
+        )
+        for index in catalog.indexes_on(table.name):
+            btree = storage.btree(index.name)
+            min_key = btree.min_key()
+            max_key = btree.max_key()
+            catalog.set_index_stats(
+                index.name,
+                IndexStats(
+                    icard=btree.distinct_key_count(),
+                    nindx=btree.page_count(),
+                    low_key=min_key[0] if min_key else None,
+                    high_key=max_key[0] if max_key else None,
+                ),
+            )

@@ -1,0 +1,336 @@
+"""The top-level Database facade: a miniature System R.
+
+``Database`` owns the catalog, the storage engine, the optimizer
+configuration, and the executor, and processes SQL statements through the
+paper's four phases — parsing, optimization, (interpreted) code generation,
+and execution::
+
+    db = Database()
+    db.execute("CREATE TABLE EMP (ENO INTEGER, NAME VARCHAR(20), DNO INTEGER)")
+    db.execute("CREATE INDEX EMPDNO ON EMP (DNO)")
+    db.execute("INSERT INTO EMP VALUES (1, 'SMITH', 50)")
+    db.execute("UPDATE STATISTICS")
+    result = db.execute("SELECT NAME FROM EMP WHERE DNO = 50")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .catalog.catalog import Catalog
+from .catalog.statistics import collect_statistics
+from .engine.evaluator import EvalEnv, evaluate
+from .engine.executor import Executor, QueryResult, Runtime
+from .errors import ExecutionError, SemanticError
+from .optimizer.cost import DEFAULT_W
+from .optimizer.plan import render_plan
+from .optimizer.planner import Optimizer, PlannedStatement
+from .rss.buffer import DEFAULT_BUFFER_PAGES
+from .rss.storage import StorageEngine
+from .sql import ast, parse_statement
+
+
+@dataclass
+class StatementResult:
+    """Uniform result for any statement kind."""
+
+    statement_type: str
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    affected_rows: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalar(self) -> object:
+        """The single value of a one-row, one-column result."""
+        return QueryResult(self.columns, self.rows).scalar()
+
+
+class Database:
+    """An in-process relational database with a Selinger-style optimizer."""
+
+    def __init__(
+        self,
+        buffer_pages: int = DEFAULT_BUFFER_PAGES,
+        w: float = DEFAULT_W,
+        use_heuristic: bool = True,
+        use_interesting_orders: bool = True,
+        subquery_cache_mode: str = "prev",
+    ):
+        self.catalog = Catalog()
+        self.storage = StorageEngine(buffer_pages)
+        self.w = w
+        self.use_heuristic = use_heuristic
+        self.use_interesting_orders = use_interesting_orders
+        self.subquery_cache_mode = subquery_cache_mode
+        #: Override for the planner's §6 correlation-ordering decision;
+        #: None derives it from the cache mode.
+        self.correlation_ordering: bool | None = None
+
+    # -- configuration ------------------------------------------------------------
+
+    def optimizer(self) -> Optimizer:
+        """A fresh optimizer reflecting the current configuration."""
+        return Optimizer(
+            self.catalog,
+            w=self.w,
+            buffer_pages=self.storage.buffer.capacity,
+            use_heuristic=self.use_heuristic,
+            use_interesting_orders=self.use_interesting_orders,
+            # Ordering on a correlated reference only pays off when the
+            # runtime skips repeated evaluations (§6).
+            correlation_ordering=(
+                self.subquery_cache_mode in ("prev", "memo")
+                if self.correlation_ordering is None
+                else self.correlation_ordering
+            ),
+        )
+
+    def executor(self) -> Executor:
+        """A fresh executor bound to this database's storage and catalog."""
+        return Executor(self.storage, self.catalog, self.subquery_cache_mode)
+
+    @property
+    def counters(self):
+        """Cost counters (page fetches, RSI calls) for measurements."""
+        return self.storage.counters
+
+    def cold_cache(self) -> None:
+        """Reset counters and empty the buffer pool before a measurement."""
+        self.storage.counters.reset()
+        self.storage.cold_cache()
+
+    # -- statement processing ---------------------------------------------------------
+
+    def execute(self, sql: str) -> StatementResult:
+        """Parse, optimize, and execute one SQL statement."""
+        statement = parse_statement(sql)
+        return self.execute_statement(statement)
+
+    def execute_statement(self, statement: ast.Statement) -> StatementResult:
+        """Dispatch an already-parsed statement to DDL, DML, or the optimizer."""
+        if isinstance(statement, ast.SelectQuery):
+            planned = self.plan_query(statement)
+            result = self._run(planned)
+            return StatementResult(
+                statement_type="SELECT",
+                columns=result.columns,
+                rows=result.rows,
+                affected_rows=len(result.rows),
+            )
+        if isinstance(statement, ast.CreateTableStmt):
+            return self._create_table(statement)
+        if isinstance(statement, ast.CreateIndexStmt):
+            return self._create_index(statement)
+        if isinstance(statement, ast.DropTableStmt):
+            return self._drop_table(statement)
+        if isinstance(statement, ast.DropIndexStmt):
+            return self._drop_index(statement)
+        if isinstance(statement, ast.InsertStmt):
+            return self._insert(statement)
+        if isinstance(statement, ast.UpdateStmt):
+            return self._update(statement)
+        if isinstance(statement, ast.DeleteStmt):
+            return self._delete(statement)
+        if isinstance(statement, ast.UpdateStatisticsStmt):
+            collect_statistics(self.catalog, self.storage, statement.table_name)
+            return StatementResult(statement_type="UPDATE STATISTICS")
+        raise ExecutionError(f"unsupported statement {statement!r}")
+
+    def query(self, sql: str) -> StatementResult:
+        """Alias of :meth:`execute` for read queries."""
+        return self.execute(sql)
+
+    def plan(self, sql: str) -> PlannedStatement:
+        """Parse and optimize without executing."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.SelectQuery):
+            raise SemanticError("plan() accepts SELECT statements only")
+        return self.plan_query(statement)
+
+    def plan_query(self, query: ast.SelectQuery) -> PlannedStatement:
+        """Optimize a parsed SELECT under the current configuration."""
+        return self.optimizer().plan_query(query)
+
+    def explain(self, sql: str) -> str:
+        """Human-readable plan for a SELECT statement."""
+        planned = self.plan(sql)
+        header = (
+            f"estimated cost: {planned.estimated_total():.2f} "
+            f"({planned.estimated_cost}) QCARD~{planned.qcard:.1f}"
+        )
+        return header + "\n" + render_plan(planned.root, w=planned.w)
+
+    def update_statistics(self, table_name: str | None = None) -> None:
+        """Programmatic UPDATE STATISTICS (one table, or all)."""
+        collect_statistics(self.catalog, self.storage, table_name)
+
+    # -- DDL ----------------------------------------------------------------------------
+
+    def _create_table(self, statement: ast.CreateTableStmt) -> StatementResult:
+        table = self.catalog.create_table(
+            statement.table_name,
+            [(spec.name, spec.datatype) for spec in statement.columns],
+            segment_name=statement.segment_name,
+        )
+        self.storage.ensure_segment(table.segment_name)
+        return StatementResult(statement_type="CREATE TABLE")
+
+    def _create_index(self, statement: ast.CreateIndexStmt) -> StatementResult:
+        index = self.catalog.create_index(
+            statement.index_name,
+            statement.table_name,
+            list(statement.column_names),
+            unique=statement.unique,
+            clustered=statement.clustered,
+        )
+        table = self.catalog.table(statement.table_name)
+        try:
+            self.storage.create_index(index, table)
+        except Exception:
+            self.catalog.drop_index(index.name)
+            raise
+        if statement.clustered:
+            self.storage.cluster_table(
+                table, index, self.catalog.indexes_on(table.name)
+            )
+        # "Initial relation loading and index creation initialize these
+        # statistics" — keep the habit.
+        collect_statistics(self.catalog, self.storage, table.name)
+        return StatementResult(statement_type="CREATE INDEX")
+
+    def _drop_table(self, statement: ast.DropTableStmt) -> StatementResult:
+        table = self.catalog.table(statement.table_name)
+        for index in self.catalog.indexes_on(table.name):
+            self.storage.drop_index(index.name)
+        with self.storage.suppress_counting():
+            for tid, values in list(self.storage._raw_scan(table)):
+                self.storage.segment(table.segment_name).delete(tid)
+        self.catalog.drop_table(table.name)
+        return StatementResult(statement_type="DROP TABLE")
+
+    def _drop_index(self, statement: ast.DropIndexStmt) -> StatementResult:
+        index = self.catalog.drop_index(statement.index_name)
+        self.storage.drop_index(index.name)
+        return StatementResult(statement_type="DROP INDEX")
+
+    # -- DML ----------------------------------------------------------------------------
+
+    def _insert(self, statement: ast.InsertStmt) -> StatementResult:
+        table = self.catalog.table(statement.table_name)
+        indexes = self.catalog.indexes_on(table.name)
+        if statement.column_names is None:
+            positions = list(range(len(table.columns)))
+        else:
+            positions = [
+                table.column_position(name.upper())
+                for name in statement.column_names
+            ]
+        if statement.source is not None:
+            # INSERT ... SELECT: run the query first, then load its rows
+            # (materialized, so inserting into the scanned table is safe).
+            source_rows = self._run(self.plan_query(statement.source)).rows
+        else:
+            source_rows = [
+                tuple(_constant_value(expr) for expr in row_exprs)
+                for row_exprs in statement.rows
+            ]
+        count = 0
+        for row in source_rows:
+            if len(row) != len(positions):
+                raise SemanticError(
+                    f"INSERT supplies {len(row)} values for "
+                    f"{len(positions)} columns"
+                )
+            values: list[object] = [None] * len(table.columns)
+            for position, value in zip(positions, row):
+                values[position] = table.columns[position].datatype.validate(value)
+            self.storage.insert(table, indexes, tuple(values))
+            count += 1
+        return StatementResult(statement_type="INSERT", affected_rows=count)
+
+    def _target_rows(self, table_name: str, where: ast.Expr | None):
+        """Plan and run the access to a DML statement's target tuples."""
+        query = ast.SelectQuery(
+            select_items=(),
+            from_tables=(ast.TableRef(table_name.upper(), table_name.upper()),),
+            where=where,
+        )
+        planned = self.plan_query(query)
+        executor = Executor(self.storage, self.catalog, self.subquery_cache_mode)
+        return planned, list(executor.execute_rows(planned))
+
+    def _update(self, statement: ast.UpdateStmt) -> StatementResult:
+        table = self.catalog.table(statement.table_name)
+        indexes = self.catalog.indexes_on(table.name)
+        planned, rows = self._target_rows(statement.table_name, statement.where)
+        alias = table.name
+        assignments = [
+            (
+                table.column_position(column.upper()),
+                self._bind_dml_expr(expr, table, alias),
+            )
+            for column, expr in statement.assignments
+        ]
+        runtime = Runtime(self.storage, self.catalog, planned)
+        count = 0
+        for row in rows:
+            old_values = row.values[alias]
+            env = EvalEnv(row=row, runtime=runtime)
+            new_values = list(old_values)
+            for position, bound in assignments:
+                value = evaluate(bound, env)
+                new_values[position] = table.columns[position].datatype.validate(
+                    value
+                )
+            self.storage.update(
+                table, indexes, row.tids[alias], old_values, tuple(new_values)
+            )
+            count += 1
+        return StatementResult(statement_type="UPDATE", affected_rows=count)
+
+    def _delete(self, statement: ast.DeleteStmt) -> StatementResult:
+        table = self.catalog.table(statement.table_name)
+        indexes = self.catalog.indexes_on(table.name)
+        __, rows = self._target_rows(statement.table_name, statement.where)
+        alias = table.name
+        count = 0
+        for row in rows:
+            self.storage.delete(
+                table, indexes, row.tids[alias], row.values[alias]
+            )
+            count += 1
+        return StatementResult(statement_type="DELETE", affected_rows=count)
+
+    def _bind_dml_expr(self, expr: ast.Expr, table, alias: str) -> ast.Expr:
+        """Bind a SET-clause expression against the target table."""
+        from .optimizer.binder import Binder
+
+        binder = Binder(self.catalog)
+        pseudo = ast.SelectQuery(
+            select_items=(ast.SelectItem(expr, None),),
+            from_tables=(ast.TableRef(table.name, alias),),
+        )
+        block = binder.bind(pseudo)
+        return block.select_exprs[0]
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _run(self, planned: PlannedStatement) -> QueryResult:
+        executor = Executor(self.storage, self.catalog, self.subquery_cache_mode)
+        self.last_executor = executor
+        return executor.execute(planned)
+
+
+def _constant_value(expr: ast.Expr) -> object:
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Negate) and isinstance(expr.operand, ast.Literal):
+        value = expr.operand.value
+        if isinstance(value, (int, float)):
+            return -value
+    raise SemanticError("INSERT values must be literals")

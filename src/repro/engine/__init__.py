@@ -1,0 +1,14 @@
+"""The execution engine: a Volcano-style interpreter over plan trees.
+
+System R compiled plans to machine code; we interpret the same plan trees
+(see DESIGN.md for why this substitution is behaviour-preserving).  The
+operators pull rows tuple-at-a-time through the RSS scans the optimizer
+chose, so every page fetch and RSI call the cost model predicts has a
+measurable runtime counterpart.
+"""
+
+from .executor import Executor, QueryResult
+from .rows import Row
+from .evaluator import EvalEnv, evaluate
+
+__all__ = ["EvalEnv", "Executor", "QueryResult", "Row", "evaluate"]

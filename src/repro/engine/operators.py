@@ -1,0 +1,430 @@
+"""Plan operators: iterators that pull rows through the chosen access paths.
+
+Each plan node type has an ``_iter_*`` function; :func:`iterate` dispatches.
+Operators receive an :class:`ExecContext` (runtime services plus the
+current block's alias schemas) and an optional outer :class:`EvalEnv`
+chain carrying enclosing blocks' candidate tuples for correlation and
+nested-loop probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..datatypes import DataType, compare_values
+from ..errors import ExecutionError
+from ..optimizer.plan import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    IndexAccess,
+    MergeJoinNode,
+    NestedLoopJoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SegmentAccess,
+    SortNode,
+    walk_plan,
+)
+from ..optimizer.predicates import SargExpression
+from ..rss.sargs import SargPredicate, Sargs
+from ..sql import ast
+from .evaluator import EvalEnv, evaluate, predicate_holds
+from .rows import AGGREGATE_ALIAS, OUTPUT_ALIAS, Row
+
+
+@dataclass
+class ExecContext:
+    """Per-block execution context."""
+
+    runtime: object  # Runtime (duck-typed to avoid an import cycle)
+    schemas: dict[str, list[DataType]]
+
+    @property
+    def storage(self):
+        """The storage engine behind this execution."""
+        return self.runtime.storage  # type: ignore[attr-defined]
+
+    def env(self, row: Row, outer: EvalEnv | None) -> EvalEnv:
+        """An evaluation environment for one row plus the enclosing chain."""
+        return EvalEnv(row=row, runtime=self.runtime, outer=outer)
+
+
+def iterate(
+    node: PlanNode, ctx: ExecContext, outer: EvalEnv | None = None
+) -> Iterator[Row]:
+    """Execute a plan node, yielding composite rows."""
+    if isinstance(node, ScanNode):
+        return _iter_scan(node, ctx, outer)
+    if isinstance(node, FilterNode):
+        return _iter_filter(node, ctx, outer)
+    if isinstance(node, NestedLoopJoinNode):
+        return _iter_nested_loop(node, ctx, outer)
+    if isinstance(node, MergeJoinNode):
+        return _iter_merge_join(node, ctx, outer)
+    if isinstance(node, SortNode):
+        return _iter_sort(node, ctx, outer)
+    if isinstance(node, AggregateNode):
+        return _iter_aggregate(node, ctx, outer)
+    if isinstance(node, ProjectNode):
+        return _iter_project(node, ctx, outer)
+    if isinstance(node, DistinctNode):
+        return _iter_distinct(node, ctx, outer)
+    raise ExecutionError(f"no operator for plan node {type(node).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# scans
+# ---------------------------------------------------------------------------
+
+
+class _ConjunctiveSargs:
+    """AND of several DNF search arguments (one per sargable factor)."""
+
+    def __init__(self, parts: list[Sargs]):
+        self._parts = parts
+
+    def matches(self, values: tuple) -> bool:
+        """Whether a tuple's values satisfy this expression."""
+        return all(part.matches(values) for part in self._parts)
+
+
+_EMPTY_MARKER = object()
+
+
+def _iter_scan(
+    node: ScanNode, ctx: ExecContext, outer: EvalEnv | None
+) -> Iterator[Row]:
+    value_env = ctx.env(Row(), outer)
+    sargs = _build_sargs(node.sargs, value_env)
+    storage = ctx.storage
+
+    if isinstance(node.access, SegmentAccess):
+        scan = storage.segment_scan(node.table, sargs)
+    else:
+        access = node.access
+        bounds = _evaluate_bounds(access, value_env)
+        if bounds is _EMPTY_MARKER:
+            return  # a NULL bound can never be satisfied
+        low, high = bounds  # type: ignore[misc]
+        scan = storage.index_scan(
+            access.index,
+            node.table,
+            low=low,
+            high=high,
+            low_inclusive=access.low_inclusive,
+            high_inclusive=access.high_inclusive,
+            sargs=sargs,
+        )
+    for tid, values in scan:
+        row = Row(values={node.alias: values}, tids={node.alias: tid})
+        if node.residual:
+            env = ctx.env(row, outer)
+            if not all(predicate_holds(pred, env) for pred in node.residual):
+                continue
+        yield row
+
+
+def _build_sargs(
+    expressions: list[SargExpression], env: EvalEnv
+) -> _ConjunctiveSargs | None:
+    if not expressions:
+        return None
+    parts: list[Sargs] = []
+    for expression in expressions:
+        groups: list[list[SargPredicate]] = []
+        for group in expression.groups:
+            groups.append(
+                [
+                    SargPredicate(
+                        column_position=pred.column.position,
+                        op=pred.op,
+                        value=evaluate(pred.value, env),
+                    )
+                    for pred in group
+                ]
+            )
+        parts.append(Sargs(groups))
+    return _ConjunctiveSargs(parts)
+
+
+def _evaluate_bounds(access: IndexAccess, env: EvalEnv):
+    low = tuple(evaluate(expr, env) for expr in access.low)
+    high = tuple(evaluate(expr, env) for expr in access.high)
+    if any(value is None for value in low) or any(value is None for value in high):
+        return _EMPTY_MARKER
+    return (low or None, high or None)
+
+
+# ---------------------------------------------------------------------------
+# filters and joins
+# ---------------------------------------------------------------------------
+
+
+def _iter_filter(
+    node: FilterNode, ctx: ExecContext, outer: EvalEnv | None
+) -> Iterator[Row]:
+    for row in iterate(node.child, ctx, outer):
+        env = ctx.env(row, outer)
+        if all(predicate_holds(pred, env) for pred in node.predicates):
+            yield row
+
+
+def _iter_nested_loop(
+    node: NestedLoopJoinNode, ctx: ExecContext, outer: EvalEnv | None
+) -> Iterator[Row]:
+    for outer_row in iterate(node.outer, ctx, outer):
+        probe_env = ctx.env(outer_row, outer)
+        for inner_row in iterate(node.inner, ctx, probe_env):
+            merged = outer_row.merged(inner_row)
+            if node.residual:
+                env = ctx.env(merged, outer)
+                if not all(predicate_holds(p, env) for p in node.residual):
+                    continue
+            yield merged
+
+
+def _iter_merge_join(
+    node: MergeJoinNode, ctx: ExecContext, outer: EvalEnv | None
+) -> Iterator[Row]:
+    """Synchronized merging scans with join-group rewind.
+
+    The inner's current group is buffered; when consecutive outer tuples
+    carry the same join value the group is replayed, and each replayed
+    tuple is counted as an RSI call — that re-retrieval is exactly what the
+    cost formulas charge for.
+    """
+    counters = ctx.storage.counters
+    inner_iter = iterate(node.inner, ctx, outer)
+    inner_current = next(inner_iter, None)
+    group: list[Row] = []
+    group_key: object = _EMPTY_MARKER
+    group_served_once = False
+
+    def inner_key(row: Row) -> object:
+        return row.values[node.inner_column.alias][node.inner_column.position]
+
+    for outer_row in iterate(node.outer, ctx, outer):
+        outer_values = outer_row.values[node.outer_column.alias]
+        outer_key = outer_values[node.outer_column.position]
+        if outer_key is None:
+            continue  # NULL join keys never match
+        if group_key is not _EMPTY_MARKER and compare_values(outer_key, group_key) == 0:
+            replay = True
+        else:
+            # Advance the inner scan to the first key >= outer_key.
+            while inner_current is not None:
+                key = inner_key(inner_current)
+                if key is not None and compare_values(key, outer_key) >= 0:
+                    break
+                inner_current = next(inner_iter, None)
+            group = []
+            group_key = outer_key
+            group_served_once = False
+            while inner_current is not None:
+                key = inner_key(inner_current)
+                if key is None or compare_values(key, outer_key) != 0:
+                    break
+                group.append(inner_current)
+                inner_current = next(inner_iter, None)
+            replay = False
+        for inner_row in group:
+            if replay or group_served_once:
+                # Re-retrieving a buffered group tuple is an RSI call.
+                counters.rsi_calls += 1
+            merged = outer_row.merged(inner_row)
+            if node.residual:
+                env = ctx.env(merged, outer)
+                if not all(predicate_holds(p, env) for p in node.residual):
+                    continue
+            yield merged
+        group_served_once = True
+
+
+# ---------------------------------------------------------------------------
+# sorting
+# ---------------------------------------------------------------------------
+
+
+def _sort_rows(rows: list[Row], keys) -> list[Row]:
+    """Stable multi-key sort with NULLs first and per-key direction."""
+    ordered = list(rows)
+    for column, descending in reversed(list(keys)):
+        def sort_key(row: Row, column=column):
+            value = row.values[column.alias][column.position]
+            return (0, 0) if value is None else (1, value)
+
+        ordered.sort(key=sort_key, reverse=descending)
+    return ordered
+
+
+def _iter_sort(
+    node: SortNode, ctx: ExecContext, outer: EvalEnv | None
+) -> Iterator[Row]:
+    """Sort into a temporary list, spilling to multi-pass runs when the
+    input exceeds a buffer-pool-sized workspace (§5: "several passes")."""
+    from ..rss.tuples import max_record_size
+    from ..sorting import workspace_rows
+    from .external_sort import ExternalSorter
+
+    child_rows = iterate(node.child, ctx, outer)
+    aliases = sorted(
+        {
+            scan.alias
+            for scan in walk_plan(node.child)
+            if isinstance(scan, ScanNode)
+        }
+    )
+    materializable = aliases and all(alias in ctx.schemas for alias in aliases)
+    has_aggregate = any(
+        isinstance(n, AggregateNode) for n in walk_plan(node.child)
+    )
+    if not materializable or has_aggregate:
+        # Post-aggregation (pseudo-alias) sorts stay in memory.
+        yield from _sort_rows(list(child_rows), node.keys)
+        return
+    schema = [(alias, ctx.schemas[alias]) for alias in aliases]
+    row_bytes = sum(
+        max_record_size(datatypes) for __, datatypes in schema
+    )
+    sorter = ExternalSorter(
+        ctx.storage,
+        schema,
+        node.keys,
+        memory_rows=workspace_rows(ctx.storage.buffer.capacity, row_bytes),
+    )
+    yield from sorter.sort(child_rows)
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+# ---------------------------------------------------------------------------
+
+
+class _AggState:
+    """Accumulator for one aggregate call within one group."""
+
+    def __init__(self, call: ast.FuncCall):
+        self.call = call
+        self.count = 0
+        self.total: float | int = 0
+        self.minimum: object = None
+        self.maximum: object = None
+        self.distinct: set | None = set() if call.distinct else None
+
+    def add(self, value: object) -> None:
+        """Fold one input value into the accumulator."""
+        if self.call.argument is None:  # COUNT(*)
+            self.count += 1
+            return
+        if value is None:
+            return
+        if self.distinct is not None:
+            if value in self.distinct:
+                return
+            self.distinct.add(value)
+        self.count += 1
+        if self.call.name in ("SUM", "AVG"):
+            self.total += value  # type: ignore[operator]
+        elif self.call.name == "MIN":
+            if self.minimum is None or compare_values(value, self.minimum) < 0:
+                self.minimum = value
+        elif self.call.name == "MAX":
+            if self.maximum is None or compare_values(value, self.maximum) > 0:
+                self.maximum = value
+
+    def result(self) -> object:
+        """The aggregate's final value for the finished group."""
+        name = self.call.name
+        if name == "COUNT":
+            return self.count
+        if self.count == 0:
+            return None
+        if name == "SUM":
+            return self.total
+        if name == "AVG":
+            return self.total / self.count
+        if name == "MIN":
+            return self.minimum
+        return self.maximum
+
+
+def _iter_aggregate(
+    node: AggregateNode, ctx: ExecContext, outer: EvalEnv | None
+) -> Iterator[Row]:
+    """Streaming aggregation over input ordered on the grouping columns."""
+
+    def group_key(row: Row) -> tuple:
+        return tuple(
+            row.values[column.alias][column.position] for column in node.group_by
+        )
+
+    def emit(representative: Row, states: list[_AggState]) -> Row | None:
+        results = tuple(state.result() for state in states)
+        out = representative.with_alias(AGGREGATE_ALIAS, results)
+        if node.having is not None:
+            env = ctx.env(out, outer)
+            if not predicate_holds(node.having, env):
+                return None
+        return out
+
+    current_key: object = _EMPTY_MARKER
+    representative: Row | None = None
+    states: list[_AggState] = []
+    saw_rows = False
+    for row in iterate(node.child, ctx, outer):
+        saw_rows = True
+        key = group_key(row)
+        if current_key is _EMPTY_MARKER or key != current_key:
+            if representative is not None:
+                out = emit(representative, states)
+                if out is not None:
+                    yield out
+            current_key = key
+            representative = row
+            states = [_AggState(call) for call in node.aggregates]
+        for state in states:
+            env = ctx.env(row, outer)
+            value = (
+                None
+                if state.call.argument is None
+                else evaluate(state.call.argument, env)
+            )
+            state.add(value)
+    if representative is not None:
+        out = emit(representative, states)
+        if out is not None:
+            yield out
+    elif not saw_rows and not node.group_by:
+        # Aggregates over an empty input still produce one row.
+        out = emit(Row(), [_AggState(call) for call in node.aggregates])
+        if out is not None:
+            yield out
+
+
+# ---------------------------------------------------------------------------
+# projection / distinct
+# ---------------------------------------------------------------------------
+
+
+def _iter_project(
+    node: ProjectNode, ctx: ExecContext, outer: EvalEnv | None
+) -> Iterator[Row]:
+    for row in iterate(node.child, ctx, outer):
+        env = ctx.env(row, outer)
+        output = tuple(evaluate(expr, env) for expr in node.exprs)
+        yield Row(values={**row.values, OUTPUT_ALIAS: output}, tids=row.tids)
+
+
+def _iter_distinct(
+    node: DistinctNode, ctx: ExecContext, outer: EvalEnv | None
+) -> Iterator[Row]:
+    seen: set[tuple] = set()
+    for row in iterate(node.child, ctx, outer):
+        key = row.values[OUTPUT_ALIAS]
+        if key in seen:
+            continue
+        seen.add(key)
+        yield row

@@ -1,0 +1,41 @@
+"""Composite rows flowing between operators.
+
+A row maps each alias to the tuple of column values fetched for it, plus —
+for base relations — the tuple identifier, which UPDATE and DELETE need.
+Joins merge rows; projection produces a row with the single pseudo-alias
+``__out__``; aggregation adds ``__agg__`` holding aggregate results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rss.page import TupleId
+
+OUTPUT_ALIAS = "__out__"
+AGGREGATE_ALIAS = "__agg__"
+
+
+@dataclass
+class Row:
+    """One composite tuple during execution."""
+
+    values: dict[str, tuple] = field(default_factory=dict)
+    tids: dict[str, TupleId] = field(default_factory=dict)
+
+    def merged(self, other: "Row") -> "Row":
+        """A new row combining this row's aliases with another's."""
+        values = dict(self.values)
+        values.update(other.values)
+        tids = dict(self.tids)
+        tids.update(other.tids)
+        return Row(values, tids)
+
+    def with_alias(self, alias: str, values: tuple) -> "Row":
+        """A copy of this row with one alias's values replaced or added."""
+        merged = dict(self.values)
+        merged[alias] = values
+        return Row(merged, dict(self.tids))
+
+    def __contains__(self, alias: str) -> bool:
+        return alias in self.values

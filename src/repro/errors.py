@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro miniature DBMS.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one type at the API boundary.  Subsystems raise the most specific
+subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SqlError(ReproError):
+    """Base class for errors in SQL text (lexing, parsing, semantics)."""
+
+
+class LexerError(SqlError):
+    """Invalid token in SQL text."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SqlError):
+    """SQL text does not match the grammar."""
+
+
+class SemanticError(SqlError):
+    """SQL is grammatical but invalid against the catalog.
+
+    Examples: unknown table or column, ambiguous column reference, type
+    mismatch in a comparison, aggregate misuse.
+    """
+
+
+class CatalogError(ReproError):
+    """Catalog manipulation error (duplicate table, unknown index, ...)."""
+
+
+class StorageError(ReproError):
+    """Low-level RSS failure (page overflow, bad TID, segment misuse)."""
+
+
+class PageFullError(StorageError):
+    """A tuple does not fit in the remaining free space of a page."""
+
+
+class TupleTooLargeError(StorageError):
+    """A tuple cannot fit on any page, even an empty one."""
+
+
+class IntegrityError(ReproError):
+    """Constraint violation (duplicate key in a unique index)."""
+
+
+class PlannerError(ReproError):
+    """The optimizer could not produce a plan for a valid query."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while executing a plan."""

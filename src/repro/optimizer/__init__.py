@@ -1,0 +1,63 @@
+"""The System R access path selector (Sections 4-6 of the paper).
+
+Submodules:
+
+- :mod:`repro.optimizer.bound` / :mod:`repro.optimizer.binder` — name
+  resolution: raw AST into bound query blocks (the OPTIMIZER's catalog
+  lookup and semantic checking phase).
+- :mod:`repro.optimizer.predicates` — CNF conversion into boolean factors,
+  sargability, index matching.
+- :mod:`repro.optimizer.selectivity` — Table 1 selectivity factors, QCARD
+  and RSICARD.
+- :mod:`repro.optimizer.cost` — the cost model: Table 2 single-relation
+  formulas and the Section 5 join/sort formulas.
+- :mod:`repro.optimizer.orders` — interesting orders and their equivalence
+  classes.
+- :mod:`repro.optimizer.access_paths` — single-relation path enumeration.
+- :mod:`repro.optimizer.joins` — dynamic-programming join enumeration with
+  the deferred-Cartesian-product heuristic.
+- :mod:`repro.optimizer.planner` — whole-statement planning including
+  nested query blocks.
+- :mod:`repro.optimizer.plan` — the plan tree (our stand-in for ASL).
+- :mod:`repro.optimizer.explain` — plan and search-tree rendering.
+"""
+
+from .binder import Binder, bind_query
+from .bound import BoundColumn, BoundQueryBlock, BoundSubquery
+from .cost import Cost, CostModel, DEFAULT_W
+from .planner import Optimizer, PlannedStatement
+from .plan import (
+    AggregateNode,
+    DistinctNode,
+    IndexAccess,
+    MergeJoinNode,
+    NestedLoopJoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SegmentAccess,
+    SortNode,
+)
+
+__all__ = [
+    "AggregateNode",
+    "Binder",
+    "BoundColumn",
+    "BoundQueryBlock",
+    "BoundSubquery",
+    "Cost",
+    "CostModel",
+    "DEFAULT_W",
+    "DistinctNode",
+    "IndexAccess",
+    "MergeJoinNode",
+    "NestedLoopJoinNode",
+    "Optimizer",
+    "PlanNode",
+    "PlannedStatement",
+    "ProjectNode",
+    "ScanNode",
+    "SegmentAccess",
+    "SortNode",
+    "bind_query",
+]

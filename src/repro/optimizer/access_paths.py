@@ -1,0 +1,196 @@
+"""Single-relation access path enumeration (Section 4).
+
+For one relation the optimizer considers a segment scan plus one path per
+index.  Each path gets a predicted cost from TABLE 2 using the selectivity
+factors of the boolean factors it can exploit, and a produced tuple order
+(the index key order, or unordered for segment scans).
+
+The same machinery serves three callers: plain single-relation queries,
+the inner relation of a nested-loop join (where join predicates become
+*probe* SARGs whose values come from the outer tuple), and the inner
+relation of a merge join (ordered, no probes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..catalog.catalog import Catalog
+from ..catalog.schema import TableDef
+from ..rss.sargs import CompareOp
+from .cost import Cost, CostModel
+from .orders import InterestingOrders, OrderKey, UNORDERED
+from .plan import IndexAccess, ScanNode, SegmentAccess
+from .predicates import (
+    BooleanFactor,
+    IndexMatch,
+    SargExpression,
+    SimpleSarg,
+    match_index,
+)
+from .selectivity import SelectivityEstimator
+
+
+@dataclass
+class PathCandidate:
+    """One costed access path with its canonical produced order."""
+
+    node: ScanNode
+    order_key: OrderKey
+
+    @property
+    def cost(self) -> Cost:
+        """The candidate's predicted cost (convenience accessor)."""
+        return self.node.cost
+
+
+def probe_factor(factor: BooleanFactor, sarg: SimpleSarg) -> BooleanFactor:
+    """Re-package a join predicate as a sargable local factor on the inner.
+
+    Used for nested-loop joins: with the outer tuple in hand, the join
+    predicate behaves exactly like ``column op value``.
+    """
+    return BooleanFactor(
+        expr=factor.expr,
+        aliases=frozenset({sarg.column.alias}),
+        sarg=SargExpression(((sarg,),)),
+        selectivity=factor.selectivity,
+    )
+
+
+def enumerate_paths(
+    alias: str,
+    table: TableDef,
+    local_factors: list[BooleanFactor],
+    catalog: Catalog,
+    estimator: SelectivityEstimator,
+    cost_model: CostModel,
+    orders: InterestingOrders,
+    probe_factors: list[BooleanFactor] | None = None,
+    available_buffer: float | None = None,
+) -> list[PathCandidate]:
+    """All access paths for one relation given its applicable factors.
+
+    ``local_factors`` are this relation's single-table boolean factors;
+    ``probe_factors`` are join predicates already converted by
+    :func:`probe_factor`.  ``available_buffer`` costs the paths as a join
+    inner (only part of the pool remains for the buffer-fit
+    alternatives).  Returns every candidate (the caller prunes).
+    """
+    probes = probe_factors or []
+    sargable = [f for f in local_factors if f.sarg is not None] + probes
+    residual = [f.expr for f in local_factors if f.sarg is None]
+
+    ncard = cost_model.ncard(table)
+    selectivity_all = _product(
+        estimator.factor_selectivity(f) for f in local_factors + probes
+    )
+    selectivity_sargable = _product(
+        estimator.factor_selectivity(f) for f in sargable
+    )
+    rows_out = ncard * selectivity_all
+    rsicard = ncard * selectivity_sargable
+
+    candidates: list[PathCandidate] = []
+
+    # Segment scan: always available, unordered.
+    seg_node = ScanNode(
+        alias=alias,
+        table=table,
+        access=SegmentAccess(),
+        sargs=[f.sarg for f in sargable if f.sarg is not None],
+        residual=list(residual),
+        cost=cost_model.segment_scan_cost(table, rsicard),
+        rows=rows_out,
+        order_columns=(),
+    )
+    candidates.append(PathCandidate(seg_node, UNORDERED))
+
+    for index in catalog.indexes_on(table.name):
+        match = match_index(index, sargable, alias)
+        access = _index_access(index, match)
+        if match.is_unique_equal:
+            cost = cost_model.unique_index_cost()
+            path_rows = min(rows_out, 1.0)
+        elif match.matches_anything:
+            matched_f = _product(
+                estimator.factor_selectivity(f) for f in match.matched_factors
+            )
+            cost = cost_model.matching_index_cost(
+                index, table, matched_f, rsicard, available_buffer=available_buffer
+            )
+            path_rows = rows_out
+        else:
+            cost = cost_model.non_matching_index_cost(
+                index, table, rsicard, available_buffer=available_buffer
+            )
+            path_rows = rows_out
+        order_columns = tuple(
+            (alias, position) for position in index.key_positions
+        )
+        order_key = orders.canonicalize(orders.order_key(list(order_columns)))
+        node = ScanNode(
+            alias=alias,
+            table=table,
+            access=access,
+            sargs=[f.sarg for f in sargable if f.sarg is not None],
+            residual=list(residual),
+            cost=cost,
+            rows=path_rows,
+            order_columns=order_columns,
+        )
+        candidates.append(PathCandidate(node, order_key))
+    return candidates
+
+
+def _index_access(index, match: IndexMatch) -> IndexAccess:
+    """Build the key bounds an index scan can derive from matched factors."""
+    equal_values = tuple(sarg.value for sarg in match.equal_prefix)
+    low = list(equal_values)
+    high = list(equal_values)
+    low_inclusive = True
+    high_inclusive = True
+    low_extended = False
+    high_extended = False
+    for sarg in match.range_sargs:
+        if sarg.op in (CompareOp.GT, CompareOp.GE) and not low_extended:
+            low.append(sarg.value)
+            low_inclusive = sarg.op is CompareOp.GE
+            low_extended = True
+        elif sarg.op in (CompareOp.LT, CompareOp.LE) and not high_extended:
+            high.append(sarg.value)
+            high_inclusive = sarg.op is CompareOp.LE
+            high_extended = True
+    return IndexAccess(
+        index=index,
+        low=tuple(low),
+        high=tuple(high),
+        low_inclusive=low_inclusive,
+        high_inclusive=high_inclusive,
+    )
+
+
+def inner_resident_cap(
+    cost_model: CostModel, node: ScanNode, available_buffer: float
+) -> float | None:
+    """The page cap for repeated probes of a join inner, if it fits.
+
+    When the inner relation's whole footprint (data pages plus the index in
+    use) fits in the buffer pages the inner can claim, its total page
+    fetches across all probes are bounded by that footprint; otherwise
+    None (no cap).
+    """
+    from .plan import IndexAccess
+
+    index = node.access.index if isinstance(node.access, IndexAccess) else None
+    footprint = cost_model.relation_resident_pages(node.table, index)
+    if footprint <= available_buffer:
+        return footprint
+    return None
+
+
+def _product(values) -> float:
+    result = 1.0
+    for value in values:
+        result *= value
+    return result

@@ -1,0 +1,257 @@
+"""The cost model: ``COST = PAGE_FETCHES + W * RSI_CALLS``.
+
+:class:`Cost` keeps the two components separate so EXPLAIN output and the
+Table 2 validation benchmarks can compare pages and RSI calls against
+measured counters independently; comparisons between plans always use the
+weighted total.
+
+:class:`CostModel` implements TABLE 2 (single-relation access paths) and the
+Section 5 join, merge, and sort formulas, reading statistics from the
+catalog and the effective buffer size from the storage engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .. import sorting
+from ..catalog.catalog import Catalog
+from ..catalog.schema import IndexDef, TableDef
+from .selectivity import SMALL_NCARD, SMALL_TCARD
+
+#: Default weighting factor between a page fetch and an RSI call.  One page
+#: fetch is worth roughly thirty tuple retrievals; swept in ablation A1.
+DEFAULT_W = 1.0 / 30.0
+
+
+@dataclass(frozen=True)
+class Cost:
+    """Predicted page fetches and RSI calls for (part of) a plan."""
+
+    pages: float = 0.0
+    rsi: float = 0.0
+
+    def total(self, w: float) -> float:
+        """Weighted total under the given W."""
+        return self.pages + w * self.rsi
+
+    def __add__(self, other: "Cost") -> "Cost":
+        return Cost(self.pages + other.pages, self.rsi + other.rsi)
+
+    def scaled(self, factor: float) -> "Cost":
+        """This cost multiplied by a factor (used for N probes)."""
+        return Cost(self.pages * factor, self.rsi * factor)
+
+    def __str__(self) -> str:
+        return f"{self.pages:.2f} pages + W*{self.rsi:.1f} calls"
+
+
+ZERO_COST = Cost()
+
+
+class CostModel:
+    """Evaluates the paper's cost formulas against catalog statistics."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        w: float = DEFAULT_W,
+        buffer_pages: int = 64,
+    ):
+        self._catalog = catalog
+        self.w = w
+        self.buffer_pages = buffer_pages
+
+    def total(self, cost: Cost) -> float:
+        """Weighted total under the given W."""
+        return cost.total(self.w)
+
+    # -- statistics with the paper's "small relation" defaults ---------------------
+
+    def ncard(self, table: TableDef) -> float:
+        """NCARD(T), defaulting to the paper's small-relation guess."""
+        stats = self._catalog.relation_stats(table.name)
+        return float(stats.ncard) if stats is not None else float(SMALL_NCARD)
+
+    def tcard(self, table: TableDef) -> float:
+        """TCARD(T), defaulting to one page when unknown."""
+        stats = self._catalog.relation_stats(table.name)
+        return float(stats.tcard) if stats is not None else float(SMALL_TCARD)
+
+    def fraction(self, table: TableDef) -> float:
+        """P(T): fraction of the segment's pages holding T's tuples."""
+        stats = self._catalog.relation_stats(table.name)
+        if stats is not None and stats.fraction > 0:
+            return stats.fraction
+        return 1.0
+
+    def nindx(self, index: IndexDef) -> float:
+        """NINDX(I): pages in the index."""
+        stats = self._catalog.index_stats(index.name)
+        return float(stats.nindx) if stats is not None else 1.0
+
+    # -- TABLE 2: single relation access paths ---------------------------------------
+
+    def segment_scan_cost(self, table: TableDef, rsicard: float) -> Cost:
+        """Segment scan: TCARD/P + W * RSICARD."""
+        return Cost(pages=self.tcard(table) / self.fraction(table), rsi=rsicard)
+
+    def unique_index_cost(self) -> Cost:
+        """Unique index matching an equal predicate: 1 + 1 + W."""
+        return Cost(pages=2.0, rsi=1.0)
+
+    def matching_index_cost(
+        self,
+        index: IndexDef,
+        table: TableDef,
+        matched_selectivity: float,
+        rsicard: float,
+        available_buffer: float | None = None,
+    ) -> Cost:
+        """Index matching one or more boolean factors.
+
+        Clustered: F(preds) * (NINDX + TCARD) + W * RSICARD.
+        Non-clustered: F(preds) * (NINDX + NCARD) + W * RSICARD, improving
+        to the clustered formula when the pages involved fit in the buffer.
+        ``available_buffer`` costs the path as a join inner, where only
+        part of the pool (the rest pinned by the outer pipeline) remains.
+        """
+        nindx = self.nindx(index)
+        fraction = max(0.0, min(1.0, matched_selectivity))
+        if index.clustered or self._relation_fits_in_buffer(
+            index, table, available_buffer
+        ):
+            # When the relation and index fit in the buffer, a data page is
+            # never fetched twice, so the clustered formula bounds the cost
+            # ("...if this number fits in the System R buffer").
+            pages = fraction * (nindx + self.tcard(table))
+        else:
+            pages = fraction * (nindx + self.ncard(table))
+        return Cost(pages=pages, rsi=rsicard)
+
+    def non_matching_index_cost(
+        self,
+        index: IndexDef,
+        table: TableDef,
+        rsicard: float,
+        available_buffer: float | None = None,
+    ) -> Cost:
+        """Index not matching any boolean factor (full index traversal).
+
+        Clustered: NINDX + TCARD.  Non-clustered: NINDX + NCARD, improving
+        to NINDX + TCARD when that fits in the buffer.
+        """
+        nindx = self.nindx(index)
+        if index.clustered or self._relation_fits_in_buffer(
+            index, table, available_buffer
+        ):
+            pages = nindx + self.tcard(table)
+        else:
+            pages = nindx + self.ncard(table)
+        return Cost(pages=pages, rsi=rsicard)
+
+    def _relation_fits_in_buffer(
+        self,
+        index: IndexDef,
+        table: TableDef,
+        available_buffer: float | None = None,
+    ) -> bool:
+        """The buffer-fit condition of Table 2's alternative formulas.
+
+        The paper's "if this number fits in the System R buffer" is read as:
+        the relation's data pages plus the index pages all fit in the
+        effective buffer, in which case no page is ever fetched twice and
+        the TCARD-based formula applies.  ``available_buffer`` restricts
+        the condition to the pages a join inner can actually claim.
+        """
+        available = (
+            self.buffer_pages if available_buffer is None else available_buffer
+        )
+        return self.tcard(table) + self.nindx(index) <= available
+
+    def inner_available_buffer(self, outer_claim: float) -> float:
+        """Buffer pages a join inner can claim beside an outer pipeline
+        already holding ``outer_claim`` pages hot."""
+        return max(1.0, self.buffer_pages - outer_claim)
+
+    def relation_resident_pages(
+        self, table: TableDef, index: IndexDef | None
+    ) -> float:
+        """All pages of a relation (plus one index) — its maximal footprint."""
+        pages = self.tcard(table) / self.fraction(table)
+        if index is not None:
+            pages = self.tcard(table) + self.nindx(index)
+        return pages
+
+    # -- Section 5: joins and sorting ------------------------------------------------
+
+    def nested_loop_cost(
+        self,
+        outer: Cost,
+        outer_rows: float,
+        inner_per_probe: Cost,
+        inner_resident_pages: float | None = None,
+    ) -> Cost:
+        """C-nested-loop-join(path1, path2) = C-outer + N * C-inner.
+
+        When the inner relation's whole footprint fits in the buffer share
+        (``inner_resident_pages`` is passed), repeated probes re-hit the
+        same resident pages: the inner's total page fetches are capped at
+        that footprint.  RSI calls are CPU work and always scale with N.
+        """
+        probes = max(0.0, outer_rows)
+        inner_pages = inner_per_probe.pages * probes
+        if inner_resident_pages is not None:
+            inner_pages = min(inner_pages, inner_resident_pages)
+        return outer + Cost(pages=inner_pages, rsi=inner_per_probe.rsi * probes)
+
+    def merge_cost(
+        self,
+        outer: Cost,
+        inner_one_pass_pages: float,
+        join_matches: float,
+    ) -> Cost:
+        """Merge-scan join after both inputs are ordered.
+
+        The synchronized scans read the inner's pages once; every matching
+        inner tuple crosses the RSI once per outer occurrence, which totals
+        the join output cardinality.  Summed over outer tuples this is the
+        paper's ``C-outer + N * C-inner``.
+        """
+        return outer + Cost(pages=inner_one_pass_pages, rsi=max(0.0, join_matches))
+
+    def sort_build_cost(self, source: Cost, rows: float, row_bytes: int) -> Cost:
+        """C-sort(path): retrieve, sort ("may involve several passes"),
+        and write the temporary list.
+
+        Retrieval is ``source``.  Run generation writes TEMPPAGES pages with
+        one RSI call per inserted tuple; every merge pass re-reads and
+        re-writes the whole list (2 x TEMPPAGES pages, 2 x rows RSI calls).
+        The pass count comes from the same workspace/fan-in arithmetic the
+        engine's external sorter uses.
+        """
+        temppages = self.temp_pages(rows, row_bytes)
+        passes = sorting.merge_passes(rows, self.buffer_pages, row_bytes)
+        return source + Cost(
+            pages=temppages * (1 + 2 * passes),
+            rsi=max(0.0, rows) * (1 + 2 * passes),
+        )
+
+    def temp_scan_cost(self, rows: float, row_bytes: int) -> Cost:
+        """One sequential pass over a temporary list."""
+        return Cost(pages=self.temp_pages(rows, row_bytes), rsi=max(0.0, rows))
+
+    @staticmethod
+    def temp_pages(rows: float, row_bytes: int) -> float:
+        """TEMPPAGES: pages needed to hold ``rows`` tuples of ``row_bytes``."""
+        if rows <= 0:
+            return 0.0
+        return float(math.ceil(rows / sorting.temp_rows_per_page(row_bytes)))
+
+
+def tuple_byte_width(table: TableDef) -> int:
+    """Worst-case stored width of one tuple of ``table`` (for TEMPPAGES)."""
+    from ..rss.tuples import max_record_size
+
+    return max_record_size([column.datatype for column in table.columns])

@@ -1,0 +1,43 @@
+"""The Research Storage System (RSS) substrate.
+
+This package reproduces Section 3 of the paper: physical storage of relations
+as tuples packed into 4 KiB slotted pages, pages grouped into segments that
+may interleave several relations, B-tree indexes whose chained leaves hold
+(key, tuple-identifier) entries, and a tuple-at-a-time scan interface (the
+RSI) offering segment scans and index scans with optional search arguments
+(SARGs) applied below the interface.
+
+Cost accounting is built in: every page touched through the buffer pool and
+every tuple returned across the RSI is counted, so the optimizer's predicted
+``PAGE FETCHES + W * RSI CALLS`` can be compared against measurements.
+"""
+
+from .buffer import BufferPool
+from .counters import CostCounters
+from .page import PAGE_SIZE, Page, TupleId
+from .pagestore import PageStore
+from .segment import Segment
+from .btree import BTree
+from .sargs import SargPredicate, Sargs, CompareOp
+from .scan import IndexScan, SegmentScan
+from .storage import StorageEngine
+from .tuples import decode_tuple, encode_tuple
+
+__all__ = [
+    "BTree",
+    "BufferPool",
+    "CompareOp",
+    "CostCounters",
+    "IndexScan",
+    "PAGE_SIZE",
+    "Page",
+    "PageStore",
+    "SargPredicate",
+    "Sargs",
+    "Segment",
+    "SegmentScan",
+    "StorageEngine",
+    "TupleId",
+    "decode_tuple",
+    "encode_tuple",
+]

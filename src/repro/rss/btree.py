@@ -1,0 +1,323 @@
+"""B-tree indexes over (key, tuple-identifier) entries.
+
+Indexes are B+-trees: all entries live in leaf pages, which are chained so a
+range scan reads leaves sequentially without revisiting upper levels
+(Section 3).  Keys are tuples of column values (composite indexes).  NULL
+sorts before every non-NULL value.
+
+Node fan-out is derived from the 4 KiB page size and the worst-case encoded
+key width, so ``NINDX`` (pages in the index) and per-scan index page fetches
+behave like their System R counterparts.  Node pages occupy the same page-id
+space as data pages and are fetched through the same buffer pool.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from ..datatypes import DataType
+from ..errors import StorageError
+from .buffer import BufferPool
+from .page import PAGE_SIZE, TupleId
+from .pagestore import PageStore
+
+_NODE_OVERHEAD = 32  # header bytes reserved per node page
+_TID_SIZE = 8
+_CHILD_PTR_SIZE = 4
+_MIN_FANOUT = 4
+
+
+def orderable_key(key: tuple) -> tuple:
+    """Map a key to a totally ordered form (NULL sorts first)."""
+    return tuple((0, 0) if part is None else (1, part) for part in key)
+
+
+class _LeafNode:
+    """A leaf page: sorted (orderable key, key, tid) entries plus a next link."""
+
+    __slots__ = ("page_id", "entries", "next_page_id")
+
+    def __init__(self) -> None:
+        self.page_id = 0
+        self.entries: list[tuple[tuple, tuple, TupleId]] = []
+        self.next_page_id: int | None = None
+
+
+class _InternalNode:
+    """An internal page: separator keys and child page ids."""
+
+    __slots__ = ("page_id", "keys", "children")
+
+    def __init__(self) -> None:
+        self.page_id = 0
+        self.keys: list[tuple] = []  # orderable separator keys
+        self.children: list[int] = []
+
+
+class BTree:
+    """A B+-tree index with buffer-accounted page access.
+
+    Duplicate keys are allowed (each entry is a distinct (key, tid) pair);
+    uniqueness, when required, is enforced by the storage engine before
+    insertion.
+    """
+
+    def __init__(
+        self,
+        store: PageStore,
+        buffer: BufferPool,
+        key_types: list[DataType],
+    ):
+        self._store = store
+        self._buffer = buffer
+        self.key_types = list(key_types)
+        key_size = sum(datatype.max_encoded_size() for datatype in key_types)
+        usable = PAGE_SIZE - _NODE_OVERHEAD
+        self.leaf_capacity = max(_MIN_FANOUT, usable // (key_size + _TID_SIZE))
+        self.internal_capacity = max(
+            _MIN_FANOUT, usable // (key_size + _CHILD_PTR_SIZE)
+        )
+        root = _LeafNode()
+        root.page_id = store.allocate_node_page(root)
+        self._root_page_id = root.page_id
+        self._first_leaf_page_id = root.page_id
+        self._entry_count = 0
+
+    # -- public properties (statistics are computed without fetch counting) --
+
+    @property
+    def entry_count(self) -> int:
+        """Total (key, TID) entries currently stored."""
+        return self._entry_count
+
+    def page_count(self) -> int:
+        """NINDX: total pages (leaves + internal nodes) in this index."""
+        return sum(1 for __ in self._walk_nodes())
+
+    def leaf_page_count(self) -> int:
+        """Number of leaf pages (the range-scan cost driver)."""
+        return sum(
+            1 for node in self._walk_nodes() if isinstance(node, _LeafNode)
+        )
+
+    def distinct_key_count(self) -> int:
+        """ICARD: number of distinct full keys currently in the index."""
+        count = 0
+        previous: tuple | None = None
+        for okey, __, ___ in self._iter_entries_uncounted():
+            if okey != previous:
+                count += 1
+                previous = okey
+        return count
+
+    def min_key(self) -> tuple | None:
+        """Smallest key in the index, or None when empty."""
+        for __, key, ___ in self._iter_entries_uncounted():
+            return key
+        return None
+
+    def max_key(self) -> tuple | None:
+        """Largest key in the index, or None when empty."""
+        last: tuple | None = None
+        for __, key, ___ in self._iter_entries_uncounted():
+            last = key
+        return last
+
+    # -- modification --------------------------------------------------------
+
+    def insert(self, key: tuple, tid: TupleId) -> None:
+        """Add one (key, TID) entry, splitting nodes as needed."""
+        okey = orderable_key(key)
+        split = self._insert_into(self._root_page_id, okey, key, tid)
+        if split is not None:
+            separator, right_page_id = split
+            new_root = _InternalNode()
+            new_root.keys = [separator]
+            new_root.children = [self._root_page_id, right_page_id]
+            new_root.page_id = self._store.allocate_node_page(new_root)
+            self._root_page_id = new_root.page_id
+        self._entry_count += 1
+
+    def delete(self, key: tuple, tid: TupleId) -> None:
+        """Remove one (key, tid) entry; raises if it is not present."""
+        okey = orderable_key(key)
+        leaf = self._find_leaf_uncounted(okey)
+        while leaf is not None:
+            position = bisect.bisect_left(
+                leaf.entries, okey, key=lambda entry: entry[0]
+            )
+            while position < len(leaf.entries) and leaf.entries[position][0] == okey:
+                if leaf.entries[position][2] == tid:
+                    del leaf.entries[position]
+                    self._entry_count -= 1
+                    return
+                position += 1
+            if position < len(leaf.entries):
+                break  # moved past the key without finding the tid
+            leaf = self._next_leaf_uncounted(leaf)
+        raise StorageError(f"index entry {key!r} -> {tid} not found")
+
+    def contains_key(self, key: tuple) -> bool:
+        """Uncounted point lookup, used for unique-constraint checks."""
+        okey = orderable_key(key)
+        leaf = self._find_leaf_uncounted(okey)
+        while leaf is not None:
+            position = bisect.bisect_left(
+                leaf.entries, okey, key=lambda entry: entry[0]
+            )
+            if position < len(leaf.entries):
+                return leaf.entries[position][0] == okey
+            leaf = self._next_leaf_uncounted(leaf)
+        return False
+
+    # -- scanning (counted through the buffer pool) ---------------------------
+
+    def scan_range(
+        self,
+        low: tuple | None = None,
+        high: tuple | None = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[tuple[tuple, TupleId]]:
+        """Yield (key, tid) pairs with keys in the given range, in key order.
+
+        ``low``/``high`` are *prefixes* of the full key: an index on
+        (A, B) may be scanned with bounds on A alone.  Every node page
+        touched — the root-to-leaf descent plus the chained leaves — is
+        fetched through the buffer pool and therefore counted.
+        """
+        low_okey = orderable_key(low) if low is not None else None
+        high_okey = orderable_key(high) if high is not None else None
+        node = self._fetch_node(self._root_page_id)
+        while isinstance(node, _InternalNode):
+            if low_okey is None:
+                child = node.children[0]
+            else:
+                position = bisect.bisect_left(node.keys, low_okey)
+                # bisect_left sends an exact separator match left, which is
+                # correct: equal keys may start in the left subtree.
+                child = node.children[position]
+            node = self._fetch_node(child)
+        leaf: _LeafNode | None = node
+        while leaf is not None:
+            if low_okey is None:
+                start = 0
+            else:
+                start = bisect.bisect_left(
+                    leaf.entries, low_okey, key=lambda entry: entry[0][: len(low_okey)]
+                )
+            for okey, key, tid in leaf.entries[start:]:
+                prefix = okey[: len(low_okey)] if low_okey is not None else None
+                if low_okey is not None and not low_inclusive and prefix == low_okey:
+                    continue
+                if high_okey is not None:
+                    hprefix = okey[: len(high_okey)]
+                    if hprefix > high_okey or (
+                        not high_inclusive and hprefix == high_okey
+                    ):
+                        return
+                yield key, tid
+            leaf = self._next_leaf(leaf)
+
+    def scan_all(self) -> Iterator[tuple[tuple, TupleId]]:
+        """Full index scan in key order, through the buffer pool."""
+        return self.scan_range()
+
+    # -- internals -------------------------------------------------------------
+
+    def _fetch_node(self, page_id: int):
+        node = self._buffer.fetch(page_id)
+        if not isinstance(node, (_LeafNode, _InternalNode)):
+            raise StorageError(f"page {page_id} is not an index node")
+        return node
+
+    def _next_leaf(self, leaf: _LeafNode) -> _LeafNode | None:
+        if leaf.next_page_id is None:
+            return None
+        nxt = self._fetch_node(leaf.next_page_id)
+        assert isinstance(nxt, _LeafNode)
+        return nxt
+
+    def _insert_into(
+        self, page_id: int, okey: tuple, key: tuple, tid: TupleId
+    ) -> tuple[tuple, int] | None:
+        """Recursive insert; returns (separator, new right page) on split."""
+        node = self._store.get(page_id)
+        if isinstance(node, _LeafNode):
+            bisect.insort(
+                node.entries, (okey, key, tid), key=lambda entry: (entry[0], entry[2])
+            )
+            if len(node.entries) <= self.leaf_capacity:
+                return None
+            return self._split_leaf(node)
+        assert isinstance(node, _InternalNode)
+        position = bisect.bisect_right(node.keys, okey)
+        split = self._insert_into(node.children[position], okey, key, tid)
+        if split is None:
+            return None
+        separator, right_page_id = split
+        node.keys.insert(position, separator)
+        node.children.insert(position + 1, right_page_id)
+        if len(node.keys) <= self.internal_capacity:
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, node: _LeafNode) -> tuple[tuple, int]:
+        middle = len(node.entries) // 2
+        right = _LeafNode()
+        right.entries = node.entries[middle:]
+        node.entries = node.entries[:middle]
+        right.next_page_id = node.next_page_id
+        right.page_id = self._store.allocate_node_page(right)
+        node.next_page_id = right.page_id
+        return right.entries[0][0], right.page_id
+
+    def _split_internal(self, node: _InternalNode) -> tuple[tuple, int]:
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = _InternalNode()
+        right.keys = node.keys[middle + 1 :]
+        right.children = node.children[middle + 1 :]
+        node.keys = node.keys[:middle]
+        node.children = node.children[: middle + 1]
+        right.page_id = self._store.allocate_node_page(right)
+        return separator, right.page_id
+
+    # -- uncounted traversal for maintenance/statistics -------------------------
+
+    def _find_leaf_uncounted(self, okey: tuple) -> _LeafNode:
+        node = self._store.get(self._root_page_id)
+        while isinstance(node, _InternalNode):
+            position = bisect.bisect_left(node.keys, okey)
+            node = self._store.get(node.children[position])
+        assert isinstance(node, _LeafNode)
+        return node
+
+    def _next_leaf_uncounted(self, leaf: _LeafNode) -> _LeafNode | None:
+        if leaf.next_page_id is None:
+            return None
+        node = self._store.get(leaf.next_page_id)
+        assert isinstance(node, _LeafNode)
+        return node
+
+    def _leftmost_leaf_uncounted(self) -> _LeafNode:
+        node = self._store.get(self._root_page_id)
+        while isinstance(node, _InternalNode):
+            node = self._store.get(node.children[0])
+        assert isinstance(node, _LeafNode)
+        return node
+
+    def _iter_entries_uncounted(self) -> Iterator[tuple[tuple, tuple, TupleId]]:
+        leaf: _LeafNode | None = self._leftmost_leaf_uncounted()
+        while leaf is not None:
+            yield from leaf.entries
+            leaf = self._next_leaf_uncounted(leaf)
+
+    def _walk_nodes(self):
+        stack = [self._root_page_id]
+        while stack:
+            node = self._store.get(stack.pop())
+            yield node
+            if isinstance(node, _InternalNode):
+                stack.extend(node.children)

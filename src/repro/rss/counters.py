@@ -1,0 +1,56 @@
+"""Cost-event counters shared across the storage system.
+
+The paper's cost model is ``COST = PAGE_FETCHES + W * RSI_CALLS``.  The
+buffer pool increments :attr:`CostCounters.page_fetches` on every miss, and
+scans increment :attr:`CostCounters.rsi_calls` for every tuple returned
+across the RSI.  Benchmarks snapshot the counters around an execution to get
+the *measured* cost of a plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CostCounters:
+    """Mutable counters for the two cost events of the System R cost model."""
+
+    page_fetches: int = 0
+    rsi_calls: int = 0
+    buffer_hits: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.page_fetches = 0
+        self.rsi_calls = 0
+        self.buffer_hits = 0
+
+    def snapshot(self) -> "CounterSnapshot":
+        """An immutable copy of the current counter values."""
+        return CounterSnapshot(self.page_fetches, self.rsi_calls, self.buffer_hits)
+
+    def weighted_cost(self, w: float) -> float:
+        """Measured cost under the paper's formula with weighting factor W."""
+        return self.page_fetches + w * self.rsi_calls
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Immutable point-in-time copy of :class:`CostCounters`."""
+
+    page_fetches: int
+    rsi_calls: int
+    buffer_hits: int
+
+    def delta(self, counters: CostCounters) -> "CounterSnapshot":
+        """Events since this snapshot was taken."""
+        return CounterSnapshot(
+            counters.page_fetches - self.page_fetches,
+            counters.rsi_calls - self.rsi_calls,
+            counters.buffer_hits - self.buffer_hits,
+        )
+
+    def weighted_cost(self, w: float) -> float:
+        """Measured cost under the paper's formula for a given W."""
+        return self.page_fetches + w * self.rsi_calls

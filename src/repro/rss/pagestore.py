@@ -1,0 +1,56 @@
+"""The "disk": an allocator and owner of all pages in the system.
+
+Data pages are :class:`~repro.rss.page.Page` objects backed by real bytes.
+B-tree node pages are structured objects (see :mod:`repro.rss.btree`) that
+occupy the same page-id space, so the buffer pool accounts for index page
+fetches and data page fetches uniformly — exactly the two page populations
+the paper's cost formulas distinguish (``NINDX`` vs ``TCARD``).
+"""
+
+from __future__ import annotations
+
+from ..errors import StorageError
+from .page import Page
+
+
+class PageStore:
+    """Allocates page ids and owns page contents.
+
+    All reads must go through a :class:`~repro.rss.buffer.BufferPool`, which
+    is what makes page fetches countable; the store itself never counts.
+    """
+
+    def __init__(self) -> None:
+        self._pages: dict[int, object] = {}
+        self._next_id = 1
+
+    def allocate_data_page(self) -> Page:
+        """Create and register a fresh empty data page."""
+        page = Page(self._next_id)
+        self._pages[self._next_id] = page
+        self._next_id += 1
+        return page
+
+    def allocate_node_page(self, node: object) -> int:
+        """Register a B-tree node as a page; returns its page id."""
+        page_id = self._next_id
+        self._pages[page_id] = node
+        self._next_id += 1
+        return page_id
+
+    def get(self, page_id: int) -> object:
+        """The page object for an id; raises on unknown pages."""
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise StorageError(f"no such page {page_id}") from None
+
+    def free(self, page_id: int) -> None:
+        """Release a page id (idempotent)."""
+        self._pages.pop(page_id, None)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)

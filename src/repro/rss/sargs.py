@@ -1,0 +1,125 @@
+"""Search arguments (SARGs) evaluated below the RSI.
+
+A *sargable* predicate has the form ``column comparison-operator value``.
+SARGs are a boolean expression of such predicates in disjunctive normal
+form: an OR of AND-groups (Section 3).  Scans apply SARGs to a tuple before
+returning it, so tuples rejected by a SARG cost a page visit but **not** an
+RSI call — that asymmetry is why the optimizer's RSICARD counts only tuples
+surviving the sargable boolean factors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..datatypes import compare_values
+
+
+class CompareOp(enum.Enum):
+    """Comparison operators usable in a simple predicate."""
+
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def evaluate(self, left: object, right: object) -> bool:
+        """Apply this operator; NULL on either side yields False (unknown)."""
+        ordering = compare_values(left, right)
+        if ordering is None:
+            return False
+        if self is CompareOp.EQ:
+            return ordering == 0
+        if self is CompareOp.NE:
+            return ordering != 0
+        if self is CompareOp.LT:
+            return ordering < 0
+        if self is CompareOp.LE:
+            return ordering <= 0
+        if self is CompareOp.GT:
+            return ordering > 0
+        return ordering >= 0
+
+    def flipped(self) -> "CompareOp":
+        """The operator with operands swapped (``5 < x`` becomes ``x > 5``)."""
+        return _FLIPPED[self]
+
+    def negated(self) -> "CompareOp":
+        """The complementary operator (NOT (a < b) is a >= b)."""
+        return _NEGATED[self]
+
+
+_FLIPPED = {
+    CompareOp.EQ: CompareOp.EQ,
+    CompareOp.NE: CompareOp.NE,
+    CompareOp.LT: CompareOp.GT,
+    CompareOp.LE: CompareOp.GE,
+    CompareOp.GT: CompareOp.LT,
+    CompareOp.GE: CompareOp.LE,
+}
+
+_NEGATED = {
+    CompareOp.EQ: CompareOp.NE,
+    CompareOp.NE: CompareOp.EQ,
+    CompareOp.LT: CompareOp.GE,
+    CompareOp.LE: CompareOp.GT,
+    CompareOp.GT: CompareOp.LE,
+    CompareOp.GE: CompareOp.LT,
+}
+
+
+@dataclass(frozen=True)
+class SargPredicate:
+    """One simple predicate: ``values[column_position] op value``."""
+
+    column_position: int
+    op: CompareOp
+    value: object
+
+    def matches(self, values: tuple) -> bool:
+        """Whether a tuple's values satisfy this expression."""
+        return self.op.evaluate(values[self.column_position], self.value)
+
+    def __str__(self) -> str:
+        return f"col{self.column_position} {self.op.value} {self.value!r}"
+
+
+class Sargs:
+    """A DNF search-argument expression: OR of AND-groups of simple predicates.
+
+    An empty expression (no groups) matches everything, so scans can always
+    carry a ``Sargs`` instance.
+    """
+
+    def __init__(self, groups: list[list[SargPredicate]] | None = None):
+        self.groups = groups or []
+
+    @classmethod
+    def conjunction(cls, predicates: list[SargPredicate]) -> "Sargs":
+        """A single AND-group (the common case: conjunctive boolean factors)."""
+        return cls([list(predicates)]) if predicates else cls()
+
+    def matches(self, values: tuple) -> bool:
+        """Whether a tuple's values satisfy this expression."""
+        if not self.groups:
+            return True
+        return any(
+            all(predicate.matches(values) for predicate in group)
+            for group in self.groups
+        )
+
+    def is_empty(self) -> bool:
+        """True when nothing is stored here."""
+        return not self.groups
+
+    def __str__(self) -> str:
+        if not self.groups:
+            return "<always>"
+        rendered = [
+            " AND ".join(str(predicate) for predicate in group)
+            for group in self.groups
+        ]
+        return " OR ".join(f"({clause})" for clause in rendered)

@@ -1,0 +1,111 @@
+"""RSI scans: the tuple-at-a-time interface onto stored relations.
+
+Two scan types exist, exactly as in Section 3:
+
+- :class:`SegmentScan` examines **all** non-empty pages of a segment (tuples
+  of other relations sharing the segment still cost page touches) and
+  returns tuples of the requested relation that satisfy the SARGs.
+- :class:`IndexScan` walks B-tree leaf pages between optional start and stop
+  keys, fetching each referenced data page to return tuples in key order.
+
+Both are iterators; each yielded tuple counts as one RSI call.  Tuples
+rejected by SARGs are filtered below the interface and are *not* counted —
+this is the CPU saving that makes RSICARD (not QCARD or NCARD) the right
+multiplier for the W term of the cost formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..datatypes import DataType
+from .btree import BTree
+from .buffer import BufferPool
+from .counters import CostCounters
+from .page import Page, TupleId
+from .sargs import Sargs
+from .segment import Segment
+from .tuples import decode_tuple, record_relation_id
+
+
+class SegmentScan:
+    """Scan every page of a segment for tuples of one relation."""
+
+    def __init__(
+        self,
+        segment: Segment,
+        relation_id: int,
+        datatypes: list[DataType],
+        buffer: BufferPool,
+        counters: CostCounters,
+        sargs: Sargs | None = None,
+    ):
+        self._segment = segment
+        self._relation_id = relation_id
+        self._datatypes = datatypes
+        self._buffer = buffer
+        self._counters = counters
+        self._sargs = sargs or Sargs()
+
+    def __iter__(self) -> Iterator[tuple[TupleId, tuple]]:
+        for page_id in list(self._segment.page_ids):
+            page = self._buffer.fetch(page_id)
+            assert isinstance(page, Page)
+            for slot, record in page.records():
+                if record_relation_id(record) != self._relation_id:
+                    continue
+                values = decode_tuple(record, self._datatypes)
+                if not self._sargs.matches(values):
+                    continue
+                self._counters.rsi_calls += 1
+                yield TupleId(page_id, slot), values
+
+
+class IndexScan:
+    """Scan a relation through a B-tree index, optionally over a key range.
+
+    ``low``/``high`` are prefixes of the index key.  The scan touches index
+    leaf pages once each; data pages are fetched per matching entry, so a
+    non-clustered index may fetch the same data page repeatedly (buffer
+    permitting) — the behaviour Table 2's NCARD-vs-TCARD split models.
+    """
+
+    def __init__(
+        self,
+        index: BTree,
+        segment: Segment,
+        relation_id: int,
+        datatypes: list[DataType],
+        buffer: BufferPool,
+        counters: CostCounters,
+        low: tuple | None = None,
+        high: tuple | None = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        sargs: Sargs | None = None,
+    ):
+        self._index = index
+        self._segment = segment
+        self._relation_id = relation_id
+        self._datatypes = datatypes
+        self._buffer = buffer
+        self._counters = counters
+        self._low = low
+        self._high = high
+        self._low_inclusive = low_inclusive
+        self._high_inclusive = high_inclusive
+        self._sargs = sargs or Sargs()
+
+    def __iter__(self) -> Iterator[tuple[TupleId, tuple]]:
+        entries = self._index.scan_range(
+            self._low, self._high, self._low_inclusive, self._high_inclusive
+        )
+        for __, tid in entries:
+            page = self._buffer.fetch(tid.page_id)
+            assert isinstance(page, Page)
+            record = page.read(tid.slot)
+            values = decode_tuple(record, self._datatypes)
+            if not self._sargs.matches(values):
+                continue
+            self._counters.rsi_calls += 1
+            yield tid, values

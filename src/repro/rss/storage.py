@@ -1,0 +1,276 @@
+"""The storage engine facade: segments, tables, indexes, and maintenance.
+
+:class:`StorageEngine` owns the page store, the buffer pool, the cost
+counters, and all physical structures (segments and B-trees).  Logical
+definitions (:class:`~repro.catalog.schema.TableDef`,
+:class:`~repro.catalog.schema.IndexDef`) live in the catalog; this engine
+maps them to their physical counterparts and keeps indexes consistent with
+the data under INSERT / UPDATE / DELETE.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..catalog.schema import IndexDef, TableDef
+from ..datatypes import DataType
+from ..errors import CatalogError, IntegrityError, StorageError
+from .btree import BTree
+from .buffer import DEFAULT_BUFFER_PAGES, BufferPool
+from .counters import CostCounters
+from .page import TupleId
+from .pagestore import PageStore
+from .sargs import Sargs
+from .scan import IndexScan, SegmentScan
+from .segment import Segment
+from .tuples import encode_tuple
+
+
+class StorageEngine:
+    """Physical storage for a database instance."""
+
+    def __init__(self, buffer_pages: int = DEFAULT_BUFFER_PAGES):
+        self.counters = CostCounters()
+        self.store = PageStore()
+        self.buffer = BufferPool(self.store, self.counters, buffer_pages)
+        self._segments: dict[str, Segment] = {}
+        self._indexes: dict[str, BTree] = {}
+
+    # -- segments -------------------------------------------------------------
+
+    def create_segment(self, name: str) -> Segment:
+        """Create a new, empty segment by name."""
+        if name in self._segments:
+            raise CatalogError(f"segment {name!r} already exists")
+        segment = Segment(name, self.store, self.buffer)
+        self._segments[name] = segment
+        return segment
+
+    def segment(self, name: str) -> Segment:
+        """Look a segment up by name; raises when unknown."""
+        try:
+            return self._segments[name]
+        except KeyError:
+            raise StorageError(f"no such segment {name!r}") from None
+
+    def ensure_segment(self, name: str) -> Segment:
+        """The named segment, created on first use."""
+        if name not in self._segments:
+            return self.create_segment(name)
+        return self._segments[name]
+
+    # -- tuples -----------------------------------------------------------------
+
+    def insert(
+        self, table: TableDef, indexes: list[IndexDef], values: tuple
+    ) -> TupleId:
+        """Insert a validated tuple and maintain every index on the table."""
+        self._check_unique(table, indexes, values, exclude_tid=None)
+        record = encode_tuple(table.relation_id, values, self._datatypes(table))
+        tid = self.segment(table.segment_name).insert(record)
+        for index in indexes:
+            self.btree(index.name).insert(index.key_of(values), tid)
+        return tid
+
+    def delete(
+        self, table: TableDef, indexes: list[IndexDef], tid: TupleId, values: tuple
+    ) -> None:
+        """Remove a tuple and its index entries."""
+        self.segment(table.segment_name).delete(tid)
+        for index in indexes:
+            self.btree(index.name).delete(index.key_of(values), tid)
+
+    def update(
+        self,
+        table: TableDef,
+        indexes: list[IndexDef],
+        tid: TupleId,
+        old_values: tuple,
+        new_values: tuple,
+    ) -> TupleId:
+        """Rewrite a tuple; the TID changes only if the record had to move."""
+        self._check_unique(table, indexes, new_values, exclude_tid=tid)
+        record = encode_tuple(
+            table.relation_id, new_values, self._datatypes(table)
+        )
+        new_tid = self.segment(table.segment_name).update(tid, record)
+        for index in indexes:
+            old_key = index.key_of(old_values)
+            new_key = index.key_of(new_values)
+            if old_key != new_key or new_tid != tid:
+                btree = self.btree(index.name)
+                btree.delete(old_key, tid)
+                btree.insert(new_key, new_tid)
+        return new_tid
+
+    def read_values(self, table: TableDef, tid: TupleId) -> tuple:
+        """Decode the tuple at a TID into column values."""
+        from .tuples import decode_tuple
+
+        record = self.segment(table.segment_name).read(tid)
+        return decode_tuple(record, self._datatypes(table))
+
+    # -- indexes -----------------------------------------------------------------
+
+    def create_index(self, index: IndexDef, table: TableDef) -> BTree:
+        """Create a B-tree and bulk-load it from the table's current tuples.
+
+        Index builds are DDL: they run with cost counting suppressed so they
+        do not pollute query measurements.
+        """
+        if index.name in self._indexes:
+            raise CatalogError(f"index {index.name!r} already exists")
+        key_types = [
+            table.column(name).datatype for name in index.column_names
+        ]
+        btree = BTree(self.store, self.buffer, key_types)
+        self._indexes[index.name] = btree
+        with self.suppress_counting():
+            for tid, values in self._raw_scan(table):
+                key = index.key_of(values)
+                if index.unique and None not in key and btree.contains_key(key):
+                    del self._indexes[index.name]
+                    raise IntegrityError(
+                        f"duplicate key {key!r} while building unique index "
+                        f"{index.name!r}"
+                    )
+                btree.insert(key, tid)
+        return btree
+
+    def drop_index(self, name: str) -> None:
+        """Forget an index's physical B-tree."""
+        self._indexes.pop(name, None)
+
+    def btree(self, index_name: str) -> BTree:
+        """The physical B-tree behind an index name."""
+        try:
+            return self._indexes[index_name]
+        except KeyError:
+            raise StorageError(f"no such index {index_name!r}") from None
+
+    def cluster_table(
+        self, table: TableDef, cluster_index: IndexDef, all_indexes: list[IndexDef]
+    ) -> None:
+        """Physically reorganize a table into ``cluster_index`` key order.
+
+        This realizes the paper's clustered-index property: after the
+        reorganization, tuples adjacent in the index are adjacent on data
+        pages, so an index scan touches each data page only once.  The table
+        gets a fresh private tail of pages in its segment; all indexes on
+        the table are rebuilt with the new TIDs.
+        """
+        from .btree import orderable_key
+
+        with self.suppress_counting():
+            rows = [values for __, values in self._raw_scan(table)]
+            rows.sort(key=lambda values: orderable_key(cluster_index.key_of(values)))
+            segment = self.segment(table.segment_name)
+            for tid, __ in list(self._raw_scan(table)):
+                segment.delete(tid)
+            segment.release_empty_pages()
+            for index in all_indexes:
+                key_types = [
+                    table.column(name).datatype for name in index.column_names
+                ]
+                self._indexes[index.name] = BTree(
+                    self.store, self.buffer, key_types
+                )
+            datatypes = self._datatypes(table)
+            for values in rows:
+                record = encode_tuple(table.relation_id, values, datatypes)
+                tid = segment.insert(record, append_only=True)
+                for index in all_indexes:
+                    self.btree(index.name).insert(index.key_of(values), tid)
+
+    # -- scans ------------------------------------------------------------------
+
+    def segment_scan(
+        self, table: TableDef, sargs: Sargs | None = None
+    ) -> SegmentScan:
+        """An RSI segment scan over one relation."""
+        return SegmentScan(
+            self.segment(table.segment_name),
+            table.relation_id,
+            self._datatypes(table),
+            self.buffer,
+            self.counters,
+            sargs,
+        )
+
+    def index_scan(
+        self,
+        index: IndexDef,
+        table: TableDef,
+        low: tuple | None = None,
+        high: tuple | None = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        sargs: Sargs | None = None,
+    ) -> IndexScan:
+        """An RSI index scan with optional key bounds and SARGs."""
+        return IndexScan(
+            self.btree(index.name),
+            self.segment(table.segment_name),
+            table.relation_id,
+            self._datatypes(table),
+            self.buffer,
+            self.counters,
+            low,
+            high,
+            low_inclusive,
+            high_inclusive,
+            sargs,
+        )
+
+    # -- measurement helpers -------------------------------------------------------
+
+    @contextmanager
+    def suppress_counting(self):
+        """Run maintenance work without perturbing the cost counters."""
+        saved = self.counters.snapshot()
+        try:
+            yield
+        finally:
+            self.counters.page_fetches = saved.page_fetches
+            self.counters.rsi_calls = saved.rsi_calls
+            self.counters.buffer_hits = saved.buffer_hits
+
+    def cold_cache(self) -> None:
+        """Empty the buffer pool so the next measurement starts cold."""
+        self.buffer.clear()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _datatypes(self, table: TableDef) -> list[DataType]:
+        return [column.datatype for column in table.columns]
+
+    def _raw_scan(self, table: TableDef):
+        return iter(
+            SegmentScan(
+                self.segment(table.segment_name),
+                table.relation_id,
+                self._datatypes(table),
+                self.buffer,
+                self.counters,
+            )
+        )
+
+    def _check_unique(
+        self,
+        table: TableDef,
+        indexes: list[IndexDef],
+        values: tuple,
+        exclude_tid: TupleId | None,
+    ) -> None:
+        for index in indexes:
+            if not index.unique:
+                continue
+            key = index.key_of(values)
+            if None in key:
+                continue  # SQL-style: NULLs never collide
+            btree = self.btree(index.name)
+            for __, tid in btree.scan_range(key, key):
+                if tid != exclude_tid:
+                    raise IntegrityError(
+                        f"duplicate key {key!r} for unique index {index.name!r}"
+                    )

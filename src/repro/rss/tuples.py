@@ -1,0 +1,90 @@
+"""Byte-level tuple serialization.
+
+A stored tuple is a contiguous byte record inside a slotted page:
+
+====================  =====================================================
+bytes                 meaning
+====================  =====================================================
+``u16``               relation id (segments interleave relations, so every
+                      record is tagged with the relation it belongs to)
+``ceil(ncols/8)``     null bitmap, bit *i* set when column *i* is NULL
+per column            8-byte big-endian signed int / IEEE double, or a
+                      2-byte length followed by UTF-8 bytes for VARCHAR
+====================  =====================================================
+
+NULL columns occupy no payload bytes beyond their bitmap bit.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..datatypes import DataType, TypeKind
+from ..errors import StorageError
+
+_U16 = struct.Struct(">H")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+
+def encode_tuple(relation_id: int, values: tuple, datatypes: list[DataType]) -> bytes:
+    """Serialize ``values`` (already validated) into a page record."""
+    if len(values) != len(datatypes):
+        raise StorageError(
+            f"tuple has {len(values)} values but schema has {len(datatypes)}"
+        )
+    bitmap_size = (len(datatypes) + 7) // 8
+    bitmap = bytearray(bitmap_size)
+    parts: list[bytes] = []
+    for position, (value, datatype) in enumerate(zip(values, datatypes)):
+        if value is None:
+            bitmap[position // 8] |= 1 << (position % 8)
+            continue
+        if datatype.kind is TypeKind.INTEGER:
+            parts.append(_I64.pack(value))
+        elif datatype.kind is TypeKind.FLOAT:
+            parts.append(_F64.pack(value))
+        else:
+            raw = value.encode("utf-8")
+            parts.append(_U16.pack(len(raw)))
+            parts.append(raw)
+    return _U16.pack(relation_id) + bytes(bitmap) + b"".join(parts)
+
+
+def decode_tuple(record: bytes, datatypes: list[DataType]) -> tuple:
+    """Deserialize a page record produced by :func:`encode_tuple`.
+
+    The caller is expected to have matched the relation id already (use
+    :func:`record_relation_id` for that); this returns only column values.
+    """
+    bitmap_size = (len(datatypes) + 7) // 8
+    offset = 2 + bitmap_size
+    bitmap = record[2 : 2 + bitmap_size]
+    values: list[object] = []
+    for position, datatype in enumerate(datatypes):
+        if bitmap[position // 8] & (1 << (position % 8)):
+            values.append(None)
+            continue
+        if datatype.kind is TypeKind.INTEGER:
+            values.append(_I64.unpack_from(record, offset)[0])
+            offset += 8
+        elif datatype.kind is TypeKind.FLOAT:
+            values.append(_F64.unpack_from(record, offset)[0])
+            offset += 8
+        else:
+            (length,) = _U16.unpack_from(record, offset)
+            offset += 2
+            values.append(record[offset : offset + length].decode("utf-8"))
+            offset += length
+    return tuple(values)
+
+
+def record_relation_id(record: bytes) -> int:
+    """The relation id tag at the front of a stored record."""
+    return _U16.unpack_from(record, 0)[0]
+
+
+def max_record_size(datatypes: list[DataType]) -> int:
+    """Worst-case record size for a schema; used to reject impossible tuples."""
+    bitmap_size = (len(datatypes) + 7) // 8
+    return 2 + bitmap_size + sum(datatype.max_encoded_size() for datatype in datatypes)

@@ -1,0 +1,39 @@
+"""Shared external-sort arithmetic.
+
+Both the optimizer's cost model and the engine's external sorter need the
+same answers to "how many rows fit in the sort workspace?" and "how many
+merge passes will this input need?", so the formulas live here, neutral of
+either package.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .rss.page import PAGE_SIZE
+
+
+def temp_rows_per_page(row_bytes: int) -> int:
+    """Rows of ``row_bytes`` per temporary-list page (slot overhead incl.)."""
+    return max(1, (PAGE_SIZE - 8) // max(1, row_bytes + 4))
+
+
+def workspace_rows(buffer_pages: int, row_bytes: int) -> int:
+    """Rows the in-memory sort workspace holds (a buffer's worth of pages)."""
+    return max(2, buffer_pages * temp_rows_per_page(row_bytes))
+
+
+def merge_fan_in(buffer_pages: int) -> int:
+    """Runs merged at a time: one buffer page per input run, one for output."""
+    return max(2, buffer_pages - 1)
+
+
+def merge_passes(rows: float, buffer_pages: int, row_bytes: int) -> int:
+    """Merge passes after run generation (0 when one run suffices)."""
+    if rows <= 0:
+        return 0
+    runs = math.ceil(rows / workspace_rows(buffer_pages, row_bytes))
+    if runs <= 1:
+        return 0
+    fan_in = merge_fan_in(buffer_pages)
+    return max(1, math.ceil(math.log(runs) / math.log(fan_in)))

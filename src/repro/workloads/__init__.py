@@ -1,0 +1,35 @@
+"""Workloads: schemas, datasets, and query generators for the experiments.
+
+- :mod:`repro.workloads.empdept` — the paper's own EMP / DEPT / JOB example
+  (Figure 1), parameterized by size.
+- :mod:`repro.workloads.generator` — synthetic schemas, data distributions,
+  and randomized join queries for the plan-quality and scaling experiments.
+"""
+
+from .empdept import FIG1_QUERY, build_empdept, load_rows
+from .generator import (
+    ColumnSpec,
+    IndexSpec,
+    TableSpec,
+    build_database,
+    chain_join_query,
+    random_chain_spec,
+    random_select_query,
+    random_star_spec,
+    star_join_query,
+)
+
+__all__ = [
+    "ColumnSpec",
+    "FIG1_QUERY",
+    "IndexSpec",
+    "TableSpec",
+    "build_database",
+    "build_empdept",
+    "chain_join_query",
+    "load_rows",
+    "random_chain_spec",
+    "random_select_query",
+    "random_star_spec",
+    "star_join_query",
+]

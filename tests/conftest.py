@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.workloads import build_empdept
+
+
+@pytest.fixture
+def db() -> Database:
+    """A fresh, empty database."""
+    return Database()
+
+
+@pytest.fixture(scope="module")
+def empdept() -> Database:
+    """The paper's EMP/DEPT/JOB database (module-scoped; treat as read-only)."""
+    return build_empdept(employees=400, departments=20, jobs=5, seed=11)
+
+
+@pytest.fixture(scope="module")
+def empdept_clustered() -> Database:
+    """EMP/DEPT/JOB with a clustered EMP.DNO index (read-only)."""
+    return build_empdept(
+        employees=400, departments=20, jobs=5, seed=11, clustered_emp_dno=True
+    )

@@ -1,0 +1,163 @@
+"""Unit tests for single-relation access path enumeration."""
+
+import pytest
+
+from repro.catalog import Catalog, IndexStats, RelationStats
+from repro.datatypes import INTEGER, varchar
+from repro.optimizer.access_paths import enumerate_paths, probe_factor
+from repro.optimizer.binder import Binder
+from repro.optimizer.cost import CostModel
+from repro.optimizer.orders import InterestingOrders, UNORDERED
+from repro.optimizer.plan import IndexAccess, SegmentAccess
+from repro.optimizer.predicates import (
+    join_factor_as_sarg,
+    partition_factors,
+    to_cnf_factors,
+)
+from repro.optimizer.selectivity import SelectivityEstimator
+from repro.sql import parse_statement
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.create_table(
+        "EMP",
+        [("ENO", INTEGER), ("NAME", varchar(16)), ("DNO", INTEGER), ("SAL", INTEGER)],
+    )
+    catalog.create_table("DEPT", [("DNO", INTEGER), ("LOC", varchar(16))])
+    catalog.create_index("EMP_ENO", "EMP", ["ENO"], unique=True)
+    catalog.create_index("EMP_DNO", "EMP", ["DNO"])
+    catalog.set_relation_stats("EMP", RelationStats(5000, 60, 1.0))
+    catalog.set_relation_stats("DEPT", RelationStats(50, 2, 1.0))
+    catalog.set_index_stats("EMP_ENO", IndexStats(5000, 15, 1, 5000))
+    catalog.set_index_stats("EMP_DNO", IndexStats(50, 12, 1, 50))
+    return catalog
+
+
+def paths_for(catalog, where=None, tables="EMP"):
+    sql = f"SELECT * FROM {tables}"
+    if where:
+        sql += f" WHERE {where}"
+    block = Binder(catalog).bind(parse_statement(sql))
+    factors = to_cnf_factors(block.where, block)
+    orders = InterestingOrders(block, factors)
+    estimator = SelectivityEstimator(catalog)
+    model = CostModel(catalog, w=0.05, buffer_pages=128)
+    partition = partition_factors(factors, block.aliases)
+    candidates = enumerate_paths(
+        "EMP",
+        block.alias_table("EMP"),
+        partition.local["EMP"],
+        catalog,
+        estimator,
+        model,
+        orders,
+    )
+    return block, factors, candidates, model
+
+
+class TestEnumeration:
+    def test_segment_scan_plus_one_per_index(self, catalog):
+        __, ___, candidates, ____ = paths_for(catalog)
+        assert len(candidates) == 3
+        kinds = [type(candidate.node.access) for candidate in candidates]
+        assert kinds.count(SegmentAccess) == 1
+        assert kinds.count(IndexAccess) == 2
+
+    def test_unique_equal_path_is_cheapest(self, catalog):
+        __, ___, candidates, model = paths_for(catalog, "ENO = 17")
+        best = min(candidates, key=lambda c: model.total(c.node.cost))
+        assert isinstance(best.node.access, IndexAccess)
+        assert best.node.access.index.name == "EMP_ENO"
+        assert best.node.cost.pages == 2.0
+        assert best.node.rows <= 1.0
+
+    def test_matching_index_beats_segment_scan_when_selective(self, catalog):
+        __, ___, candidates, model = paths_for(catalog, "DNO = 9")
+        by_cost = sorted(candidates, key=lambda c: model.total(c.node.cost))
+        assert isinstance(by_cost[0].node.access, IndexAccess)
+        assert by_cost[0].node.access.index.name == "EMP_DNO"
+
+    def test_index_bounds_from_equality(self, catalog):
+        __, ___, candidates, ____ = paths_for(catalog, "DNO = 9")
+        access = next(
+            c.node.access
+            for c in candidates
+            if isinstance(c.node.access, IndexAccess)
+            and c.node.access.index.name == "EMP_DNO"
+        )
+        assert len(access.low) == 1 and len(access.high) == 1
+        assert access.low_inclusive and access.high_inclusive
+
+    def test_index_bounds_from_range(self, catalog):
+        __, ___, candidates, ____ = paths_for(catalog, "DNO > 9")
+        access = next(
+            c.node.access
+            for c in candidates
+            if isinstance(c.node.access, IndexAccess)
+            and c.node.access.index.name == "EMP_DNO"
+        )
+        assert len(access.low) == 1
+        assert not access.low_inclusive
+        assert not access.high
+
+    def test_segment_scan_is_unordered(self, catalog):
+        __, ___, candidates, ____ = paths_for(catalog)
+        seg = next(
+            c for c in candidates if isinstance(c.node.access, SegmentAccess)
+        )
+        assert seg.order_key == UNORDERED
+
+    def test_non_sargable_becomes_residual(self, catalog):
+        __, ___, candidates, ____ = paths_for(catalog, "NAME LIKE 'A%'")
+        for candidate in candidates:
+            assert len(candidate.node.residual) == 1
+            assert not candidate.node.sargs
+
+    def test_rsicard_excludes_non_sargable(self, catalog):
+        # RSICARD uses only sargable factors; rows estimate uses all.
+        __, ___, candidates, ____ = paths_for(
+            catalog, "DNO = 9 AND NAME LIKE 'A%'"
+        )
+        seg = next(
+            c for c in candidates if isinstance(c.node.access, SegmentAccess)
+        )
+        assert seg.node.cost.rsi == pytest.approx(5000 / 50)
+        assert seg.node.rows == pytest.approx(5000 / 50 * 0.1)
+
+
+class TestProbePaths:
+    def test_join_probe_enables_index(self, catalog):
+        block = Binder(catalog).bind(
+            parse_statement(
+                "SELECT * FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO"
+            )
+        )
+        factors = to_cnf_factors(block.where, block)
+        join_factor = factors[0]
+        sarg = join_factor_as_sarg(join_factor, "EMP")
+        probes = [probe_factor(join_factor, sarg)]
+        orders = InterestingOrders(block, factors)
+        estimator = SelectivityEstimator(catalog)
+        model = CostModel(catalog, w=0.05, buffer_pages=128)
+        candidates = enumerate_paths(
+            "EMP",
+            block.alias_table("EMP"),
+            [],
+            catalog,
+            estimator,
+            model,
+            orders,
+            probe_factors=probes,
+        )
+        probed = next(
+            c
+            for c in candidates
+            if isinstance(c.node.access, IndexAccess)
+            and c.node.access.index.name == "EMP_DNO"
+        )
+        # The probe bounds the index with the outer column's value.
+        assert len(probed.node.access.low) == 1
+        # Matching 1/50 of (NINDX + TCARD) pages.
+        assert probed.node.cost.pages == pytest.approx((12 + 60) / 50)

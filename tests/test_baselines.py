@@ -1,0 +1,106 @@
+"""Tests for the baseline planners and plan-space enumeration."""
+
+import pytest
+
+from repro.baselines import (
+    ExhaustivePlanner,
+    GreedyPlanner,
+    NaivePlanner,
+    RandomPlanner,
+)
+from repro.optimizer.binder import Binder
+from repro.optimizer.plan import ScanNode, SegmentAccess, walk_plan
+from repro.sql import parse_statement
+from repro.workloads import FIG1_QUERY
+
+TWO_WAY = "SELECT NAME, DNAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO AND LOC = 'NYC'"
+
+
+def bind(db, sql):
+    return Binder(db.catalog).bind(parse_statement(sql))
+
+
+@pytest.fixture(scope="module")
+def reference_rows(empdept):
+    return {
+        FIG1_QUERY: sorted(empdept.execute(FIG1_QUERY).rows),
+        TWO_WAY: sorted(empdept.execute(TWO_WAY).rows),
+    }
+
+
+class TestPlannersAgreeOnResults:
+    @pytest.mark.parametrize("sql", [FIG1_QUERY, TWO_WAY])
+    def test_greedy(self, empdept, reference_rows, sql):
+        planner = GreedyPlanner(empdept.optimizer(), empdept.catalog)
+        planned = planner.plan_block(bind(empdept, sql))
+        rows = sorted(empdept.executor().execute(planned).rows)
+        assert rows == reference_rows[sql]
+
+    @pytest.mark.parametrize("sql", [FIG1_QUERY, TWO_WAY])
+    def test_naive(self, empdept, reference_rows, sql):
+        planner = NaivePlanner(empdept.optimizer(), empdept.catalog)
+        planned = planner.plan_block(bind(empdept, sql))
+        rows = sorted(empdept.executor().execute(planned).rows)
+        assert rows == reference_rows[sql]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_seeds(self, empdept, reference_rows, seed):
+        planner = RandomPlanner(empdept.optimizer(), empdept.catalog, seed=seed)
+        planned = planner.plan_block(bind(empdept, FIG1_QUERY))
+        rows = sorted(empdept.executor().execute(planned).rows)
+        assert rows == reference_rows[FIG1_QUERY]
+
+
+class TestNaiveShape:
+    def test_only_segment_scans_and_nested_loops(self, empdept):
+        planner = NaivePlanner(empdept.optimizer(), empdept.catalog)
+        planned = planner.plan_block(bind(empdept, FIG1_QUERY))
+        for node in walk_plan(planned.root):
+            if isinstance(node, ScanNode):
+                assert isinstance(node.access, SegmentAccess)
+
+    def test_naive_costs_at_least_optimizer(self, empdept):
+        optimizer = empdept.optimizer()
+        chosen = optimizer.plan_block(bind(empdept, FIG1_QUERY))
+        naive = NaivePlanner(optimizer, empdept.catalog).plan_block(
+            bind(empdept, FIG1_QUERY)
+        )
+        assert naive.estimated_total() >= chosen.estimated_total()
+
+
+class TestExhaustive:
+    def test_enumerates_many_plans(self, empdept):
+        planner = ExhaustivePlanner(empdept.optimizer(), empdept.catalog)
+        statements = planner.enumerate_statements(bind(empdept, TWO_WAY))
+        assert len(statements) > 5
+
+    def test_all_plans_same_result(self, empdept, reference_rows):
+        planner = ExhaustivePlanner(empdept.optimizer(), empdept.catalog)
+        statements = planner.enumerate_statements(bind(empdept, TWO_WAY))
+        executor = empdept.executor()
+        for planned in statements:
+            rows = sorted(executor.execute(planned).rows)
+            assert rows == reference_rows[TWO_WAY]
+
+    def test_max_plans_cap(self, empdept):
+        planner = ExhaustivePlanner(empdept.optimizer(), empdept.catalog)
+        statements = planner.enumerate_statements(
+            bind(empdept, FIG1_QUERY), max_plans=10
+        )
+        assert len(statements) == 10
+
+    def test_plan_count_estimate_grows(self, empdept):
+        planner = ExhaustivePlanner(empdept.optimizer(), empdept.catalog)
+        two = planner.plan_count_estimate(bind(empdept, TWO_WAY))
+        three = planner.plan_count_estimate(bind(empdept, FIG1_QUERY))
+        assert three > two
+
+
+class TestRandomDeterminism:
+    def test_same_seed_same_plan(self, empdept):
+        plans = []
+        for __ in range(2):
+            planner = RandomPlanner(empdept.optimizer(), empdept.catalog, seed=9)
+            planned = planner.plan_block(bind(empdept, FIG1_QUERY))
+            plans.append(planned.estimated_total())
+        assert plans[0] == plans[1]

@@ -1,0 +1,191 @@
+"""Unit tests for name resolution and semantic checking."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.datatypes import FLOAT, INTEGER, varchar
+from repro.errors import SemanticError
+from repro.optimizer.binder import Binder
+from repro.optimizer.bound import AggregateRef, BoundColumn, BoundSubquery
+from repro.sql import ast, parse_statement
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.create_table(
+        "EMP",
+        [
+            ("ENO", INTEGER),
+            ("NAME", varchar(20)),
+            ("DNO", INTEGER),
+            ("SAL", FLOAT),
+            ("MANAGER", INTEGER),
+        ],
+    )
+    catalog.create_table(
+        "DEPT", [("DNO", INTEGER), ("DNAME", varchar(20)), ("LOC", varchar(20))]
+    )
+    return catalog
+
+
+def bind(catalog, sql):
+    return Binder(catalog).bind(parse_statement(sql))
+
+
+class TestResolution:
+    def test_unqualified_column(self, catalog):
+        block = bind(catalog, "SELECT NAME FROM EMP")
+        column = block.select_exprs[0]
+        assert isinstance(column, BoundColumn)
+        assert (column.alias, column.position) == ("EMP", 1)
+
+    def test_qualified_column(self, catalog):
+        block = bind(catalog, "SELECT E.SAL FROM EMP E")
+        column = block.select_exprs[0]
+        assert column.alias == "E"
+        assert column.datatype == FLOAT
+
+    def test_star_expansion(self, catalog):
+        block = bind(catalog, "SELECT * FROM EMP, DEPT")
+        assert len(block.select_exprs) == 8
+        assert block.output_names[:2] == ["ENO", "NAME"]
+
+    def test_ambiguous_column(self, catalog):
+        with pytest.raises(SemanticError, match="ambiguous"):
+            bind(catalog, "SELECT DNO FROM EMP, DEPT")
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(SemanticError, match="unknown column"):
+            bind(catalog, "SELECT NOPE FROM EMP")
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(SemanticError, match="unknown table"):
+            bind(catalog, "SELECT * FROM NOPE")
+
+    def test_duplicate_alias(self, catalog):
+        with pytest.raises(SemanticError, match="duplicate alias"):
+            bind(catalog, "SELECT * FROM EMP, EMP")
+
+    def test_self_join_aliases(self, catalog):
+        block = bind(catalog, "SELECT X.NAME FROM EMP X, EMP Y WHERE X.ENO = Y.MANAGER")
+        assert {entry.alias for entry in block.tables} == {"X", "Y"}
+
+
+class TestTypes:
+    def test_type_mismatch_rejected(self, catalog):
+        with pytest.raises(SemanticError, match="type mismatch"):
+            bind(catalog, "SELECT * FROM EMP WHERE NAME = 5")
+
+    def test_numeric_cross_type_ok(self, catalog):
+        bind(catalog, "SELECT * FROM EMP WHERE SAL > 100")
+        bind(catalog, "SELECT * FROM EMP WHERE ENO = 1.5")
+
+    def test_arithmetic_on_string_rejected(self, catalog):
+        with pytest.raises(SemanticError):
+            bind(catalog, "SELECT NAME + 1 FROM EMP")
+
+    def test_like_on_number_rejected(self, catalog):
+        with pytest.raises(SemanticError):
+            bind(catalog, "SELECT * FROM EMP WHERE SAL LIKE 'x%'")
+
+
+class TestAggregates:
+    def test_aggregate_collected_and_rewritten(self, catalog):
+        block = bind(catalog, "SELECT AVG(SAL), COUNT(*) FROM EMP")
+        assert isinstance(block.select_exprs[0], AggregateRef)
+        assert [call.name for call in block.aggregates] == ["AVG", "COUNT"]
+
+    def test_identical_aggregates_deduplicated(self, catalog):
+        block = bind(catalog, "SELECT AVG(SAL), AVG(SAL) FROM EMP")
+        assert len(block.aggregates) == 1
+        assert block.select_exprs[0] == block.select_exprs[1]
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(SemanticError):
+            bind(catalog, "SELECT NAME FROM EMP WHERE AVG(SAL) > 5")
+
+    def test_plain_column_needs_group_by(self, catalog):
+        with pytest.raises(SemanticError):
+            bind(catalog, "SELECT NAME, AVG(SAL) FROM EMP")
+
+    def test_group_column_allowed(self, catalog):
+        block = bind(catalog, "SELECT DNO, AVG(SAL) FROM EMP GROUP BY DNO")
+        assert block.is_aggregate
+
+    def test_having_without_grouping_rejected(self, catalog):
+        with pytest.raises(SemanticError):
+            bind(catalog, "SELECT NAME FROM EMP HAVING NAME = 'X'")
+
+    def test_order_by_non_group_column_rejected(self, catalog):
+        with pytest.raises(SemanticError):
+            bind(catalog, "SELECT DNO, AVG(SAL) FROM EMP GROUP BY DNO ORDER BY SAL")
+
+    def test_avg_of_string_rejected(self, catalog):
+        with pytest.raises(SemanticError):
+            bind(catalog, "SELECT AVG(NAME) FROM EMP")
+
+
+class TestSubqueries:
+    def test_uncorrelated_subquery(self, catalog):
+        block = bind(
+            catalog,
+            "SELECT NAME FROM EMP WHERE SAL > (SELECT AVG(SAL) FROM EMP)",
+        )
+        assert len(block.subqueries) == 1
+        sub = block.subqueries[0]
+        assert sub.scalar
+        assert not sub.block.is_correlated
+        assert not block.is_correlated
+
+    def test_correlated_subquery(self, catalog):
+        block = bind(
+            catalog,
+            "SELECT NAME FROM EMP X WHERE SAL > "
+            "(SELECT SAL FROM EMP WHERE ENO = X.MANAGER)",
+        )
+        sub = block.subqueries[0]
+        assert sub.block.is_correlated
+        corr = sub.block.correlated_columns[0]
+        assert corr.alias == "X"
+        assert corr.column_name == "MANAGER"
+        # The outer block itself is not correlated to anything above it.
+        assert not block.is_correlated
+
+    def test_correlation_skips_intermediate_block(self, catalog):
+        block = bind(
+            catalog,
+            "SELECT NAME FROM EMP X WHERE SAL > "
+            "(SELECT SAL FROM EMP WHERE ENO = "
+            "(SELECT MANAGER FROM EMP WHERE ENO = X.MANAGER))",
+        )
+        middle = block.subqueries[0].block
+        innermost = middle.subqueries[0].block
+        # The innermost references level 1, so the middle block must also be
+        # treated as correlated (re-evaluated per level-1 candidate tuple).
+        assert innermost.is_correlated
+        assert middle.is_correlated
+
+    def test_in_subquery(self, catalog):
+        block = bind(
+            catalog,
+            "SELECT NAME FROM EMP WHERE DNO IN "
+            "(SELECT DNO FROM DEPT WHERE LOC = 'DENVER')",
+        )
+        sub = block.subqueries[0]
+        assert not sub.scalar
+
+    def test_subquery_must_select_one_column(self, catalog):
+        with pytest.raises(SemanticError):
+            bind(
+                catalog,
+                "SELECT NAME FROM EMP WHERE DNO IN (SELECT DNO, LOC FROM DEPT)",
+            )
+
+    def test_group_by_must_be_local(self, catalog):
+        with pytest.raises(SemanticError):
+            bind(
+                catalog,
+                "SELECT NAME FROM EMP X WHERE SAL > "
+                "(SELECT AVG(SAL) FROM EMP GROUP BY X.DNO)",
+            )

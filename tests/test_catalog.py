@@ -1,0 +1,150 @@
+"""Unit tests for the catalog and statistics collection."""
+
+import pytest
+
+from repro.catalog import Catalog, RelationStats, collect_statistics
+from repro.datatypes import INTEGER, varchar
+from repro.errors import CatalogError, SemanticError
+from repro.rss import StorageEngine
+
+
+def make_catalog():
+    catalog = Catalog()
+    catalog.create_table(
+        "EMP", [("ENO", INTEGER), ("NAME", varchar(20)), ("DNO", INTEGER)]
+    )
+    return catalog
+
+
+class TestTables:
+    def test_create_and_lookup(self):
+        catalog = make_catalog()
+        table = catalog.table("emp")  # case-insensitive
+        assert table.name == "EMP"
+        assert table.column_names == ["ENO", "NAME", "DNO"]
+
+    def test_relation_ids_distinct(self):
+        catalog = make_catalog()
+        dept = catalog.create_table("DEPT", [("DNO", INTEGER)])
+        assert dept.relation_id != catalog.table("EMP").relation_id
+
+    def test_duplicate_table_rejected(self):
+        catalog = make_catalog()
+        with pytest.raises(CatalogError):
+            catalog.create_table("EMP", [("X", INTEGER)])
+
+    def test_unknown_table(self):
+        with pytest.raises(SemanticError):
+            make_catalog().table("NOPE")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            Catalog().create_table("T", [("A", INTEGER), ("A", INTEGER)])
+
+    def test_drop_table_removes_indexes(self):
+        catalog = make_catalog()
+        catalog.create_index("I", "EMP", ["DNO"])
+        catalog.drop_table("EMP")
+        assert not catalog.has_table("EMP")
+        with pytest.raises(CatalogError):
+            catalog.index("I")
+
+    def test_column_position(self):
+        table = make_catalog().table("EMP")
+        assert table.column_position("DNO") == 2
+        with pytest.raises(SemanticError):
+            table.column_position("NOPE")
+
+
+class TestIndexes:
+    def test_create_index(self):
+        catalog = make_catalog()
+        index = catalog.create_index("EMP_DNO", "EMP", ["DNO"])
+        assert index.key_positions == [2]
+        assert catalog.indexes_on("EMP") == [index]
+
+    def test_duplicate_index_rejected(self):
+        catalog = make_catalog()
+        catalog.create_index("I", "EMP", ["DNO"])
+        with pytest.raises(CatalogError):
+            catalog.create_index("I", "EMP", ["ENO"])
+
+    def test_second_clustered_index_rejected(self):
+        catalog = make_catalog()
+        catalog.create_index("I1", "EMP", ["DNO"], clustered=True)
+        with pytest.raises(CatalogError):
+            catalog.create_index("I2", "EMP", ["ENO"], clustered=True)
+
+    def test_index_on_column_uses_first_key_column(self):
+        catalog = make_catalog()
+        composite = catalog.create_index("I", "EMP", ["DNO", "ENO"])
+        assert catalog.index_on_column("EMP", "DNO") is composite
+        assert catalog.index_on_column("EMP", "ENO") is None
+
+    def test_index_key_extraction(self):
+        catalog = make_catalog()
+        index = catalog.create_index("I", "EMP", ["DNO", "ENO"])
+        assert index.key_of((7, "x", 42)) == (42, 7)
+
+    def test_drop_index(self):
+        catalog = make_catalog()
+        catalog.create_index("I", "EMP", ["DNO"])
+        catalog.drop_index("I")
+        assert catalog.indexes_on("EMP") == []
+
+
+class TestStatistics:
+    def make_loaded(self, rows=300, groups=30):
+        catalog = make_catalog()
+        engine = StorageEngine()
+        table = catalog.table("EMP")
+        engine.ensure_segment(table.segment_name)
+        index = catalog.create_index("EMP_DNO", "EMP", ["DNO"])
+        engine.create_index(index, table)
+        for i in range(rows):
+            engine.insert(table, [index], (i, f"name{i}", i % groups))
+        return catalog, engine, table
+
+    def test_relation_stats(self):
+        catalog, engine, table = self.make_loaded()
+        collect_statistics(catalog, engine)
+        stats = catalog.relation_stats("EMP")
+        assert stats.ncard == 300
+        assert stats.tcard >= 1
+        assert stats.fraction == pytest.approx(1.0)
+
+    def test_index_stats(self):
+        catalog, engine, __ = self.make_loaded()
+        collect_statistics(catalog, engine)
+        stats = catalog.index_stats("EMP_DNO")
+        assert stats.icard == 30
+        assert stats.nindx >= 1
+        assert stats.low_key == 0
+        assert stats.high_key == 29
+
+    def test_missing_stats_is_none(self):
+        catalog = make_catalog()
+        assert catalog.relation_stats("EMP") is None
+
+    def test_stats_refresh_after_dml(self):
+        catalog, engine, table = self.make_loaded()
+        collect_statistics(catalog, engine)
+        tid = engine.insert(table, catalog.indexes_on("EMP"), (999, "new", 5))
+        # Stats are NOT auto-updated (the paper's explicit design choice).
+        assert catalog.relation_stats("EMP").ncard == 300
+        collect_statistics(catalog, engine, "EMP")
+        assert catalog.relation_stats("EMP").ncard == 301
+
+    def test_collection_does_not_perturb_counters(self):
+        catalog, engine, __ = self.make_loaded()
+        engine.counters.reset()
+        collect_statistics(catalog, engine)
+        assert engine.counters.page_fetches == 0
+        assert engine.counters.rsi_calls == 0
+
+    def test_clear_statistics(self):
+        catalog, engine, __ = self.make_loaded()
+        collect_statistics(catalog, engine)
+        catalog.clear_statistics()
+        assert catalog.relation_stats("EMP") is None
+        assert catalog.index_stats("EMP_DNO") is None

@@ -1,0 +1,124 @@
+"""Tests for the interactive SQL shell."""
+
+import io
+
+import pytest
+
+from repro.cli import Shell, format_table
+
+
+def run_shell(lines, db=None):
+    out = io.StringIO()
+    shell = Shell(db=db, out=out)
+    shell.run(lines)
+    return shell, out.getvalue()
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["A", "LONGNAME"], [(1, "x"), (22, "yy")])
+        lines = text.splitlines()
+        assert lines[0] == "A  | LONGNAME"
+        assert lines[2] == "1  | x       "
+
+    def test_null_rendering(self):
+        text = format_table(["A"], [(None,)])
+        assert "NULL" in text
+
+    def test_row_limit(self):
+        text = format_table(["A"], [(i,) for i in range(150)], limit=100)
+        assert "(50 more rows)" in text
+
+
+class TestStatements:
+    def test_full_session(self):
+        __, output = run_shell(
+            [
+                "CREATE TABLE T (A INTEGER, B VARCHAR(8));",
+                "INSERT INTO T VALUES (1, 'one'), (2, 'two');",
+                "SELECT * FROM T;",
+            ]
+        )
+        assert "CREATE TABLE: ok" in output
+        assert "INSERT: 2 row(s)" in output
+        assert "one" in output
+        assert "(2 row(s))" in output
+
+    def test_multiline_statement(self):
+        __, output = run_shell(
+            [
+                "CREATE TABLE T (A INTEGER);",
+                "SELECT *",
+                "FROM T",
+                "WHERE A = 1;",
+            ]
+        )
+        assert "(0 row(s))" in output
+
+    def test_error_reported_not_raised(self):
+        __, output = run_shell(["SELECT * FROM NOPE;"])
+        assert "error:" in output
+
+    def test_explain(self):
+        __, output = run_shell(
+            [
+                "CREATE TABLE T (A INTEGER);",
+                "EXPLAIN SELECT * FROM T;",
+            ]
+        )
+        assert "estimated cost" in output
+        assert "segment scan" in output
+
+    def test_timing_toggle(self):
+        __, output = run_shell(
+            [
+                "\\timing",
+                "CREATE TABLE T (A INTEGER);",
+                "SELECT * FROM T;",
+            ]
+        )
+        assert "timing on" in output
+        assert "page fetches" in output
+
+
+class TestMetaCommands:
+    def test_quit(self):
+        shell, __ = run_shell(["\\q", "SELECT * FROM NOPE;"])
+        assert shell.finished
+
+    def test_list_tables_empty(self):
+        __, output = run_shell(["\\d"])
+        assert "(no tables)" in output
+
+    def test_list_and_describe(self):
+        __, output = run_shell(
+            [
+                "CREATE TABLE T (A INTEGER, B VARCHAR(4));",
+                "CREATE INDEX T_A ON T (A);",
+                "\\d",
+                "\\d T",
+            ]
+        )
+        assert "table T:" in output
+        assert "A INTEGER" in output
+        assert "T_A" in output
+
+    def test_describe_unknown(self):
+        __, output = run_shell(["\\d NOPE"])
+        assert "error:" in output
+
+    def test_unknown_command(self):
+        __, output = run_shell(["\\frobnicate"])
+        assert "unknown command" in output
+
+    def test_input_file(self, tmp_path):
+        script = tmp_path / "setup.sql"
+        script.write_text(
+            "CREATE TABLE T (A INTEGER);\nINSERT INTO T VALUES (7);\n"
+        )
+        __, output = run_shell([f"\\i {script}", "SELECT A FROM T;"])
+        assert "7" in output
+
+    def test_input_file_missing(self):
+        __, output = run_shell(["\\i /no/such/file.sql"])
+        assert "error:" in output

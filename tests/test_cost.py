@@ -1,0 +1,138 @@
+"""Unit tests for TABLE 2 cost formulas — exact numeric checks."""
+
+import pytest
+
+from repro.catalog import Catalog, IndexStats, RelationStats
+from repro.datatypes import INTEGER
+from repro.optimizer.cost import Cost, CostModel
+
+
+@pytest.fixture
+def setup():
+    catalog = Catalog()
+    table = catalog.create_table("T", [("A", INTEGER), ("B", INTEGER)])
+    clustered = catalog.create_index("T_A", "T", ["A"], clustered=True)
+    plain = catalog.create_index("T_B", "T", ["B"])
+    unique = catalog.create_index("T_U", "T", ["A", "B"], unique=True)
+    catalog.set_relation_stats("T", RelationStats(ncard=10000, tcard=200, fraction=0.5))
+    catalog.set_index_stats("T_A", IndexStats(icard=100, nindx=20))
+    catalog.set_index_stats("T_B", IndexStats(icard=100, nindx=20))
+    catalog.set_index_stats("T_U", IndexStats(icard=10000, nindx=40))
+    model = CostModel(catalog, w=0.1, buffer_pages=50)
+    return catalog, table, clustered, plain, unique, model
+
+
+class TestCostArithmetic:
+    def test_total(self):
+        assert Cost(pages=10, rsi=100).total(0.5) == pytest.approx(60)
+
+    def test_add(self):
+        combined = Cost(1, 2) + Cost(3, 4)
+        assert (combined.pages, combined.rsi) == (4, 6)
+
+    def test_scaled(self):
+        scaled = Cost(2, 3).scaled(10)
+        assert (scaled.pages, scaled.rsi) == (20, 30)
+
+
+class TestTable2:
+    def test_unique_index_equal(self, setup):
+        *__, model = setup
+        cost = model.unique_index_cost()
+        assert cost.pages == 2.0
+        assert cost.rsi == 1.0
+        # 1 + 1 + W
+        assert cost.total(0.1) == pytest.approx(2.1)
+
+    def test_clustered_matching(self, setup):
+        __, table, clustered, *___, model = setup
+        # F(preds) * (NINDX + TCARD) + W * RSICARD
+        cost = model.matching_index_cost(clustered, table, 0.01, rsicard=100)
+        assert cost.pages == pytest.approx(0.01 * (20 + 200))
+        assert cost.rsi == 100
+
+    def test_nonclustered_matching_fits_buffer(self, setup):
+        catalog, table, ___, plain, ____, _____ = setup
+        # TCARD + NINDX = 220 <= 500: the relation fits, pages are never
+        # re-fetched, so the TCARD-based formula applies.
+        model = CostModel(catalog, w=0.1, buffer_pages=500)
+        cost = model.matching_index_cost(plain, table, 0.01, rsicard=100)
+        assert cost.pages == pytest.approx(0.01 * (20 + 200))
+
+    def test_nonclustered_matching_does_not_fit(self, setup):
+        __, table, ___, plain, ____, model = setup
+        # TCARD + NINDX = 220 > 50: one fetch per matching tuple (NCARD).
+        cost = model.matching_index_cost(plain, table, 0.5, rsicard=5000)
+        assert cost.pages == pytest.approx(0.5 * (20 + 10000))
+
+    def test_clustered_non_matching(self, setup):
+        __, table, clustered, *___, model = setup
+        cost = model.non_matching_index_cost(clustered, table, rsicard=10000)
+        assert cost.pages == pytest.approx(20 + 200)
+
+    def test_nonclustered_non_matching(self, setup):
+        __, table, ___, plain, ____, model = setup
+        # NINDX+TCARD = 220 > buffer 50, so NINDX + NCARD.
+        cost = model.non_matching_index_cost(plain, table, rsicard=10000)
+        assert cost.pages == pytest.approx(20 + 10000)
+
+    def test_nonclustered_non_matching_fits_buffer(self, setup):
+        catalog, table, ___, plain, ____, model = setup
+        big_buffer = CostModel(catalog, w=0.1, buffer_pages=500)
+        cost = big_buffer.non_matching_index_cost(plain, table, rsicard=10000)
+        assert cost.pages == pytest.approx(20 + 200)
+
+    def test_segment_scan(self, setup):
+        __, table, *___, model = setup
+        # TCARD / P + W * RSICARD = 200/0.5 = 400 pages.
+        cost = model.segment_scan_cost(table, rsicard=1000)
+        assert cost.pages == pytest.approx(400)
+        assert cost.rsi == 1000
+
+
+class TestJoinFormulas:
+    def test_nested_loop(self, setup):
+        *__, model = setup
+        outer = Cost(pages=10, rsi=100)
+        inner = Cost(pages=2, rsi=5)
+        # C-outer + N * C-inner
+        cost = model.nested_loop_cost(outer, 50, inner)
+        assert cost.pages == pytest.approx(10 + 50 * 2)
+        assert cost.rsi == pytest.approx(100 + 50 * 5)
+
+    def test_merge(self, setup):
+        *__, model = setup
+        outer = Cost(pages=10, rsi=100)
+        cost = model.merge_cost(outer, inner_one_pass_pages=30, join_matches=500)
+        assert cost.pages == pytest.approx(40)
+        assert cost.rsi == pytest.approx(600)
+
+    def test_sort_build(self, setup):
+        *__, model = setup
+        source = Cost(pages=10, rsi=100)
+        cost = model.sort_build_cost(source, rows=1000, row_bytes=40)
+        assert cost.rsi == pytest.approx(100 + 1000)
+        assert cost.pages > 10  # source + TEMPPAGES
+
+    def test_temp_pages(self, setup):
+        *__, model = setup
+        # 40-byte rows + 4-byte slot: 92 per 4088-byte page.
+        assert model.temp_pages(rows=92, row_bytes=40) == 1.0
+        assert model.temp_pages(rows=93, row_bytes=40) == 2.0
+        assert model.temp_pages(rows=0, row_bytes=40) == 0.0
+
+    def test_temp_scan(self, setup):
+        *__, model = setup
+        cost = model.temp_scan_cost(rows=100, row_bytes=40)
+        assert cost.rsi == 100
+        assert cost.pages >= 1
+
+
+class TestDefaults:
+    def test_missing_stats_small_relation(self):
+        catalog = Catalog()
+        table = catalog.create_table("X", [("A", INTEGER)])
+        model = CostModel(catalog)
+        assert model.ncard(table) == 10
+        assert model.tcard(table) == 1
+        assert model.fraction(table) == 1.0

@@ -1,0 +1,100 @@
+"""Property-based checks on the cost model's shape (monotonicity, bounds)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog, IndexStats, RelationStats
+from repro.datatypes import INTEGER
+from repro.optimizer.binder import Binder
+from repro.optimizer.cost import Cost, CostModel
+from repro.optimizer.predicates import to_cnf_factors
+from repro.optimizer.selectivity import SelectivityEstimator
+from repro.sql import parse_statement
+
+
+def model_for(ncard, tcard, icard, nindx, fraction=1.0, buffer_pages=64):
+    catalog = Catalog()
+    table = catalog.create_table("T", [("A", INTEGER), ("B", INTEGER)])
+    index = catalog.create_index("T_A", "T", ["A"], clustered=False)
+    catalog.set_relation_stats("T", RelationStats(ncard, tcard, fraction))
+    catalog.set_index_stats("T_A", IndexStats(icard, nindx, 0, icard))
+    return catalog, table, index, CostModel(catalog, w=1 / 30, buffer_pages=buffer_pages)
+
+
+@given(
+    st.integers(100, 100_000),
+    st.integers(1, 1000),
+    st.floats(0.05, 1.0),
+)
+def test_segment_scan_monotone_in_tcard(ncard, tcard, fraction):
+    __, table, ___, model = model_for(ncard, tcard, 10, 2, fraction)
+    smaller = model.segment_scan_cost(table, rsicard=ncard)
+    __, table2, ___, model2 = model_for(ncard, tcard + 10, 10, 2, fraction)
+    larger = model2.segment_scan_cost(table2, rsicard=ncard)
+    assert larger.pages > smaller.pages
+
+
+@given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+def test_matching_cost_monotone_in_selectivity(f1, f2):
+    __, table, index, model = model_for(50_000, 500, 100, 20)
+    low, high = sorted((f1, f2))
+    cheap = model.matching_index_cost(index, table, low, rsicard=0)
+    costly = model.matching_index_cost(index, table, high, rsicard=0)
+    assert cheap.pages <= costly.pages + 1e-12
+
+
+@given(st.integers(0, 10_000), st.integers(8, 400))
+def test_temp_pages_monotone_in_rows(rows, row_bytes):
+    assert CostModel.temp_pages(rows, row_bytes) <= CostModel.temp_pages(
+        rows + 100, row_bytes
+    )
+
+
+@given(st.integers(1, 99))
+def test_range_selectivity_monotone_in_bound(value):
+    catalog, *__ = model_for(10_000, 100, 100, 5)
+    estimator = SelectivityEstimator(catalog)
+
+    def sel(bound):
+        block = Binder(catalog).bind(
+            parse_statement(f"SELECT * FROM T WHERE A > {bound}")
+        )
+        factors = to_cnf_factors(block.where, block)
+        return estimator.factor_selectivity(factors[0])
+
+    assert sel(value) >= sel(value + 1) - 1e-12
+
+
+@given(
+    st.floats(0, 1000),
+    st.floats(0, 100_000),
+    st.floats(0.001, 3.0),
+)
+def test_cost_total_linear_in_w(pages, rsi, w):
+    cost = Cost(pages=pages, rsi=rsi)
+    assert cost.total(w) == pytest.approx(pages + w * rsi)
+    assert cost.total(0) == pytest.approx(pages)
+
+
+@given(st.integers(1, 50), st.integers(1, 500))
+def test_sort_cost_never_below_single_pass(buffer_pages, rows):
+    __, table, ___, model = model_for(10_000, 100, 100, 5, buffer_pages=buffer_pages)
+    source = Cost(pages=10, rsi=rows)
+    build = model.sort_build_cost(source, rows, row_bytes=50)
+    single_pass = source + Cost(
+        pages=model.temp_pages(rows, 50), rsi=rows
+    )
+    assert build.pages >= single_pass.pages - 1e-9
+    assert build.rsi >= single_pass.rsi - 1e-9
+
+
+@given(st.floats(1, 10_000), st.floats(0, 5_000))
+def test_nested_loop_cap_never_increases_cost(outer_rows, footprint):
+    __, ___, ____, model = model_for(10_000, 100, 100, 5)
+    outer = Cost(pages=10, rsi=100)
+    probe = Cost(pages=2, rsi=3)
+    uncapped = model.nested_loop_cost(outer, outer_rows, probe)
+    capped = model.nested_loop_cost(outer, outer_rows, probe, footprint)
+    assert capped.pages <= uncapped.pages + 1e-9
+    assert capped.rsi == pytest.approx(uncapped.rsi)

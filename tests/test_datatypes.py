@@ -1,0 +1,93 @@
+"""Unit tests for the type system."""
+
+import pytest
+
+from repro.datatypes import (
+    DataType,
+    FLOAT,
+    INTEGER,
+    TypeKind,
+    compare_values,
+    varchar,
+)
+from repro.errors import SemanticError
+
+
+class TestDataType:
+    def test_integer_str(self):
+        assert str(INTEGER) == "INTEGER"
+
+    def test_varchar_str(self):
+        assert str(varchar(12)) == "VARCHAR(12)"
+
+    def test_varchar_requires_positive_length(self):
+        with pytest.raises(SemanticError):
+            DataType(TypeKind.VARCHAR, 0)
+
+    def test_arithmetic_flags(self):
+        assert INTEGER.is_arithmetic
+        assert FLOAT.is_arithmetic
+        assert not varchar(5).is_arithmetic
+
+    def test_max_encoded_size(self):
+        assert INTEGER.max_encoded_size() == 8
+        assert FLOAT.max_encoded_size() == 8
+        assert varchar(10).max_encoded_size() == 12
+
+
+class TestValidate:
+    def test_integer_accepts_int(self):
+        assert INTEGER.validate(42) == 42
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(SemanticError):
+            INTEGER.validate(True)
+
+    def test_integer_rejects_float(self):
+        with pytest.raises(SemanticError):
+            INTEGER.validate(1.5)
+
+    def test_float_coerces_int(self):
+        value = FLOAT.validate(3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_varchar_length_enforced(self):
+        with pytest.raises(SemanticError):
+            varchar(3).validate("toolong")
+
+    def test_varchar_length_is_bytes(self):
+        # Two 3-byte UTF-8 characters exceed VARCHAR(5).
+        with pytest.raises(SemanticError):
+            varchar(5).validate("世界")
+
+    def test_null_passes_any_type(self):
+        assert INTEGER.validate(None) is None
+        assert varchar(1).validate(None) is None
+
+    def test_varchar_rejects_number(self):
+        with pytest.raises(SemanticError):
+            varchar(10).validate(5)
+
+
+class TestCompareValues:
+    def test_basic_ordering(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values(2, 1) == 1
+        assert compare_values(2, 2) == 0
+
+    def test_mixed_numeric(self):
+        assert compare_values(1, 1.0) == 0
+        assert compare_values(1.5, 1) == 1
+
+    def test_strings(self):
+        assert compare_values("ABEL", "BAKER") == -1
+
+    def test_null_is_unknown(self):
+        assert compare_values(None, 1) is None
+        assert compare_values(1, None) is None
+        assert compare_values(None, None) is None
+
+    def test_cross_type_raises(self):
+        with pytest.raises(SemanticError):
+            compare_values(1, "one")

@@ -1,0 +1,83 @@
+"""UPDATE / DELETE go through the same access path selection as queries."""
+
+import pytest
+
+from repro import Database
+from repro.workloads import load_rows
+
+
+@pytest.fixture
+def inventory(db):
+    db.execute(
+        "CREATE TABLE INV (SKU INTEGER, QTY INTEGER, BIN INTEGER, PAD VARCHAR(40))"
+    )
+    load_rows(
+        db,
+        "INV",
+        [(i, (i * 3) % 50, i % 20, "x" * 30) for i in range(2000)],
+    )
+    db.execute("CREATE UNIQUE INDEX INV_SKU ON INV (SKU)")
+    db.execute("CREATE INDEX INV_BIN ON INV (BIN)")
+    db.execute("UPDATE STATISTICS")
+    return db
+
+
+class TestDmlUsesIndexes:
+    def test_update_by_key_touches_few_pages(self, inventory):
+        inventory.cold_cache()
+        inventory.execute("UPDATE INV SET QTY = 0 WHERE SKU = 1234")
+        # Unique-index access: index descent + one data page (+ index
+        # maintenance); nothing like a full scan.
+        assert inventory.counters.page_fetches < 10
+
+    def test_full_scan_update_touches_all_pages(self, inventory):
+        stats = inventory.catalog.relation_stats("INV")
+        inventory.cold_cache()
+        inventory.execute("UPDATE INV SET QTY = QTY + 1 WHERE QTY >= 0")
+        assert inventory.counters.page_fetches >= stats.tcard
+
+    def test_delete_by_indexed_column(self, inventory):
+        before = inventory.execute("SELECT COUNT(*) FROM INV").scalar()
+        result = inventory.execute("DELETE FROM INV WHERE BIN = 7")
+        assert result.affected_rows == 100
+        after = inventory.execute("SELECT COUNT(*) FROM INV").scalar()
+        assert after == before - 100
+        assert inventory.execute(
+            "SELECT COUNT(*) FROM INV WHERE BIN = 7"
+        ).scalar() == 0
+
+    def test_update_key_column_rebalances_index(self, inventory):
+        inventory.execute("UPDATE INV SET BIN = 99 WHERE BIN = 3")
+        assert inventory.execute(
+            "SELECT COUNT(*) FROM INV WHERE BIN = 3"
+        ).scalar() == 0
+        assert inventory.execute(
+            "SELECT COUNT(*) FROM INV WHERE BIN = 99"
+        ).scalar() == 100
+
+    def test_update_unique_key_conflict_detected(self, inventory):
+        from repro.errors import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            inventory.execute("UPDATE INV SET SKU = 1 WHERE SKU = 2")
+
+    def test_update_to_same_key_allowed(self, inventory):
+        result = inventory.execute("UPDATE INV SET SKU = 2 WHERE SKU = 2")
+        assert result.affected_rows == 1
+
+    def test_delete_everything_then_reload(self, inventory):
+        inventory.execute("DELETE FROM INV")
+        assert inventory.execute("SELECT COUNT(*) FROM INV").scalar() == 0
+        inventory.execute("INSERT INTO INV VALUES (1, 1, 1, 'fresh')")
+        assert inventory.execute(
+            "SELECT PAD FROM INV WHERE SKU = 1"
+        ).rows == [("fresh",)]
+
+    def test_update_statistics_reflects_dml(self, inventory):
+        inventory.execute("DELETE FROM INV WHERE BIN < 10")
+        inventory.execute("UPDATE STATISTICS INV")
+        stats = inventory.catalog.relation_stats("INV")
+        assert stats.ncard == 1000
+        index_stats = inventory.catalog.index_stats("INV_BIN")
+        assert index_stats.icard == 10
+        assert index_stats.low_key == 10

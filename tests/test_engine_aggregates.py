@@ -1,0 +1,115 @@
+"""Edge-case tests for aggregation, grouping, and HAVING."""
+
+import pytest
+
+from repro import Database
+from repro.workloads import load_rows
+
+
+@pytest.fixture
+def sales(db):
+    db.execute(
+        "CREATE TABLE SALES (REGION VARCHAR(8), ITEM VARCHAR(8), QTY INTEGER, "
+        "PRICE FLOAT)"
+    )
+    load_rows(
+        db,
+        "SALES",
+        [
+            ("EAST", "A", 10, 1.5),
+            ("EAST", "B", None, 2.0),
+            ("EAST", "A", 5, None),
+            ("WEST", "B", 7, 3.0),
+            ("WEST", "B", 3, 1.0),
+            (None, "C", 1, 9.0),
+        ],
+    )
+    db.execute("UPDATE STATISTICS")
+    return db
+
+
+class TestGroupingEdgeCases:
+    def test_null_group_key_forms_a_group(self, sales):
+        result = sales.execute(
+            "SELECT REGION, COUNT(*) FROM SALES GROUP BY REGION"
+        )
+        as_dict = dict(result.rows)
+        assert as_dict[None] == 1
+        assert as_dict["EAST"] == 3
+        assert as_dict["WEST"] == 2
+
+    def test_multi_column_grouping(self, sales):
+        result = sales.execute(
+            "SELECT REGION, ITEM, COUNT(*) FROM SALES GROUP BY REGION, ITEM"
+        )
+        counts = {(r, i): c for r, i, c in result.rows}
+        assert counts[("EAST", "A")] == 2
+        assert counts[("WEST", "B")] == 2
+        assert counts[(None, "C")] == 1
+
+    def test_sum_ignores_nulls(self, sales):
+        result = sales.execute(
+            "SELECT REGION, SUM(QTY) FROM SALES GROUP BY REGION"
+        )
+        as_dict = dict(result.rows)
+        assert as_dict["EAST"] == 15  # NULL QTY skipped
+
+    def test_avg_ignores_nulls(self, sales):
+        result = sales.execute(
+            "SELECT ITEM, AVG(PRICE) FROM SALES GROUP BY ITEM"
+        )
+        as_dict = dict(result.rows)
+        assert as_dict["A"] == pytest.approx(1.5)  # one NULL price skipped
+
+    def test_all_null_group_aggregate_is_null(self, db):
+        db.execute("CREATE TABLE T (G INTEGER, V INTEGER)")
+        load_rows(db, "T", [(1, None), (1, None)])
+        db.execute("UPDATE STATISTICS")
+        result = db.execute("SELECT G, SUM(V), AVG(V), MIN(V) FROM T GROUP BY G")
+        assert result.rows == [(1, None, None, None)]
+
+    def test_min_max_on_strings(self, sales):
+        result = sales.execute("SELECT MIN(ITEM), MAX(ITEM) FROM SALES")
+        assert result.rows == [("A", "C")]
+
+    def test_count_distinct_per_group(self, sales):
+        result = sales.execute(
+            "SELECT REGION, COUNT(DISTINCT ITEM) FROM SALES GROUP BY REGION"
+        )
+        as_dict = dict(result.rows)
+        assert as_dict["EAST"] == 2
+        assert as_dict["WEST"] == 1
+
+    def test_having_on_aggregate_not_in_select(self, sales):
+        result = sales.execute(
+            "SELECT REGION FROM SALES GROUP BY REGION HAVING SUM(QTY) > 9"
+        )
+        assert sorted(r[0] for r in result.rows) == ["EAST", "WEST"]
+
+    def test_having_with_arithmetic(self, sales):
+        result = sales.execute(
+            "SELECT REGION FROM SALES GROUP BY REGION "
+            "HAVING COUNT(*) * 2 > 4"
+        )
+        assert [r[0] for r in result.rows] == ["EAST"]
+
+    def test_aggregate_expression_in_select(self, sales):
+        result = sales.execute("SELECT SUM(QTY) + COUNT(*) FROM SALES")
+        assert result.rows == [(26 + 6,)]
+
+    def test_group_by_on_empty_table(self, db):
+        db.execute("CREATE TABLE T (G INTEGER)")
+        result = db.execute("SELECT G, COUNT(*) FROM T GROUP BY G")
+        assert result.rows == []
+
+    def test_aggregate_over_where_filter(self, sales):
+        result = sales.execute(
+            "SELECT COUNT(*) FROM SALES WHERE REGION = 'EAST' AND QTY > 4"
+        )
+        assert result.scalar() == 2
+
+    def test_group_output_row_count_estimate(self, sales):
+        planned = sales.plan("SELECT ITEM, COUNT(*) FROM SALES GROUP BY ITEM")
+        # Three distinct items; the estimate need not be exact but must be
+        # a small positive number, not the input cardinality.
+        assert 0 < planned.root.rows <= 6

@@ -1,0 +1,78 @@
+"""The public error hierarchy and API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    IntegrityError,
+    LexerError,
+    PageFullError,
+    ParseError,
+    PlannerError,
+    ReproError,
+    SemanticError,
+    SqlError,
+    StorageError,
+    TupleTooLargeError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            CatalogError,
+            ExecutionError,
+            IntegrityError,
+            LexerError,
+            PageFullError,
+            ParseError,
+            PlannerError,
+            SemanticError,
+            SqlError,
+            StorageError,
+            TupleTooLargeError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_sql_errors_grouped(self):
+        assert issubclass(LexerError, SqlError)
+        assert issubclass(ParseError, SqlError)
+        assert issubclass(SemanticError, SqlError)
+
+    def test_storage_errors_grouped(self):
+        assert issubclass(PageFullError, StorageError)
+        assert issubclass(TupleTooLargeError, StorageError)
+
+    def test_lexer_error_position(self):
+        error = LexerError("bad char", 17)
+        assert error.position == 17
+        assert "17" in str(error)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_one_catch_all(self):
+        """A caller can wrap any library failure with one except clause."""
+        db = repro.Database()
+        failures = 0
+        for sql in (
+            "SELECT FROM",  # parse error
+            "SELECT * FROM NOPE",  # semantic error
+            "INSERT INTO NOPE VALUES (1)",  # semantic error
+        ):
+            try:
+                db.execute(sql)
+            except repro.ReproError:
+                failures += 1
+        assert failures == 3

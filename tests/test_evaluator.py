@@ -1,0 +1,146 @@
+"""Unit tests for expression evaluation and three-valued logic."""
+
+import pytest
+
+from repro.datatypes import INTEGER, varchar
+from repro.engine.evaluator import EvalEnv, evaluate, predicate_holds
+from repro.engine.rows import AGGREGATE_ALIAS, Row
+from repro.errors import ExecutionError
+from repro.optimizer.bound import AggregateRef, BoundColumn
+from repro.rss.sargs import CompareOp
+from repro.sql import ast
+
+
+def column(alias="T", position=0, name="A", datatype=INTEGER, block=1):
+    return BoundColumn(alias, position, name, "T", datatype, block)
+
+
+def env_with(values, alias="T", outer=None):
+    return EvalEnv(row=Row(values={alias: values}), runtime=None, outer=outer)
+
+
+def lit(value):
+    return ast.Literal(value)
+
+
+class TestValues:
+    def test_literal(self):
+        assert evaluate(lit(5), env_with((1,))) == 5
+
+    def test_column_lookup(self):
+        assert evaluate(column(position=1), env_with((1, 42))) == 42
+
+    def test_outer_chain_lookup(self):
+        outer = env_with((7,), alias="X")
+        inner = EvalEnv(row=Row(values={"T": (1,)}), runtime=None, outer=outer)
+        assert evaluate(column(alias="X"), inner) == 7
+
+    def test_missing_alias_raises(self):
+        with pytest.raises(ExecutionError):
+            evaluate(column(alias="NOPE"), env_with((1,)))
+
+    def test_arithmetic(self):
+        expr = ast.BinaryOp("+", lit(2), ast.BinaryOp("*", lit(3), lit(4)))
+        assert evaluate(expr, env_with(())) == 14
+
+    def test_arithmetic_null_propagates(self):
+        expr = ast.BinaryOp("+", lit(None), lit(1))
+        assert evaluate(expr, env_with(())) is None
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            evaluate(ast.BinaryOp("/", lit(1), lit(0)), env_with(()))
+
+    def test_negate(self):
+        assert evaluate(ast.Negate(lit(5)), env_with(())) == -5
+
+    def test_aggregate_ref(self):
+        env = EvalEnv(
+            row=Row(values={AGGREGATE_ALIAS: (10, 20)}), runtime=None
+        )
+        assert evaluate(AggregateRef(1), env) == 20
+
+
+class TestThreeValuedLogic:
+    def test_comparison_with_null_is_unknown(self):
+        expr = ast.Comparison(CompareOp.EQ, lit(None), lit(1))
+        assert evaluate(expr, env_with(())) is None
+
+    def test_not_unknown_is_unknown(self):
+        inner = ast.Comparison(CompareOp.EQ, lit(None), lit(1))
+        assert evaluate(ast.Not(inner), env_with(())) is None
+
+    def test_and_false_dominates_unknown(self):
+        unknown = ast.Comparison(CompareOp.EQ, lit(None), lit(1))
+        false = ast.Comparison(CompareOp.EQ, lit(1), lit(2))
+        assert evaluate(ast.And((unknown, false)), env_with(())) is False
+
+    def test_and_true_and_unknown_is_unknown(self):
+        unknown = ast.Comparison(CompareOp.EQ, lit(None), lit(1))
+        true = ast.Comparison(CompareOp.EQ, lit(1), lit(1))
+        assert evaluate(ast.And((true, unknown)), env_with(())) is None
+
+    def test_or_true_dominates_unknown(self):
+        unknown = ast.Comparison(CompareOp.EQ, lit(None), lit(1))
+        true = ast.Comparison(CompareOp.EQ, lit(1), lit(1))
+        assert evaluate(ast.Or((unknown, true)), env_with(())) is True
+
+    def test_or_false_and_unknown_is_unknown(self):
+        unknown = ast.Comparison(CompareOp.EQ, lit(None), lit(1))
+        false = ast.Comparison(CompareOp.EQ, lit(1), lit(2))
+        assert evaluate(ast.Or((false, unknown)), env_with(())) is None
+
+    def test_predicate_holds_requires_true(self):
+        unknown = ast.Comparison(CompareOp.EQ, lit(None), lit(1))
+        assert predicate_holds(unknown, env_with(())) is False
+
+
+class TestPredicates:
+    def test_between(self):
+        expr = ast.Between(lit(5), lit(1), lit(10))
+        assert evaluate(expr, env_with(())) is True
+
+    def test_between_null_operand(self):
+        expr = ast.Between(lit(None), lit(1), lit(10))
+        assert evaluate(expr, env_with(())) is None
+
+    def test_in_list_hit(self):
+        expr = ast.InList(lit(2), (lit(1), lit(2)))
+        assert evaluate(expr, env_with(())) is True
+
+    def test_in_list_miss_with_null_is_unknown(self):
+        expr = ast.InList(lit(3), (lit(1), lit(None)))
+        assert evaluate(expr, env_with(())) is None
+
+    def test_in_list_null_operand(self):
+        expr = ast.InList(lit(None), (lit(1),))
+        assert evaluate(expr, env_with(())) is None
+
+    def test_is_null(self):
+        assert evaluate(ast.IsNull(lit(None)), env_with(())) is True
+        assert evaluate(ast.IsNull(lit(1)), env_with(())) is False
+        assert evaluate(ast.IsNull(lit(1), negated=True), env_with(())) is True
+
+    @pytest.mark.parametrize(
+        "pattern,value,expected",
+        [
+            ("A%", "ABC", True),
+            ("A%", "BAC", False),
+            ("%C", "ABC", True),
+            ("A_C", "ABC", True),
+            ("A_C", "ABBC", False),
+            ("%", "", True),
+            ("A.C", "ABC", False),  # dot is literal, not regex
+            ("100%", "100%", True),
+        ],
+    )
+    def test_like(self, pattern, value, expected):
+        expr = ast.Like(lit(value), pattern)
+        assert evaluate(expr, env_with(())) is expected
+
+    def test_like_null_is_unknown(self):
+        assert evaluate(ast.Like(lit(None), "x"), env_with(())) is None
+
+    def test_not_like(self):
+        expr = ast.Like(lit("ABC"), "A%", negated=True)
+        assert evaluate(expr, env_with(())) is False

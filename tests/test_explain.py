@@ -1,0 +1,88 @@
+"""Tests for plan and search-tree rendering (the Figures 2-6 machinery)."""
+
+import pytest
+
+from repro.optimizer.binder import Binder
+from repro.optimizer.explain import (
+    format_order,
+    plan_summary,
+    render_search_tree,
+    render_single_relation_paths,
+    solutions_table,
+)
+from repro.optimizer.plan import render_plan
+from repro.sql import parse_statement
+from repro.workloads import FIG1_QUERY
+
+
+@pytest.fixture(scope="module")
+def searched(empdept):
+    optimizer = empdept.optimizer()
+    block = Binder(empdept.catalog).bind(parse_statement(FIG1_QUERY))
+    search, orders, factors = optimizer.run_join_search(block)
+    return empdept, optimizer, block, search, orders, factors
+
+
+class TestPlanSummary:
+    def test_scan_kinds(self, empdept):
+        seg = empdept.plan("SELECT SAL FROM EMP WHERE SAL > 0.0")
+        assert "seg(EMP)" in plan_summary(seg.root)
+        idx = empdept.plan("SELECT NAME FROM EMP WHERE DNO = 1")
+        assert "idx(EMP.EMP_DNO)" in plan_summary(idx.root)
+
+    def test_join_nesting(self, empdept):
+        planned = empdept.plan(FIG1_QUERY)
+        summary = plan_summary(planned.root)
+        assert summary.count("(") >= 3
+        for alias in ("EMP", "DEPT", "JOB"):
+            assert alias in summary
+
+    def test_sort_rendering(self, empdept):
+        planned = empdept.plan("SELECT SAL FROM EMP ORDER BY SAL")
+        assert "SORT(" in plan_summary(planned.root)
+
+
+class TestFormatOrder:
+    def test_unordered(self):
+        assert format_order(()) == "unordered"
+
+    def test_classes(self):
+        assert format_order((3, 1)) == "order<3,1>"
+
+
+class TestRenderers:
+    def test_single_relation_paths(self, searched):
+        db, optimizer, block, search, orders, factors = searched
+        text = render_single_relation_paths(
+            block, factors, db.catalog, optimizer.estimator,
+            optimizer.cost_model, orders,
+        )
+        for alias in ("EMP", "DEPT", "JOB"):
+            assert alias in text
+        assert "segment scan" in text
+        assert "[kept]" in text
+
+    def test_search_tree_sections(self, searched):
+        *__, search, ___, ____ = searched
+        optimizer = searched[1]
+        text = render_search_tree(search, optimizer.cost_model)
+        assert "-- 1 relation(s) --" in text
+        assert "-- 2 relation(s) --" in text
+        assert "-- 3 relation(s) --" in text
+        assert "{DEPT, EMP, JOB}" in text
+
+    def test_solutions_table_shape(self, searched):
+        __, optimizer, ___, search, ____, _____ = searched
+        rows = solutions_table(search, optimizer.cost_model, size=1)
+        assert all(len(row["relations"]) == 1 for row in rows)
+        assert all(row["cost"] > 0 for row in rows)
+        triples = solutions_table(search, optimizer.cost_model, size=3)
+        assert all(row["relations"] == ("DEPT", "EMP", "JOB") for row in triples)
+
+    def test_render_plan_includes_details(self, empdept):
+        planned = empdept.plan("SELECT NAME FROM EMP WHERE DNO = 1 AND NAME LIKE 'E%'")
+        text = render_plan(planned.root, w=planned.w)
+        assert "sarg:" in text
+        assert "filter:" in text
+        assert "rows~" in text
+        assert "cost~" in text

@@ -1,0 +1,78 @@
+"""GROUP BY + ORDER BY combinations and ordering guarantees."""
+
+import pytest
+
+from repro.workloads import load_rows
+
+
+@pytest.fixture
+def scores(db):
+    db.execute("CREATE TABLE SC (TEAM INTEGER, PTS INTEGER)")
+    load_rows(
+        db,
+        "SC",
+        [(i % 5, (i * 7) % 30) for i in range(100)],
+    )
+    db.execute("CREATE INDEX SC_TEAM ON SC (TEAM)")
+    db.execute("UPDATE STATISTICS")
+    return db
+
+
+class TestGroupOrderCombos:
+    def test_group_then_order_asc(self, scores):
+        result = scores.execute(
+            "SELECT TEAM, SUM(PTS) FROM SC GROUP BY TEAM ORDER BY TEAM"
+        )
+        teams = [row[0] for row in result.rows]
+        assert teams == sorted(teams)
+        assert len(teams) == 5
+
+    def test_group_then_order_desc(self, scores):
+        result = scores.execute(
+            "SELECT TEAM, SUM(PTS) FROM SC GROUP BY TEAM ORDER BY TEAM DESC"
+        )
+        teams = [row[0] for row in result.rows]
+        assert teams == sorted(teams, reverse=True)
+
+    def test_group_values_correct_regardless_of_order(self, scores):
+        raw = scores.execute("SELECT TEAM, PTS FROM SC").rows
+        expected: dict[int, int] = {}
+        for team, pts in raw:
+            expected[team] = expected.get(team, 0) + pts
+        for order in ("", " ORDER BY TEAM", " ORDER BY TEAM DESC"):
+            result = scores.execute(
+                f"SELECT TEAM, SUM(PTS) FROM SC GROUP BY TEAM{order}"
+            )
+            assert dict(result.rows) == expected
+
+    def test_order_by_implied_by_group_index(self, scores):
+        """Grouping on the indexed column: no sort anywhere in the plan."""
+        from repro.optimizer.plan import SortNode, walk_plan
+
+        planned = scores.plan(
+            "SELECT TEAM, COUNT(*) FROM SC GROUP BY TEAM ORDER BY TEAM"
+        )
+        assert not [
+            n for n in walk_plan(planned.root) if isinstance(n, SortNode)
+        ]
+
+    def test_distinct_with_order(self, scores):
+        result = scores.execute("SELECT DISTINCT TEAM FROM SC ORDER BY TEAM")
+        assert [row[0] for row in result.rows] == [0, 1, 2, 3, 4]
+
+    def test_having_then_order_desc(self, scores):
+        result = scores.execute(
+            "SELECT TEAM, COUNT(*) FROM SC GROUP BY TEAM "
+            "HAVING COUNT(*) > 0 ORDER BY TEAM DESC"
+        )
+        teams = [row[0] for row in result.rows]
+        assert teams == [4, 3, 2, 1, 0]
+
+    def test_multi_key_group_with_order(self, scores):
+        result = scores.execute(
+            "SELECT TEAM, PTS, COUNT(*) FROM SC GROUP BY TEAM, PTS "
+            "ORDER BY TEAM, PTS"
+        )
+        keys = [(row[0], row[1]) for row in result.rows]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))

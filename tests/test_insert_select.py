@@ -1,0 +1,94 @@
+"""INSERT ... SELECT and scalar subqueries in the SELECT list."""
+
+import pytest
+
+from repro import SemanticError
+from repro.workloads import load_rows
+
+
+@pytest.fixture
+def source(db):
+    db.execute("CREATE TABLE SRC (A INTEGER, B VARCHAR(8), C INTEGER)")
+    load_rows(db, "SRC", [(i, f"s{i}", i * 10) for i in range(20)])
+    db.execute("UPDATE STATISTICS")
+    return db
+
+
+class TestInsertSelect:
+    def test_copy_table(self, source):
+        source.execute("CREATE TABLE DST (A INTEGER, B VARCHAR(8), C INTEGER)")
+        result = source.execute("INSERT INTO DST SELECT * FROM SRC")
+        assert result.affected_rows == 20
+        assert sorted(source.execute("SELECT * FROM DST").rows) == sorted(
+            source.execute("SELECT * FROM SRC").rows
+        )
+
+    def test_filtered_copy(self, source):
+        source.execute("CREATE TABLE DST (A INTEGER, B VARCHAR(8), C INTEGER)")
+        source.execute("INSERT INTO DST SELECT * FROM SRC WHERE A < 5")
+        assert source.execute("SELECT COUNT(*) FROM DST").scalar() == 5
+
+    def test_projection_and_column_list(self, source):
+        source.execute("CREATE TABLE DST (X INTEGER, Y INTEGER)")
+        source.execute("INSERT INTO DST (Y, X) SELECT C, A FROM SRC WHERE A = 3")
+        assert source.execute("SELECT X, Y FROM DST").rows == [(3, 30)]
+
+    def test_expressions_in_source(self, source):
+        source.execute("CREATE TABLE DST (V INTEGER)")
+        source.execute("INSERT INTO DST SELECT A + C FROM SRC WHERE A = 2")
+        assert source.execute("SELECT V FROM DST").rows == [(22,)]
+
+    def test_aggregated_source(self, source):
+        source.execute("CREATE TABLE DST (N INTEGER, TOTAL INTEGER)")
+        source.execute(
+            "INSERT INTO DST SELECT COUNT(*), SUM(C) FROM SRC"
+        )
+        assert source.execute("SELECT * FROM DST").rows == [(20, 1900)]
+
+    def test_self_insert_is_safe(self, source):
+        """Materialized source: inserting into the scanned table is stable."""
+        before = source.execute("SELECT COUNT(*) FROM SRC").scalar()
+        source.execute("INSERT INTO SRC SELECT * FROM SRC")
+        after = source.execute("SELECT COUNT(*) FROM SRC").scalar()
+        assert after == before * 2
+
+    def test_type_validation_applies(self, source):
+        source.execute("CREATE TABLE DST (V VARCHAR(2))")
+        with pytest.raises(SemanticError):
+            source.execute("INSERT INTO DST SELECT B FROM SRC WHERE A = 11")
+
+    def test_arity_mismatch(self, source):
+        source.execute("CREATE TABLE DST (X INTEGER)")
+        with pytest.raises(SemanticError):
+            source.execute("INSERT INTO DST SELECT A, C FROM SRC")
+
+    def test_unique_index_enforced(self, source):
+        from repro.errors import IntegrityError
+
+        source.execute("CREATE TABLE DST (A INTEGER)")
+        source.execute("CREATE UNIQUE INDEX DST_A ON DST (A)")
+        source.execute("INSERT INTO DST SELECT A FROM SRC")
+        with pytest.raises(IntegrityError):
+            source.execute("INSERT INTO DST SELECT A FROM SRC WHERE A = 1")
+
+
+class TestScalarSubqueryInSelect:
+    def test_uncorrelated(self, source):
+        result = source.execute(
+            "SELECT A, (SELECT MAX(C) FROM SRC) FROM SRC WHERE A < 3"
+        )
+        assert sorted(result.rows) == [(0, 190), (1, 190), (2, 190)]
+
+    def test_correlated(self, source):
+        result = source.execute(
+            "SELECT A, (SELECT B FROM SRC WHERE A = X.A) FROM SRC X WHERE A < 2"
+        )
+        assert sorted(result.rows) == [(0, "s0"), (1, "s1")]
+
+    def test_subquery_in_select_feeds_insert(self, source):
+        source.execute("CREATE TABLE DST (A INTEGER, M INTEGER)")
+        source.execute(
+            "INSERT INTO DST SELECT A, (SELECT MIN(C) FROM SRC) FROM SRC "
+            "WHERE A = 7"
+        )
+        assert source.execute("SELECT * FROM DST").rows == [(7, 0)]

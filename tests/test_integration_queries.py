@@ -1,0 +1,253 @@
+"""Differential integration tests: SQL results vs a Python reference.
+
+The reference implementation loads every table into memory with plain
+segment scans and evaluates each query's semantics with straightforward
+Python comprehensions, independently of the optimizer and operators.  Every
+query must agree regardless of the plan chosen.
+"""
+
+import pytest
+
+from repro.workloads import FIG1_QUERY
+
+
+@pytest.fixture(scope="module")
+def data(empdept):
+    emp = empdept.execute("SELECT * FROM EMP").rows
+    dept = empdept.execute("SELECT * FROM DEPT").rows
+    job = empdept.execute("SELECT * FROM JOB").rows
+    return {
+        "EMP": emp,  # (ENO, NAME, DNO, JOB, SAL)
+        "DEPT": dept,  # (DNO, DNAME, LOC)
+        "JOB": job,  # (JOB, TITLE)
+    }
+
+
+class TestSelections:
+    def test_equality(self, empdept, data):
+        got = sorted(empdept.execute("SELECT NAME FROM EMP WHERE DNO = 7").rows)
+        want = sorted((e[1],) for e in data["EMP"] if e[2] == 7)
+        assert got == want
+
+    def test_range(self, empdept, data):
+        got = sorted(
+            empdept.execute("SELECT ENO FROM EMP WHERE SAL > 800.0").rows
+        )
+        want = sorted((e[0],) for e in data["EMP"] if e[4] > 800.0)
+        assert got == want
+
+    def test_between(self, empdept, data):
+        got = sorted(
+            empdept.execute(
+                "SELECT ENO FROM EMP WHERE SAL BETWEEN 200.0 AND 300.0"
+            ).rows
+        )
+        want = sorted((e[0],) for e in data["EMP"] if 200.0 <= e[4] <= 300.0)
+        assert got == want
+
+    def test_in_list(self, empdept, data):
+        got = sorted(
+            empdept.execute("SELECT ENO FROM EMP WHERE DNO IN (1, 3, 5)").rows
+        )
+        want = sorted((e[0],) for e in data["EMP"] if e[2] in (1, 3, 5))
+        assert got == want
+
+    def test_or_across_columns(self, empdept, data):
+        got = sorted(
+            empdept.execute(
+                "SELECT ENO FROM EMP WHERE DNO = 2 OR SAL < 150.0"
+            ).rows
+        )
+        want = sorted(
+            (e[0],) for e in data["EMP"] if e[2] == 2 or e[4] < 150.0
+        )
+        assert got == want
+
+    def test_negation(self, empdept, data):
+        got = sorted(
+            empdept.execute(
+                "SELECT ENO FROM EMP WHERE NOT (DNO = 2 OR DNO = 3)"
+            ).rows
+        )
+        want = sorted((e[0],) for e in data["EMP"] if e[2] not in (2, 3))
+        assert got == want
+
+    def test_like(self, empdept, data):
+        got = sorted(
+            empdept.execute("SELECT NAME FROM EMP WHERE NAME LIKE 'EMP1%'").rows
+        )
+        want = sorted((e[1],) for e in data["EMP"] if e[1].startswith("EMP1"))
+        assert got == want
+
+
+class TestJoins:
+    def test_two_way_join(self, empdept, data):
+        got = sorted(
+            empdept.execute(
+                "SELECT NAME, DNAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO"
+            ).rows
+        )
+        want = sorted(
+            (e[1], d[1])
+            for e in data["EMP"]
+            for d in data["DEPT"]
+            if e[2] == d[0]
+        )
+        assert got == want
+
+    def test_fig1_three_way_join(self, empdept, data):
+        got = sorted(empdept.execute(FIG1_QUERY).rows)
+        want = sorted(
+            (e[1], j[1], e[4], d[1])
+            for e in data["EMP"]
+            for d in data["DEPT"]
+            for j in data["JOB"]
+            if j[1] == "CLERK"
+            and d[2] == "DENVER"
+            and e[2] == d[0]
+            and e[3] == j[0]
+        )
+        assert got == want
+
+    def test_join_with_extra_selection(self, empdept, data):
+        got = sorted(
+            empdept.execute(
+                "SELECT NAME FROM EMP, DEPT "
+                "WHERE EMP.DNO = DEPT.DNO AND LOC = 'NYC' AND SAL > 500.0"
+            ).rows
+        )
+        want = sorted(
+            (e[1],)
+            for e in data["EMP"]
+            for d in data["DEPT"]
+            if e[2] == d[0] and d[2] == "NYC" and e[4] > 500.0
+        )
+        assert got == want
+
+    def test_cartesian_product_count(self, empdept, data):
+        got = empdept.execute("SELECT DEPT.DNO, JOB.JOB FROM DEPT, JOB")
+        assert len(got.rows) == len(data["DEPT"]) * len(data["JOB"])
+
+    def test_non_equijoin(self, empdept, data):
+        got = sorted(
+            empdept.execute(
+                "SELECT DEPT.DNO, JOB.JOB FROM DEPT, JOB "
+                "WHERE DEPT.DNO < JOB.JOB"
+            ).rows
+        )
+        want = sorted(
+            (d[0], j[0])
+            for d in data["DEPT"]
+            for j in data["JOB"]
+            if d[0] < j[0]
+        )
+        assert got == want
+
+
+class TestAggregation:
+    def test_group_counts(self, empdept, data):
+        got = dict(
+            empdept.execute(
+                "SELECT DNO, COUNT(*) FROM EMP GROUP BY DNO"
+            ).rows
+        )
+        want = {}
+        for e in data["EMP"]:
+            want[e[2]] = want.get(e[2], 0) + 1
+        assert got == want
+
+    def test_group_avg(self, empdept, data):
+        got = dict(
+            empdept.execute("SELECT DNO, AVG(SAL) FROM EMP GROUP BY DNO").rows
+        )
+        groups = {}
+        for e in data["EMP"]:
+            groups.setdefault(e[2], []).append(e[4])
+        for dno, values in groups.items():
+            assert got[dno] == pytest.approx(sum(values) / len(values))
+
+    def test_having_filters_groups(self, empdept, data):
+        got = sorted(
+            empdept.execute(
+                "SELECT JOB, COUNT(*) FROM EMP GROUP BY JOB "
+                "HAVING COUNT(*) > 80"
+            ).rows
+        )
+        counts = {}
+        for e in data["EMP"]:
+            counts[e[3]] = counts.get(e[3], 0) + 1
+        want = sorted(
+            (job, count) for job, count in counts.items() if count > 80
+        )
+        assert got == want
+
+    def test_aggregate_over_join(self, empdept, data):
+        got = empdept.execute(
+            "SELECT COUNT(*) FROM EMP, DEPT "
+            "WHERE EMP.DNO = DEPT.DNO AND LOC = 'DENVER'"
+        ).scalar()
+        want = sum(
+            1
+            for e in data["EMP"]
+            for d in data["DEPT"]
+            if e[2] == d[0] and d[2] == "DENVER"
+        )
+        assert got == want
+
+
+class TestOrderingAndDistinct:
+    def test_order_by_two_keys(self, empdept, data):
+        got = empdept.execute(
+            "SELECT DNO, ENO FROM EMP ORDER BY DNO, ENO"
+        ).rows
+        want = sorted((e[2], e[0]) for e in data["EMP"])
+        assert got == want
+
+    def test_order_by_desc(self, empdept, data):
+        got = empdept.execute("SELECT SAL FROM EMP ORDER BY SAL DESC").rows
+        want = sorted(((e[4],) for e in data["EMP"]), reverse=True)
+        assert got == want
+
+    def test_distinct_pairs(self, empdept, data):
+        got = sorted(
+            empdept.execute("SELECT DISTINCT DNO, JOB FROM EMP").rows
+        )
+        want = sorted({(e[2], e[3]) for e in data["EMP"]})
+        assert got == want
+
+
+class TestSubqueryQueries:
+    def test_above_average_salaries(self, empdept, data):
+        got = sorted(
+            empdept.execute(
+                "SELECT ENO FROM EMP WHERE SAL > (SELECT AVG(SAL) FROM EMP)"
+            ).rows
+        )
+        avg = sum(e[4] for e in data["EMP"]) / len(data["EMP"])
+        want = sorted((e[0],) for e in data["EMP"] if e[4] > avg)
+        assert got == want
+
+    def test_in_subquery_with_filter(self, empdept, data):
+        got = sorted(
+            empdept.execute(
+                "SELECT ENO FROM EMP WHERE DNO IN "
+                "(SELECT DNO FROM DEPT WHERE LOC = 'DENVER')"
+            ).rows
+        )
+        denver = {d[0] for d in data["DEPT"] if d[2] == "DENVER"}
+        want = sorted((e[0],) for e in data["EMP"] if e[2] in denver)
+        assert got == want
+
+    def test_correlated_department_average(self, empdept, data):
+        got = sorted(
+            empdept.execute(
+                "SELECT ENO FROM EMP X WHERE SAL > "
+                "(SELECT AVG(SAL) FROM EMP WHERE DNO = X.DNO)"
+            ).rows
+        )
+        groups = {}
+        for e in data["EMP"]:
+            groups.setdefault(e[2], []).append(e[4])
+        averages = {k: sum(v) / len(v) for k, v in groups.items()}
+        want = sorted((e[0],) for e in data["EMP"] if e[4] > averages[e[2]])
+        assert got == want

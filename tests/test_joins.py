@@ -1,0 +1,172 @@
+"""Unit tests for the dynamic-programming join enumeration."""
+
+import pytest
+
+from repro.catalog import Catalog, IndexStats, RelationStats
+from repro.datatypes import INTEGER
+from repro.optimizer.binder import Binder
+from repro.optimizer.cost import CostModel
+from repro.optimizer.joins import JoinSearch
+from repro.optimizer.orders import InterestingOrders
+from repro.optimizer.plan import (
+    MergeJoinNode,
+    NestedLoopJoinNode,
+    ScanNode,
+    SortNode,
+    walk_plan,
+)
+from repro.optimizer.predicates import to_cnf_factors
+from repro.optimizer.selectivity import SelectivityEstimator
+from repro.sql import parse_statement
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    for name, rows, pages in (("T1", 1000, 20), ("T2", 500, 10), ("T3", 100, 4)):
+        catalog.create_table(
+            name, [("ID", INTEGER), ("A", INTEGER), ("B", INTEGER)]
+        )
+        catalog.set_relation_stats(name, RelationStats(rows, pages, 1.0))
+    catalog.create_index("T1_A", "T1", ["A"])
+    catalog.set_index_stats("T1_A", IndexStats(40, 4, 1, 40))
+    catalog.create_index("T2_A", "T2", ["A"])
+    catalog.set_index_stats("T2_A", IndexStats(40, 3, 1, 40))
+    catalog.create_index("T2_B", "T2", ["B"])
+    catalog.set_index_stats("T2_B", IndexStats(25, 3, 1, 25))
+    catalog.create_index("T3_B", "T3", ["B"])
+    catalog.set_index_stats("T3_B", IndexStats(25, 2, 1, 25))
+    return catalog
+
+
+def search_for(catalog, sql, **kwargs) -> JoinSearch:
+    block = Binder(catalog).bind(parse_statement(sql))
+    factors = to_cnf_factors(block.where, block)
+    orders = InterestingOrders(block, factors)
+    search = JoinSearch(
+        block,
+        factors,
+        catalog,
+        SelectivityEstimator(catalog),
+        CostModel(catalog, w=0.05),
+        orders,
+        **kwargs,
+    )
+    search.search()
+    return search
+
+
+CHAIN = (
+    "SELECT * FROM T1, T2, T3 "
+    "WHERE T1.A = T2.A AND T2.B = T3.B"
+)
+
+
+class TestSearchStructure:
+    def test_all_single_subsets_seeded(self, catalog):
+        search = search_for(catalog, CHAIN)
+        for name in ("T1", "T2", "T3"):
+            assert frozenset({name}) in search.best
+
+    def test_full_solution_exists(self, catalog):
+        search = search_for(catalog, CHAIN)
+        assert frozenset({"T1", "T2", "T3"}) in search.best
+
+    def test_heuristic_skips_cartesian_pair(self, catalog):
+        search = search_for(catalog, CHAIN)
+        # T1 and T3 are not directly connected: the pair must never form.
+        assert frozenset({"T1", "T3"}) not in search.best
+
+    def test_heuristic_disabled_allows_cartesian_pair(self, catalog):
+        search = search_for(catalog, CHAIN, use_heuristic=False)
+        assert frozenset({"T1", "T3"}) in search.best
+
+    def test_heuristic_reduces_stored_entries(self, catalog):
+        with_h = search_for(catalog, CHAIN)
+        without_h = search_for(catalog, CHAIN, use_heuristic=False)
+        assert with_h.total_entries() < without_h.total_entries()
+
+    def test_same_best_cost_with_and_without_heuristic_when_connected(
+        self, catalog
+    ):
+        model = CostModel(catalog, w=0.05)
+        with_h = search_for(catalog, CHAIN)
+        without_h = search_for(catalog, CHAIN, use_heuristic=False)
+        full = frozenset({"T1", "T2", "T3"})
+        best_with = min(
+            model.total(e.cost) for e in with_h.best[full].values()
+        )
+        best_without = min(
+            model.total(e.cost) for e in without_h.best[full].values()
+        )
+        # For a connected chain the heuristic loses nothing here.
+        assert best_with <= best_without * 1.0001
+
+    def test_storage_bound(self, catalog):
+        # "At most 2^n subsets times the number of interesting orders."
+        search = search_for(catalog, CHAIN)
+        order_count = 3  # classes: A-class, B-class, plus unordered
+        assert search.total_entries() <= (2**3) * order_count
+
+    def test_disconnected_query_still_plans(self, catalog):
+        search = search_for(catalog, "SELECT * FROM T1, T2 WHERE T1.ID = 5")
+        full = frozenset({"T1", "T2"})
+        assert full in search.best
+        entry = search.cheapest(search.best[full])
+        assert isinstance(entry.plan, NestedLoopJoinNode)
+
+
+class TestMethods:
+    def test_both_methods_considered(self, catalog):
+        search = search_for(catalog, CHAIN)
+        full = frozenset({"T1", "T2", "T3"})
+        kinds = set()
+        for entry in search.best[full].values():
+            for node in walk_plan(entry.plan):
+                kinds.add(type(node))
+        assert NestedLoopJoinNode in kinds or MergeJoinNode in kinds
+
+    def test_merge_entry_carries_order(self, catalog):
+        search = search_for(catalog, CHAIN)
+        pair = frozenset({"T1", "T2"})
+        ordered = [key for key in search.best[pair] if key]
+        assert ordered  # some ordered solution exists for the join column
+
+    def test_nested_loop_preserves_outer_order(self, catalog):
+        search = search_for(catalog, CHAIN)
+        pair = frozenset({"T1", "T2"})
+        for key, entry in search.best[pair].items():
+            if isinstance(entry.plan, NestedLoopJoinNode):
+                assert entry.plan.order_columns == entry.plan.outer.order_columns
+
+    def test_interesting_orders_disabled_keeps_single_entry(self, catalog):
+        search = search_for(catalog, CHAIN, use_interesting_orders=False)
+        for entries in search.best.values():
+            assert len(entries) == 1
+
+    def test_orders_enabled_never_costs_more(self, catalog):
+        model = CostModel(catalog, w=0.05)
+        full = frozenset({"T1", "T2", "T3"})
+        with_orders = search_for(catalog, CHAIN)
+        without = search_for(catalog, CHAIN, use_interesting_orders=False)
+        best_with = min(
+            model.total(e.cost) for e in with_orders.best[full].values()
+        )
+        best_without = min(
+            model.total(e.cost) for e in without.best[full].values()
+        )
+        assert best_with <= best_without * 1.0001
+
+
+class TestEstimates:
+    def test_rows_independent_of_join_order(self, catalog):
+        search = search_for(catalog, CHAIN)
+        full = frozenset({"T1", "T2", "T3"})
+        rows = {round(entry.rows, 6) for entry in search.best[full].values()}
+        assert len(rows) == 1  # "cardinality is the same regardless of order"
+
+    def test_stats_populated(self, catalog):
+        search = search_for(catalog, CHAIN)
+        assert search.stats.plans_considered > 0
+        assert search.stats.entries_stored > 0
+        assert search.stats.subsets_expanded > 0

@@ -1,0 +1,147 @@
+"""Section 6 semantics: nested and correlated subqueries."""
+
+import pytest
+
+from repro import Database
+from repro.workloads import load_rows
+
+
+@pytest.fixture()
+def company():
+    db = Database()
+    db.execute(
+        "CREATE TABLE EMPLOYEE (ENO INTEGER, NAME VARCHAR(20), SALARY INTEGER, "
+        "MANAGER INTEGER, DNO INTEGER)"
+    )
+    db.execute("CREATE TABLE DEPARTMENT (DNO INTEGER, LOCATION VARCHAR(20))")
+    # 1 is the big boss; 2 and 3 report to 1; the rest report to 2 or 3.
+    load_rows(
+        db,
+        "EMPLOYEE",
+        [
+            (1, "ALICE", 100, None, 10),
+            (2, "BOB", 80, 1, 10),
+            (3, "CAROL", 90, 1, 20),
+            (4, "DAN", 85, 2, 10),
+            (5, "EVE", 70, 2, 20),
+            (6, "FRED", 95, 3, 20),
+            (7, "GINA", 60, 3, 10),
+        ],
+    )
+    load_rows(db, "DEPARTMENT", [(10, "DENVER"), (20, "NYC")])
+    db.execute("CREATE UNIQUE INDEX E_ENO ON EMPLOYEE (ENO)")
+    db.execute("CREATE INDEX E_MGR ON EMPLOYEE (MANAGER)")
+    db.execute("UPDATE STATISTICS")
+    return db
+
+
+class TestUncorrelated:
+    def test_scalar_average(self, company):
+        result = company.execute(
+            "SELECT NAME FROM EMPLOYEE WHERE SALARY > (SELECT AVG(SALARY) FROM EMPLOYEE)"
+        )
+        # AVG = 82.857...; above it: ALICE, CAROL, DAN, FRED.
+        assert sorted(r[0] for r in result.rows) == ["ALICE", "CAROL", "DAN", "FRED"]
+
+    def test_in_subquery(self, company):
+        result = company.execute(
+            "SELECT NAME FROM EMPLOYEE WHERE DNO IN "
+            "(SELECT DNO FROM DEPARTMENT WHERE LOCATION = 'DENVER')"
+        )
+        assert sorted(r[0] for r in result.rows) == ["ALICE", "BOB", "DAN", "GINA"]
+
+    def test_not_in_subquery(self, company):
+        result = company.execute(
+            "SELECT NAME FROM EMPLOYEE WHERE DNO NOT IN "
+            "(SELECT DNO FROM DEPARTMENT WHERE LOCATION = 'DENVER')"
+        )
+        assert sorted(r[0] for r in result.rows) == ["CAROL", "EVE", "FRED"]
+
+    def test_uncorrelated_evaluated_once(self, company):
+        planned = company.plan(
+            "SELECT NAME FROM EMPLOYEE WHERE SALARY > (SELECT AVG(SALARY) FROM EMPLOYEE)"
+        )
+        executor = company.executor()
+        executor.execute(planned)
+        counts = executor.last_runtime.evaluation_counts
+        assert list(counts.values()) == [1]
+
+
+class TestCorrelated:
+    PAPER_QUERY = (
+        "SELECT NAME FROM EMPLOYEE X WHERE SALARY > "
+        "(SELECT SALARY FROM EMPLOYEE WHERE EMPLOYEE_NUMBER = X.MANAGER)"
+    ).replace("EMPLOYEE_NUMBER", "ENO")
+
+    def test_earn_more_than_manager(self, company):
+        result = company.execute(self.PAPER_QUERY)
+        # DAN(85) > BOB(80); FRED(95) > CAROL(90).
+        assert sorted(r[0] for r in result.rows) == ["DAN", "FRED"]
+
+    def test_two_level_correlation(self, company):
+        # "Earn more than their manager's manager."
+        result = company.execute(
+            "SELECT NAME FROM EMPLOYEE X WHERE SALARY > "
+            "(SELECT SALARY FROM EMPLOYEE WHERE ENO = "
+            "(SELECT MANAGER FROM EMPLOYEE WHERE ENO = X.MANAGER))"
+        )
+        # Managers' managers: for DAN/EVE -> BOB's mgr ALICE(100);
+        # for FRED/GINA -> CAROL's mgr ALICE(100).  Nobody beats 100.
+        assert result.rows == []
+
+    def test_reevaluated_per_candidate(self, company):
+        company.subquery_cache_mode = "none"
+        planned = company.plan(self.PAPER_QUERY)
+        executor = company.executor()
+        executor.execute(planned)
+        counts = executor.last_runtime.evaluation_counts
+        # One evaluation per EMPLOYEE candidate tuple (7 rows).
+        assert sum(counts.values()) == 7
+
+    def test_prev_value_cache_reduces_evaluations(self, company):
+        """The paper's ordered-reference optimization.
+
+        When candidate tuples arrive ordered on the referenced column,
+        consecutive duplicates reuse the previous evaluation.
+        """
+        company.subquery_cache_mode = "prev"
+        sql = (
+            "SELECT NAME FROM EMPLOYEE X WHERE SALARY > "
+            "(SELECT AVG(SALARY) FROM EMPLOYEE WHERE MANAGER = X.MANAGER) "
+            "ORDER BY MANAGER"
+        )
+        planned = company.plan(sql)
+        executor = company.executor()
+        executor.execute(planned)
+        cached_count = sum(executor.last_runtime.evaluation_counts.values())
+
+        company.subquery_cache_mode = "none"
+        executor2 = company.executor()
+        executor2.execute(company.plan(sql))
+        uncached_count = sum(executor2.last_runtime.evaluation_counts.values())
+        assert cached_count < uncached_count
+
+    def test_memo_mode_minimal_evaluations(self, company):
+        company.subquery_cache_mode = "memo"
+        planned = company.plan(self.PAPER_QUERY)
+        executor = company.executor()
+        executor.execute(planned)
+        counts = sum(executor.last_runtime.evaluation_counts.values())
+        # Distinct manager values: None, 1, 2, 3 -> at most 4 evaluations.
+        assert counts <= 4
+
+    def test_cache_modes_agree_on_results(self, company):
+        results = []
+        for mode in ("prev", "none", "memo"):
+            company.subquery_cache_mode = mode
+            results.append(sorted(company.execute(self.PAPER_QUERY).rows))
+        assert results[0] == results[1] == results[2]
+
+    def test_correlated_in_subquery(self, company):
+        result = company.execute(
+            "SELECT NAME FROM EMPLOYEE X WHERE 10 IN "
+            "(SELECT DNO FROM EMPLOYEE WHERE MANAGER = X.ENO)"
+        )
+        # Employees managing someone in department 10: ALICE(manages BOB
+        # dno10), BOB(manages DAN 10), CAROL(manages GINA 10).
+        assert sorted(r[0] for r in result.rows) == ["ALICE", "BOB", "CAROL"]

@@ -1,0 +1,105 @@
+"""Unit tests for interesting orders and order equivalence classes."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.datatypes import INTEGER
+from repro.optimizer.binder import Binder
+from repro.optimizer.orders import InterestingOrders, UNORDERED
+from repro.optimizer.predicates import to_cnf_factors
+from repro.sql import parse_statement
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    for name in ("E", "D", "F"):
+        catalog.create_table(
+            name, [("DNO", INTEGER), ("X", INTEGER), ("Y", INTEGER)]
+        )
+    return catalog
+
+
+def build(catalog, sql):
+    block = Binder(catalog).bind(parse_statement(sql))
+    factors = to_cnf_factors(block.where, block)
+    return block, factors, InterestingOrders(block, factors)
+
+
+class TestEquivalenceClasses:
+    def test_transitive_equijoin_classes(self, catalog):
+        # E.DNO = D.DNO and D.DNO = F.DNO: all three in one class (the
+        # paper's own example).
+        __, ___, orders = build(
+            catalog,
+            "SELECT * FROM E, D, F WHERE E.DNO = D.DNO AND D.DNO = F.DNO",
+        )
+        e = orders.class_of(("E", 0))
+        d = orders.class_of(("D", 0))
+        f = orders.class_of(("F", 0))
+        assert e == d == f
+
+    def test_separate_classes(self, catalog):
+        __, ___, orders = build(
+            catalog,
+            "SELECT * FROM E, D WHERE E.DNO = D.DNO AND E.X = D.X",
+        )
+        assert orders.class_of(("E", 0)) != orders.class_of(("E", 1))
+
+    def test_non_equijoin_does_not_merge(self, catalog):
+        __, ___, orders = build(
+            catalog, "SELECT * FROM E, D WHERE E.DNO < D.DNO"
+        )
+        assert orders.class_of(("E", 0)) != orders.class_of(("D", 0))
+
+
+class TestCanonicalization:
+    def test_join_column_is_interesting(self, catalog):
+        __, ___, orders = build(
+            catalog, "SELECT * FROM E, D WHERE E.DNO = D.DNO"
+        )
+        produced = orders.order_key([("E", 0), ("E", 1)])
+        # Only the first (join) column survives; X is uninteresting.
+        assert orders.canonicalize(produced) == produced[:1]
+
+    def test_uninteresting_collapses_to_unordered(self, catalog):
+        __, ___, orders = build(
+            catalog, "SELECT * FROM E, D WHERE E.DNO = D.DNO"
+        )
+        produced = orders.order_key([("E", 2)])  # Y: not interesting
+        assert orders.canonicalize(produced) == UNORDERED
+
+    def test_order_by_sequence_preserved(self, catalog):
+        __, ___, orders = build(
+            catalog, "SELECT * FROM E ORDER BY X, Y"
+        )
+        produced = orders.order_key([("E", 1), ("E", 2), ("E", 0)])
+        kept = orders.canonicalize(produced)
+        assert kept == orders.order_key([("E", 1), ("E", 2)])
+
+    def test_satisfies_prefix_rule(self, catalog):
+        __, ___, orders = build(catalog, "SELECT * FROM E ORDER BY X")
+        produced = orders.order_key([("E", 1), ("E", 2)])
+        required = orders.order_key([("E", 1)])
+        assert orders.satisfies(produced, required)
+        assert not orders.satisfies(required[:0], required)
+
+
+class TestRequiredOrder:
+    def test_group_by_defines_requirement(self, catalog):
+        block, ___, orders = build(
+            catalog, "SELECT X, COUNT(*) FROM E GROUP BY X"
+        )
+        assert orders.required_for_block(block) == orders.order_key([("E", 1)])
+
+    def test_order_by_defines_requirement(self, catalog):
+        block, ___, orders = build(catalog, "SELECT * FROM E ORDER BY Y")
+        assert orders.required_for_block(block) == orders.order_key([("E", 2)])
+
+    def test_descending_order_requires_sort(self, catalog):
+        block, ___, orders = build(catalog, "SELECT * FROM E ORDER BY Y DESC")
+        assert orders.required_for_block(block) == UNORDERED
+
+    def test_no_clauses_no_requirement(self, catalog):
+        block, ___, orders = build(catalog, "SELECT * FROM E")
+        assert orders.required_for_block(block) == UNORDERED

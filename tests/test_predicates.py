@@ -1,0 +1,225 @@
+"""Unit tests for CNF conversion, sargability, and index matching."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.datatypes import FLOAT, INTEGER, varchar
+from repro.optimizer.binder import Binder
+from repro.optimizer.predicates import (
+    match_index,
+    join_factor_as_sarg,
+    partition_factors,
+    to_cnf_factors,
+)
+from repro.rss.sargs import CompareOp
+from repro.sql import ast, parse_statement
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.create_table(
+        "EMP",
+        [
+            ("ENO", INTEGER),
+            ("NAME", varchar(20)),
+            ("DNO", INTEGER),
+            ("JOB", INTEGER),
+            ("SAL", FLOAT),
+        ],
+    )
+    catalog.create_table("DEPT", [("DNO", INTEGER), ("LOC", varchar(20))])
+    return catalog
+
+
+def factors_for(catalog, where):
+    block = Binder(catalog).bind(
+        parse_statement(f"SELECT * FROM EMP, DEPT WHERE {where}")
+    )
+    return block, to_cnf_factors(block.where, block)
+
+
+def single_table_factors(catalog, where):
+    block = Binder(catalog).bind(
+        parse_statement(f"SELECT * FROM EMP WHERE {where}")
+    )
+    return block, to_cnf_factors(block.where, block)
+
+
+class TestCnf:
+    def test_conjunction_splits(self, catalog):
+        __, factors = single_table_factors(catalog, "DNO = 1 AND SAL > 2")
+        assert len(factors) == 2
+
+    def test_disjunction_is_one_factor(self, catalog):
+        __, factors = single_table_factors(catalog, "DNO = 1 OR SAL > 2")
+        assert len(factors) == 1
+
+    def test_or_distributes_over_and(self, catalog):
+        # (a AND b) OR c  ->  (a OR c) AND (b OR c)
+        __, factors = single_table_factors(
+            catalog, "(DNO = 1 AND SAL > 2) OR ENO = 3"
+        )
+        assert len(factors) == 2
+        assert all(isinstance(factor.expr, ast.Or) for factor in factors)
+
+    def test_not_pushed_to_comparison(self, catalog):
+        __, factors = single_table_factors(catalog, "NOT DNO = 1")
+        comparison = factors[0].expr
+        assert isinstance(comparison, ast.Comparison)
+        assert comparison.op is CompareOp.NE
+
+    def test_not_between_becomes_or(self, catalog):
+        __, factors = single_table_factors(catalog, "NOT (SAL BETWEEN 1 AND 2)")
+        assert isinstance(factors[0].expr, ast.Or)
+
+    def test_de_morgan(self, catalog):
+        # NOT (a OR b)  ->  NOT a AND NOT b  ->  two factors
+        __, factors = single_table_factors(catalog, "NOT (DNO = 1 OR ENO = 2)")
+        assert len(factors) == 2
+
+    def test_not_in_list(self, catalog):
+        __, factors = single_table_factors(catalog, "DNO NOT IN (1, 2)")
+        assert len(factors) == 2  # two <> conjuncts
+
+    def test_empty_where(self, catalog):
+        block = Binder(catalog).bind(parse_statement("SELECT * FROM EMP"))
+        assert to_cnf_factors(block.where, block) == []
+
+
+class TestSargability:
+    def test_simple_equal_is_sargable(self, catalog):
+        __, factors = single_table_factors(catalog, "DNO = 5")
+        assert factors[0].sarg is not None
+
+    def test_flipped_comparison_is_sargable(self, catalog):
+        __, factors = single_table_factors(catalog, "5 < DNO")
+        sarg = factors[0].sarg
+        assert sarg is not None
+        assert sarg.groups[0][0].op is CompareOp.GT
+
+    def test_between_is_one_group(self, catalog):
+        __, factors = single_table_factors(catalog, "SAL BETWEEN 1 AND 2")
+        groups = factors[0].sarg.groups
+        assert len(groups) == 1
+        assert [pred.op for pred in groups[0]] == [CompareOp.GE, CompareOp.LE]
+
+    def test_in_list_is_dnf(self, catalog):
+        __, factors = single_table_factors(catalog, "DNO IN (1, 2, 3)")
+        assert len(factors[0].sarg.groups) == 3
+
+    def test_or_of_same_table_preds_is_sargable(self, catalog):
+        __, factors = single_table_factors(catalog, "DNO = 1 OR SAL > 9")
+        assert factors[0].sarg is not None
+        assert len(factors[0].sarg.groups) == 2
+
+    def test_arithmetic_left_side_not_sargable(self, catalog):
+        __, factors = single_table_factors(catalog, "SAL + 1 > 9")
+        assert factors[0].sarg is None
+
+    def test_like_not_sargable(self, catalog):
+        __, factors = single_table_factors(catalog, "NAME LIKE 'A%'")
+        assert factors[0].sarg is None
+
+    def test_column_to_column_same_table_not_sargable(self, catalog):
+        __, factors = single_table_factors(catalog, "ENO = DNO")
+        assert factors[0].sarg is None
+        assert factors[0].join is None  # same relation, not a join
+
+    def test_uncorrelated_scalar_subquery_value_is_sargable(self, catalog):
+        __, factors = single_table_factors(
+            catalog, "SAL > (SELECT AVG(SAL) FROM EMP)"
+        )
+        assert factors[0].sarg is not None
+
+
+class TestJoinPredicates:
+    def test_equijoin_detected(self, catalog):
+        __, factors = factors_for(catalog, "EMP.DNO = DEPT.DNO")
+        join = factors[0].join
+        assert join is not None
+        assert join.is_equijoin
+        assert {join.left.alias, join.right.alias} == {"EMP", "DEPT"}
+
+    def test_non_equijoin_detected(self, catalog):
+        __, factors = factors_for(catalog, "EMP.DNO < DEPT.DNO")
+        assert factors[0].join is not None
+        assert not factors[0].join.is_equijoin
+
+    def test_or_across_tables_is_not_join(self, catalog):
+        __, factors = factors_for(catalog, "EMP.DNO = 1 OR DEPT.DNO = 2")
+        assert factors[0].join is None
+        assert len(factors[0].aliases) == 2
+
+    def test_join_as_probe_sarg(self, catalog):
+        __, factors = factors_for(catalog, "EMP.DNO = DEPT.DNO")
+        sarg = join_factor_as_sarg(factors[0], "EMP")
+        assert sarg is not None
+        assert sarg.column.alias == "EMP"
+        assert sarg.op is CompareOp.EQ
+
+
+class TestPartition:
+    def test_roles(self, catalog):
+        block, factors = factors_for(
+            catalog,
+            "EMP.DNO = DEPT.DNO AND EMP.SAL > 5 AND "
+            "(EMP.ENO = 1 OR DEPT.LOC = 'X') AND 1 = 1",
+        )
+        partition = partition_factors(factors, block.aliases)
+        assert len(partition.joins) == 1
+        assert len(partition.local["EMP"]) == 1
+        assert len(partition.multi) == 1
+        assert len(partition.constant) == 1
+
+
+class TestIndexMatching:
+    def test_single_column_equality(self, catalog):
+        catalog.create_index("EMP_DNO", "EMP", ["DNO"])
+        __, factors = single_table_factors(catalog, "DNO = 5 AND SAL > 2")
+        match = match_index(catalog.index("EMP_DNO"), factors, "EMP")
+        assert len(match.equal_prefix) == 1
+        assert len(match.matched_factors) == 1
+
+    def test_composite_prefix(self, catalog):
+        catalog.create_index("EMP_COMP", "EMP", ["DNO", "JOB", "ENO"])
+        __, factors = single_table_factors(
+            catalog, "DNO = 5 AND JOB = 2 AND ENO > 7"
+        )
+        match = match_index(catalog.index("EMP_COMP"), factors, "EMP")
+        assert len(match.equal_prefix) == 2
+        assert len(match.range_sargs) == 1
+
+    def test_prefix_stops_at_gap(self, catalog):
+        catalog.create_index("EMP_COMP", "EMP", ["DNO", "JOB", "ENO"])
+        # No predicate on JOB: ENO cannot be used.
+        __, factors = single_table_factors(catalog, "DNO = 5 AND ENO = 7")
+        match = match_index(catalog.index("EMP_COMP"), factors, "EMP")
+        assert len(match.equal_prefix) == 1
+        assert not match.range_sargs
+
+    def test_range_on_first_column(self, catalog):
+        catalog.create_index("EMP_SAL", "EMP", ["SAL"])
+        __, factors = single_table_factors(catalog, "SAL BETWEEN 10 AND 20")
+        match = match_index(catalog.index("EMP_SAL"), factors, "EMP")
+        assert not match.equal_prefix
+        assert len(match.range_sargs) == 2
+
+    def test_unique_equal(self, catalog):
+        catalog.create_index("EMP_ENO", "EMP", ["ENO"], unique=True)
+        __, factors = single_table_factors(catalog, "ENO = 7")
+        match = match_index(catalog.index("EMP_ENO"), factors, "EMP")
+        assert match.is_unique_equal
+
+    def test_in_list_does_not_bound_scan(self, catalog):
+        catalog.create_index("EMP_DNO", "EMP", ["DNO"])
+        __, factors = single_table_factors(catalog, "DNO IN (1, 2)")
+        match = match_index(catalog.index("EMP_DNO"), factors, "EMP")
+        assert not match.matches_anything
+
+    def test_no_match(self, catalog):
+        catalog.create_index("EMP_DNO", "EMP", ["DNO"])
+        __, factors = single_table_factors(catalog, "SAL > 5")
+        match = match_index(catalog.index("EMP_DNO"), factors, "EMP")
+        assert not match.matches_anything
+        assert not match.is_unique_equal

@@ -1,0 +1,281 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datatypes import FLOAT, INTEGER, varchar
+from repro.engine.evaluator import EvalEnv, evaluate, predicate_holds
+from repro.engine.rows import Row
+from repro.errors import PageFullError
+from repro.optimizer.binder import Binder
+from repro.optimizer.bound import BoundColumn
+from repro.optimizer.predicates import to_cnf_factors
+from repro.optimizer.selectivity import SelectivityEstimator
+from repro.rss.btree import BTree, orderable_key
+from repro.rss.buffer import BufferPool
+from repro.rss.counters import CostCounters
+from repro.rss.page import Page, TupleId
+from repro.rss.pagestore import PageStore
+from repro.rss.sargs import CompareOp, SargPredicate, Sargs
+from repro.rss.tuples import decode_tuple, encode_tuple
+from repro.sql import ast
+
+
+# ---------------------------------------------------------------------------
+# tuple serialization
+# ---------------------------------------------------------------------------
+
+value_strategies = {
+    "int": st.one_of(st.none(), st.integers(min_value=-(2**63), max_value=2**63 - 1)),
+    "float": st.one_of(
+        st.none(),
+        st.floats(allow_nan=False, allow_infinity=True, width=64),
+    ),
+    "str": st.one_of(st.none(), st.text(max_size=10)),
+}
+
+
+@st.composite
+def schema_and_values(draw):
+    kinds = draw(
+        st.lists(st.sampled_from(["int", "float", "str"]), min_size=1, max_size=8)
+    )
+    datatypes = []
+    values = []
+    for kind in kinds:
+        if kind == "int":
+            datatypes.append(INTEGER)
+        elif kind == "float":
+            datatypes.append(FLOAT)
+        else:
+            datatypes.append(varchar(40))
+        values.append(draw(value_strategies[kind]))
+    return datatypes, tuple(values)
+
+
+@given(schema_and_values())
+@settings(max_examples=100, suppress_health_check=[HealthCheck.too_slow])
+def test_tuple_roundtrip(schema_values):
+    datatypes, values = schema_values
+    record = encode_tuple(3, values, datatypes)
+    assert decode_tuple(record, datatypes) == values
+
+
+# ---------------------------------------------------------------------------
+# slotted page model check
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("insert"), st.binary(min_size=1, max_size=600)),
+            st.tuples(st.just("delete"), st.integers(0, 30)),
+            st.tuples(st.just("update"), st.integers(0, 30)),
+        ),
+        max_size=60,
+    )
+)
+def test_page_matches_model(operations):
+    page = Page(1)
+    model: dict[int, bytes] = {}
+    for op, arg in operations:
+        if op == "insert":
+            try:
+                slot = page.insert(arg)
+            except PageFullError:
+                continue
+            model[slot] = arg
+        elif op == "delete":
+            if arg in model:
+                page.delete(arg)
+                del model[arg]
+        else:  # update shrink-to-one-byte, always fits in place
+            if arg in model:
+                assert page.update(arg, b"z") is True
+                model[arg] = b"z"
+    assert dict(page.records()) == model
+    assert page.occupied_slots() == len(model)
+
+
+# ---------------------------------------------------------------------------
+# B-tree vs sorted-list model
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(min_value=-50, max_value=50), min_size=0, max_size=300),
+    st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_btree_matches_sorted_model(keys, data):
+    store = PageStore()
+    tree = BTree(store, BufferPool(store, CostCounters(), 512), [INTEGER])
+    entries = []
+    for position, key in enumerate(keys):
+        tid = TupleId(position, 0)
+        tree.insert((key,), tid)
+        entries.append((key, tid))
+    # Delete a random subset.
+    to_delete = data.draw(
+        st.lists(st.integers(0, len(entries) - 1), unique=True, max_size=len(entries))
+        if entries
+        else st.just([])
+    )
+    for position in to_delete:
+        key, tid = entries[position]
+        tree.delete((key,), tid)
+    remaining = [
+        entries[i] for i in range(len(entries)) if i not in set(to_delete)
+    ]
+    expected = sorted(remaining, key=lambda pair: (pair[0], pair[1]))
+    got = [(key[0], tid) for key, tid in tree.scan_all()]
+    assert got == expected
+    # Range scans agree with a filtered model.
+    if remaining:
+        low = data.draw(st.integers(-50, 50))
+        high = data.draw(st.integers(low, 50))
+        model_range = [pair for pair in expected if low <= pair[0] <= high]
+        got_range = [(key[0], tid) for key, tid in tree.scan_range((low,), (high,))]
+        assert got_range == model_range
+
+
+@given(st.lists(st.one_of(st.none(), st.integers(-5, 5)), min_size=2, max_size=2))
+def test_orderable_key_total_order(parts):
+    left = orderable_key(tuple(parts))
+    right = orderable_key(tuple(reversed(parts)))
+    # Total order: exactly one of <, ==, > holds and is consistent.
+    assert (left < right) + (left == right) + (left > right) == 1
+
+
+# ---------------------------------------------------------------------------
+# SARG evaluation agrees with the expression evaluator
+# ---------------------------------------------------------------------------
+
+_ops = list(CompareOp)
+
+
+@given(
+    st.sampled_from(_ops),
+    st.one_of(st.none(), st.integers(-5, 5)),
+    st.one_of(st.none(), st.integers(-5, 5)),
+)
+def test_sarg_matches_evaluator(op, column_value, literal):
+    sarg = Sargs.conjunction([SargPredicate(0, op, literal)])
+    column = BoundColumn("T", 0, "A", "T", INTEGER, 1)
+    expr = ast.Comparison(op, column, ast.Literal(literal))
+    env = EvalEnv(row=Row(values={"T": (column_value,)}), runtime=None)
+    assert sarg.matches((column_value,)) == predicate_holds(expr, env)
+
+
+# ---------------------------------------------------------------------------
+# CNF conversion preserves filtering semantics (Kleene logic)
+# ---------------------------------------------------------------------------
+
+
+def _predicate_exprs(columns):
+    literals = st.integers(-3, 3).map(ast.Literal)
+    simple = st.builds(
+        ast.Comparison,
+        st.sampled_from(_ops),
+        st.sampled_from(columns),
+        literals,
+    )
+    between = st.builds(
+        ast.Between, st.sampled_from(columns), literals, literals
+    )
+    in_list = st.builds(
+        lambda column, values: ast.InList(column, tuple(map(ast.Literal, values))),
+        st.sampled_from(columns),
+        st.lists(st.integers(-3, 3), min_size=1, max_size=3),
+    )
+    leaves = st.one_of(simple, between, in_list)
+
+    def extend(children):
+        groups = st.lists(children, min_size=2, max_size=3)
+        return st.one_of(
+            st.builds(lambda items: ast.And(tuple(items)), groups),
+            st.builds(lambda items: ast.Or(tuple(items)), groups),
+            st.builds(ast.Not, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+_COLUMNS = [
+    BoundColumn("T", position, name, "T", INTEGER, 1)
+    for position, name in enumerate(("A", "B", "C"))
+]
+
+
+class _FakeBlock:
+    block_id = 1
+
+
+@given(
+    _predicate_exprs(_COLUMNS),
+    st.tuples(
+        st.one_of(st.none(), st.integers(-3, 3)),
+        st.one_of(st.none(), st.integers(-3, 3)),
+        st.one_of(st.none(), st.integers(-3, 3)),
+    ),
+)
+@settings(max_examples=300)
+def test_cnf_preserves_filtering(expr, row_values):
+    factors = to_cnf_factors(expr, _FakeBlock())
+    env = EvalEnv(row=Row(values={"T": row_values}), runtime=None)
+    original = predicate_holds(expr, env)
+    via_factors = all(predicate_holds(f.expr, env) for f in factors)
+    assert original == via_factors
+
+
+# ---------------------------------------------------------------------------
+# selectivity bounds
+# ---------------------------------------------------------------------------
+
+
+@given(
+    _predicate_exprs(_COLUMNS),
+)
+@settings(max_examples=200)
+def test_selectivity_within_bounds(expr):
+    from repro.catalog import Catalog, IndexStats, RelationStats
+
+    catalog = Catalog()
+    catalog.create_table("T", [("A", INTEGER), ("B", INTEGER), ("C", INTEGER)])
+    catalog.create_index("T_A", "T", ["A"])
+    catalog.set_relation_stats("T", RelationStats(1000, 10, 1.0))
+    catalog.set_index_stats("T_A", IndexStats(icard=7, nindx=2, low_key=-3, high_key=3))
+    estimator = SelectivityEstimator(catalog)
+    value = estimator.expr_selectivity(expr)
+    assert 0.0 <= value <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# whole-system: every plan computes the same answer
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(0, 10_000))
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_all_plans_agree_on_random_workload(seed):
+    from repro.baselines import ExhaustivePlanner
+    from repro.sql import parse_statement
+    from repro.workloads import build_database, random_chain_spec, random_select_query
+
+    rng = random.Random(seed)
+    tables = random_chain_spec(2, rng, min_rows=20, max_rows=80)
+    db = build_database(tables, seed=seed)
+    sql = random_select_query(tables, rng)
+    reference = sorted(db.execute(sql).rows)
+    planner = ExhaustivePlanner(db.optimizer(), db.catalog)
+    block = Binder(db.catalog).bind(parse_statement(sql))
+    for planned in planner.enumerate_statements(block, max_plans=40):
+        assert sorted(db.executor().execute(planned).rows) == reference

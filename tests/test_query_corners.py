@@ -1,0 +1,142 @@
+"""Corner cases across the whole query stack."""
+
+import pytest
+
+from repro import Database, SemanticError
+from repro.workloads import load_rows
+
+
+@pytest.fixture
+def tiny(db):
+    db.execute("CREATE TABLE T (A INTEGER, B INTEGER)")
+    load_rows(db, "T", [(1, 10), (2, 20), (3, 30)])
+    db.execute("UPDATE STATISTICS")
+    return db
+
+
+class TestConstantPredicates:
+    def test_true_constant(self, tiny):
+        assert len(tiny.execute("SELECT * FROM T WHERE 1 = 1").rows) == 3
+
+    def test_false_constant(self, tiny):
+        assert tiny.execute("SELECT * FROM T WHERE 1 = 2").rows == []
+
+    def test_constant_mixed_with_real(self, tiny):
+        result = tiny.execute("SELECT A FROM T WHERE 1 = 1 AND A > 1")
+        assert sorted(r[0] for r in result.rows) == [2, 3]
+
+    def test_constant_arithmetic(self, tiny):
+        result = tiny.execute("SELECT A FROM T WHERE 2 + 2 = 4")
+        assert len(result.rows) == 3
+
+
+class TestExpressionQueries:
+    def test_select_constant_expression(self, tiny):
+        result = tiny.execute("SELECT 41 + 1 FROM T WHERE A = 1")
+        assert result.rows == [(42,)]
+
+    def test_arithmetic_on_both_sides(self, tiny):
+        result = tiny.execute("SELECT A FROM T WHERE A * 10 = B")
+        assert sorted(r[0] for r in result.rows) == [1, 2, 3]
+
+    def test_division_produces_float(self, tiny):
+        result = tiny.execute("SELECT B / A FROM T WHERE A = 2")
+        assert result.rows == [(10.0,)]
+
+    def test_division_by_zero_raises(self, tiny):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            tiny.execute("SELECT B / (A - 1) FROM T")
+
+
+class TestDeepBooleanTrees:
+    def test_nested_parentheses(self, tiny):
+        result = tiny.execute(
+            "SELECT A FROM T WHERE ((A = 1 OR A = 2) AND (B = 20 OR B = 30)) "
+            "OR (NOT (A < 3))"
+        )
+        assert sorted(r[0] for r in result.rows) == [2, 3]
+
+    def test_double_negation(self, tiny):
+        result = tiny.execute("SELECT A FROM T WHERE NOT NOT A = 1")
+        assert result.rows == [(1,)]
+
+    def test_many_ors_on_one_column(self, tiny):
+        clauses = " OR ".join(f"A = {i}" for i in range(-5, 3))
+        result = tiny.execute(f"SELECT A FROM T WHERE {clauses}")
+        assert sorted(r[0] for r in result.rows) == [1, 2]
+
+    def test_wide_cnf_blowup_stays_correct(self, tiny):
+        # (a AND b) OR (c AND d) distributes to four conjuncts.
+        result = tiny.execute(
+            "SELECT A FROM T WHERE (A = 1 AND B = 10) OR (A = 3 AND B = 30)"
+        )
+        assert sorted(r[0] for r in result.rows) == [1, 3]
+
+
+class TestSelfJoins:
+    def test_triangle_self_join(self, db):
+        db.execute("CREATE TABLE N (SRC INTEGER, DST INTEGER)")
+        load_rows(db, "N", [(1, 2), (2, 3), (3, 1), (1, 3)])
+        db.execute("UPDATE STATISTICS")
+        result = db.execute(
+            "SELECT X.SRC FROM N X, N Y, N Z "
+            "WHERE X.DST = Y.SRC AND Y.DST = Z.SRC AND Z.DST = X.SRC"
+        )
+        # Triangles: 1->2->3->1 (three rotations).
+        assert sorted(r[0] for r in result.rows) == [1, 2, 3]
+
+    def test_self_join_aliases_independent(self, tiny):
+        result = tiny.execute(
+            "SELECT X.A, Y.A FROM T X, T Y WHERE X.A < Y.A"
+        )
+        assert len(result.rows) == 3
+
+
+class TestEmptyAndDegenerate:
+    def test_join_with_empty_side(self, tiny):
+        tiny.execute("CREATE TABLE EMPTYT (A INTEGER)")
+        result = tiny.execute(
+            "SELECT T.A FROM T, EMPTYT WHERE T.A = EMPTYT.A"
+        )
+        assert result.rows == []
+
+    def test_order_by_on_empty_result(self, tiny):
+        result = tiny.execute("SELECT A FROM T WHERE A > 99 ORDER BY A")
+        assert result.rows == []
+
+    def test_distinct_on_empty(self, tiny):
+        assert tiny.execute("SELECT DISTINCT A FROM T WHERE A > 99").rows == []
+
+    def test_single_row_table_everything(self, db):
+        db.execute("CREATE TABLE ONE (X INTEGER)")
+        db.execute("INSERT INTO ONE VALUES (7)")
+        db.execute("UPDATE STATISTICS")
+        assert db.execute(
+            "SELECT X FROM ONE WHERE X BETWEEN 0 AND 10 ORDER BY X"
+        ).rows == [(7,)]
+
+    def test_varchar_boundary_roundtrip(self, db):
+        db.execute("CREATE TABLE S (V VARCHAR(5))")
+        db.execute("INSERT INTO S VALUES ('abcde')")
+        assert db.execute("SELECT V FROM S").rows == [("abcde",)]
+        with pytest.raises(SemanticError):
+            db.execute("INSERT INTO S VALUES ('abcdef')")
+
+
+class TestBetweenAndRanges:
+    def test_between_inclusive_both_ends(self, tiny):
+        result = tiny.execute("SELECT A FROM T WHERE A BETWEEN 1 AND 3")
+        assert len(result.rows) == 3
+
+    def test_reversed_between_is_empty(self, tiny):
+        assert tiny.execute("SELECT A FROM T WHERE A BETWEEN 3 AND 1").rows == []
+
+    def test_range_with_index(self, db):
+        db.execute("CREATE TABLE R (K INTEGER)")
+        load_rows(db, "R", [(i,) for i in range(100)])
+        db.execute("CREATE INDEX R_K ON R (K)")
+        db.execute("UPDATE STATISTICS")
+        result = db.execute("SELECT K FROM R WHERE K >= 90 AND K < 95")
+        assert sorted(r[0] for r in result.rows) == [90, 91, 92, 93, 94]

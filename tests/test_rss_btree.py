@@ -1,0 +1,206 @@
+"""Unit tests for the B+-tree index."""
+
+import random
+
+import pytest
+
+from repro.datatypes import INTEGER, varchar
+from repro.errors import StorageError
+from repro.rss.btree import BTree, orderable_key
+from repro.rss.buffer import BufferPool
+from repro.rss.counters import CostCounters
+from repro.rss.page import TupleId
+from repro.rss.pagestore import PageStore
+
+
+def make_tree(key_types=None) -> BTree:
+    store = PageStore()
+    counters = CostCounters()
+    buffer = BufferPool(store, counters, capacity=256)
+    return BTree(store, buffer, key_types or [INTEGER])
+
+
+class TestOrderableKey:
+    def test_null_sorts_first(self):
+        assert orderable_key((None,)) < orderable_key((0,))
+        assert orderable_key((None,)) < orderable_key((-(10**9),))
+
+    def test_composite(self):
+        assert orderable_key((1, "a")) < orderable_key((1, "b"))
+        assert orderable_key((1, "z")) < orderable_key((2, "a"))
+
+
+class TestInsertScan:
+    def test_empty_tree_scans_nothing(self):
+        assert list(make_tree().scan_all()) == []
+
+    def test_single_entry(self):
+        tree = make_tree()
+        tree.insert((5,), TupleId(1, 0))
+        assert list(tree.scan_all()) == [((5,), TupleId(1, 0))]
+
+    def test_entries_come_back_sorted(self):
+        tree = make_tree()
+        rng = random.Random(3)
+        keys = list(range(2000))
+        rng.shuffle(keys)
+        for key in keys:
+            tree.insert((key,), TupleId(key, 0))
+        result = [key[0] for key, __ in tree.scan_all()]
+        assert result == sorted(keys)
+
+    def test_duplicates_allowed(self):
+        tree = make_tree()
+        for slot in range(10):
+            tree.insert((7,), TupleId(1, slot))
+        assert len(list(tree.scan_range((7,), (7,)))) == 10
+
+    def test_entry_count(self):
+        tree = make_tree()
+        for key in range(100):
+            tree.insert((key,), TupleId(key, 0))
+        assert tree.entry_count == 100
+
+    def test_splits_create_pages(self):
+        tree = make_tree()
+        for key in range(5000):
+            tree.insert((key,), TupleId(key, 0))
+        assert tree.page_count() > 1
+        assert tree.leaf_page_count() >= 2
+        # All entries still present, in order.
+        result = [key[0] for key, __ in tree.scan_all()]
+        assert result == list(range(5000))
+
+
+class TestRangeScan:
+    @pytest.fixture
+    def tree(self):
+        tree = make_tree()
+        for key in range(0, 100, 2):  # even keys 0..98
+            tree.insert((key,), TupleId(key, 0))
+        return tree
+
+    def test_closed_range(self, tree):
+        keys = [key[0] for key, __ in tree.scan_range((10,), (20,))]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_open_low(self, tree):
+        keys = [
+            key[0]
+            for key, __ in tree.scan_range((10,), (16,), low_inclusive=False)
+        ]
+        assert keys == [12, 14, 16]
+
+    def test_open_high(self, tree):
+        keys = [
+            key[0]
+            for key, __ in tree.scan_range((10,), (16,), high_inclusive=False)
+        ]
+        assert keys == [10, 12, 14]
+
+    def test_unbounded_low(self, tree):
+        keys = [key[0] for key, __ in tree.scan_range(None, (6,))]
+        assert keys == [0, 2, 4, 6]
+
+    def test_unbounded_high(self, tree):
+        keys = [key[0] for key, __ in tree.scan_range((94,), None)]
+        assert keys == [94, 96, 98]
+
+    def test_missing_bound_values(self, tree):
+        keys = [key[0] for key, __ in tree.scan_range((11,), (15,))]
+        assert keys == [12, 14]
+
+    def test_empty_range(self, tree):
+        assert list(tree.scan_range((51,), (51,))) == []
+
+
+class TestCompositeKeys:
+    def test_prefix_scan(self):
+        tree = make_tree([INTEGER, varchar(10)])
+        tree.insert((1, "a"), TupleId(1, 0))
+        tree.insert((1, "b"), TupleId(1, 1))
+        tree.insert((2, "a"), TupleId(2, 0))
+        # Bound by the first column only.
+        keys = [key for key, __ in tree.scan_range((1,), (1,))]
+        assert keys == [(1, "a"), (1, "b")]
+
+    def test_full_key_scan(self):
+        tree = make_tree([INTEGER, varchar(10)])
+        tree.insert((1, "a"), TupleId(1, 0))
+        tree.insert((1, "b"), TupleId(1, 1))
+        keys = [key for key, __ in tree.scan_range((1, "b"), (1, "b"))]
+        assert keys == [(1, "b")]
+
+
+class TestNullKeys:
+    def test_null_sorts_first_in_scan(self):
+        tree = make_tree()
+        tree.insert((5,), TupleId(1, 0))
+        tree.insert((None,), TupleId(2, 0))
+        keys = [key[0] for key, __ in tree.scan_all()]
+        assert keys == [None, 5]
+
+
+class TestDelete:
+    def test_delete_removes_entry(self):
+        tree = make_tree()
+        tree.insert((1,), TupleId(1, 0))
+        tree.insert((1,), TupleId(1, 1))
+        tree.delete((1,), TupleId(1, 0))
+        assert list(tree.scan_all()) == [((1,), TupleId(1, 1))]
+        assert tree.entry_count == 1
+
+    def test_delete_missing_raises(self):
+        tree = make_tree()
+        tree.insert((1,), TupleId(1, 0))
+        with pytest.raises(StorageError):
+            tree.delete((1,), TupleId(9, 9))
+
+    def test_delete_across_many(self):
+        tree = make_tree()
+        for key in range(1000):
+            tree.insert((key,), TupleId(key, 0))
+        for key in range(0, 1000, 2):
+            tree.delete((key,), TupleId(key, 0))
+        result = [key[0] for key, __ in tree.scan_all()]
+        assert result == list(range(1, 1000, 2))
+
+
+class TestStatistics:
+    def test_distinct_key_count(self):
+        tree = make_tree()
+        for key in range(50):
+            for slot in range(3):
+                tree.insert((key,), TupleId(key, slot))
+        assert tree.distinct_key_count() == 50
+
+    def test_min_max(self):
+        tree = make_tree()
+        assert tree.min_key() is None
+        assert tree.max_key() is None
+        for key in (5, 3, 9):
+            tree.insert((key,), TupleId(key, 0))
+        assert tree.min_key() == (3,)
+        assert tree.max_key() == (9,)
+
+    def test_contains_key(self):
+        tree = make_tree()
+        tree.insert((4,), TupleId(1, 0))
+        assert tree.contains_key((4,))
+        assert not tree.contains_key((5,))
+
+
+class TestPageAccounting:
+    def test_scan_counts_page_fetches(self):
+        store = PageStore()
+        counters = CostCounters()
+        buffer = BufferPool(store, counters, capacity=256)
+        tree = BTree(store, buffer, [INTEGER])
+        for key in range(3000):
+            tree.insert((key,), TupleId(key, 0))
+        counters.reset()
+        buffer.clear()
+        list(tree.scan_all())
+        # A full scan touches every leaf plus the descent path.
+        assert counters.page_fetches >= tree.leaf_page_count()
+        assert counters.page_fetches <= tree.page_count() + 2

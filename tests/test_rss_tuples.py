@@ -1,0 +1,69 @@
+"""Unit tests for tuple serialization."""
+
+import pytest
+
+from repro.datatypes import FLOAT, INTEGER, varchar
+from repro.errors import StorageError
+from repro.rss.tuples import (
+    decode_tuple,
+    encode_tuple,
+    max_record_size,
+    record_relation_id,
+)
+
+SCHEMA = [INTEGER, varchar(20), FLOAT]
+
+
+class TestRoundTrip:
+    def test_simple(self):
+        values = (42, "hello", 3.25)
+        record = encode_tuple(7, values, SCHEMA)
+        assert decode_tuple(record, SCHEMA) == values
+
+    def test_relation_id_tag(self):
+        record = encode_tuple(300, (1, "x", 0.0), SCHEMA)
+        assert record_relation_id(record) == 300
+
+    def test_nulls(self):
+        values = (None, None, None)
+        record = encode_tuple(1, values, SCHEMA)
+        assert decode_tuple(record, SCHEMA) == values
+
+    def test_mixed_nulls(self):
+        values = (5, None, 2.5)
+        record = encode_tuple(1, values, SCHEMA)
+        assert decode_tuple(record, SCHEMA) == values
+
+    def test_empty_string(self):
+        record = encode_tuple(1, (0, "", 0.0), SCHEMA)
+        assert decode_tuple(record, SCHEMA) == (0, "", 0.0)
+
+    def test_unicode_string(self):
+        record = encode_tuple(1, (0, "héllo", 0.0), SCHEMA)
+        assert decode_tuple(record, SCHEMA)[1] == "héllo"
+
+    def test_negative_integers(self):
+        record = encode_tuple(1, (-(2**60), "x", -1.5), SCHEMA)
+        assert decode_tuple(record, SCHEMA) == (-(2**60), "x", -1.5)
+
+    def test_many_columns_bitmap(self):
+        schema = [INTEGER] * 20
+        values = tuple(i if i % 3 else None for i in range(20))
+        record = encode_tuple(1, values, schema)
+        assert decode_tuple(record, schema) == values
+
+
+class TestErrors:
+    def test_arity_mismatch(self):
+        with pytest.raises(StorageError):
+            encode_tuple(1, (1, "x"), SCHEMA)
+
+
+class TestMaxRecordSize:
+    def test_formula(self):
+        # 2 (relid) + 1 (bitmap for 3 cols) + 8 + (2+20) + 8
+        assert max_record_size(SCHEMA) == 2 + 1 + 8 + 22 + 8
+
+    def test_encoded_never_exceeds_max(self):
+        values = (2**62, "x" * 20, 1e300)
+        assert len(encode_tuple(1, values, SCHEMA)) <= max_record_size(SCHEMA)

@@ -1,0 +1,74 @@
+"""Direct tests of the nested-query runtime caches (Section 6 machinery)."""
+
+import pytest
+
+from repro import Database
+from repro.workloads import load_rows
+
+
+@pytest.fixture
+def db_with_data(db):
+    db.execute("CREATE TABLE OUTERT (K INTEGER, REF INTEGER)")
+    db.execute("CREATE TABLE INNERT (REF INTEGER, V INTEGER)")
+    # REF pattern 0,0,1,1,0,0,1,1... consecutive duplicates exist but the
+    # value also recurs later — distinguishing "prev" from "memo".
+    load_rows(db, "OUTERT", [(i, (i // 2) % 2) for i in range(12)])
+    load_rows(db, "INNERT", [(r, r * 100) for r in range(2)])
+    db.execute("UPDATE STATISTICS")
+    return db
+
+
+SQL = (
+    "SELECT K FROM OUTERT X WHERE 0 < "
+    "(SELECT COUNT(*) FROM INNERT WHERE REF = X.REF)"
+)
+
+
+def evaluations(db, mode):
+    db.subquery_cache_mode = mode
+    db.correlation_ordering = False  # isolate the runtime cache itself
+    planned = db.plan(SQL)
+    executor = db.executor()
+    result = executor.execute(planned)
+    db.correlation_ordering = None
+    return sum(executor.last_runtime.evaluation_counts.values()), len(result.rows)
+
+
+class TestCacheModes:
+    def test_none_evaluates_per_candidate(self, db_with_data):
+        count, rows = evaluations(db_with_data, "none")
+        assert count == 12
+        assert rows == 12
+
+    def test_prev_skips_consecutive_duplicates_only(self, db_with_data):
+        count, rows = evaluations(db_with_data, "prev")
+        # Pattern 0,0,1,1,0,0,...: every second candidate repeats the
+        # previous value, so half the evaluations are skipped — but earlier
+        # values recur and must be re-evaluated (unlike memo).
+        assert count == 6
+        assert rows == 12
+
+    def test_memo_evaluates_once_per_distinct(self, db_with_data):
+        count, rows = evaluations(db_with_data, "memo")
+        assert count == 2
+        assert rows == 12
+
+    def test_invalid_mode_rejected(self, db_with_data):
+        from repro.engine.executor import Runtime
+
+        planned = db_with_data.plan(SQL)
+        with pytest.raises(ValueError):
+            Runtime(
+                db_with_data.storage,
+                db_with_data.catalog,
+                planned,
+                "bogus",
+            )
+
+    def test_caches_do_not_leak_between_executions(self, db_with_data):
+        db_with_data.subquery_cache_mode = "memo"
+        first = db_with_data.execute(SQL)
+        # Mutate the inner relation; a fresh execution must see the change.
+        db_with_data.execute("DELETE FROM INNERT WHERE REF = 1")
+        second = db_with_data.execute(SQL)
+        assert len(second.rows) < len(first.rows)

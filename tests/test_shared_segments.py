@@ -1,0 +1,80 @@
+"""Shared segments: relations interleaved on pages, and the P(T) statistic.
+
+Section 3: "Segments may contain one or more relations ... Tuples from two
+or more relations may occur on the same page"; a segment scan touches all
+non-empty pages of the segment regardless of which relation it wants, which
+is why TABLE 2's segment-scan formula is TCARD/P rather than TCARD.
+"""
+
+import pytest
+
+from repro import Database
+from repro.workloads import load_rows
+
+
+@pytest.fixture
+def shared(db):
+    db.execute("CREATE TABLE A (X INTEGER, PAD VARCHAR(40)) IN SEGMENT SHARED")
+    db.execute("CREATE TABLE B (Y INTEGER, PAD VARCHAR(40)) IN SEGMENT SHARED")
+    # Loading one relation after the other gives each a contiguous run of
+    # pages: half the segment holds no A tuples, so P(A) ~ 0.5.
+    load_rows(db, "A", [(i, "a" * 30) for i in range(300)])
+    load_rows(db, "B", [(i, "b" * 30) for i in range(300)])
+    db.execute("UPDATE STATISTICS")
+    return db
+
+
+class TestSharedSegments:
+    def test_parse_in_segment(self):
+        from repro.sql import ast, parse_statement
+
+        statement = parse_statement(
+            "CREATE TABLE T (A INTEGER) IN SEGMENT SEG1"
+        )
+        assert isinstance(statement, ast.CreateTableStmt)
+        assert statement.segment_name == "SEG1"
+
+    def test_same_segment_object(self, shared):
+        a = shared.catalog.table("A")
+        b = shared.catalog.table("B")
+        assert a.segment_name == b.segment_name == "SHARED"
+
+    def test_fraction_below_one(self, shared):
+        stats = shared.catalog.relation_stats("A")
+        assert stats.fraction < 0.7
+        assert stats.fraction > 0.3
+
+    def test_results_are_separated(self, shared):
+        assert shared.execute("SELECT COUNT(*) FROM A").scalar() == 300
+        assert shared.execute("SELECT COUNT(*) FROM B").scalar() == 300
+        pads = {row[0] for row in shared.execute("SELECT PAD FROM A").rows}
+        assert pads == {"a" * 30}
+
+    def test_segment_scan_touches_whole_segment(self, shared):
+        """Measured fetches = all segment pages, matching TCARD/P."""
+        planned = shared.plan("SELECT X FROM A")
+        stats = shared.catalog.relation_stats("A")
+        predicted = stats.tcard / stats.fraction
+        shared.cold_cache()
+        shared.executor().execute(planned)
+        measured = shared.counters.page_fetches
+        assert measured == pytest.approx(predicted, abs=1)
+        assert planned.estimated_cost.pages == pytest.approx(predicted)
+        # Strictly more than the relation's own pages.
+        assert measured > stats.tcard
+
+    def test_drop_one_relation_leaves_other(self, shared):
+        shared.execute("DROP TABLE A")
+        assert shared.execute("SELECT COUNT(*) FROM B").scalar() == 300
+
+    def test_interleaved_load_gives_fraction_one(self, db):
+        db.execute("CREATE TABLE C (X INTEGER, PAD VARCHAR(40)) IN SEGMENT MIX")
+        db.execute("CREATE TABLE D (Y INTEGER, PAD VARCHAR(40)) IN SEGMENT MIX")
+        table_c = db.catalog.table("C")
+        table_d = db.catalog.table("D")
+        for i in range(200):
+            db.storage.insert(table_c, [], (i, "c" * 30))
+            db.storage.insert(table_d, [], (i, "d" * 30))
+        db.execute("UPDATE STATISTICS")
+        # Every page holds tuples of both relations.
+        assert db.catalog.relation_stats("C").fraction == pytest.approx(1.0)

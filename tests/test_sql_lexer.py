@@ -1,0 +1,110 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql import TokenType, tokenize
+
+
+def kinds(sql):
+    return [token.type for token in tokenize(sql)][:-1]  # drop EOF
+
+
+def values(sql):
+    return [token.value for token in tokenize(sql)][:-1]
+
+
+class TestBasicTokens:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Select SELECT")
+        assert all(t.matches_keyword("SELECT") for t in tokens[:-1])
+
+    def test_identifiers_uppercased(self):
+        assert values("emp dept") == ["EMP", "DEPT"]
+
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.INTEGER
+        assert token.value == 42
+
+    def test_float(self):
+        token = tokenize("3.25")[0]
+        assert token.type is TokenType.FLOAT
+        assert token.value == 3.25
+
+    def test_string_preserves_case(self):
+        token = tokenize("'San Jose'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "San Jose"
+
+    def test_string_escape(self):
+        assert tokenize("'o''brien'")[0].value == "o'brien"
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("x")[-1].type is TokenType.EOF
+
+
+class TestSymbols:
+    @pytest.mark.parametrize(
+        "text,symbol",
+        [
+            ("<=", "<="),
+            (">=", ">="),
+            ("<>", "<>"),
+            ("!=", "<>"),  # normalized
+            ("=", "="),
+            ("<", "<"),
+            (">", ">"),
+            ("(", "("),
+            (")", ")"),
+            (",", ","),
+            ("*", "*"),
+            ("+", "+"),
+            ("-", "-"),
+            ("/", "/"),
+        ],
+    )
+    def test_symbol(self, text, symbol):
+        token = tokenize(text)[0]
+        assert token.type is TokenType.SYMBOL
+        assert token.value == symbol
+
+    def test_qualified_name_dot(self):
+        assert values("EMP.DNO") == ["EMP", ".", "DNO"]
+
+    def test_number_then_qualified(self):
+        # The dot after a number must not be swallowed as a decimal point
+        # when it is part of ``alias.column`` context... but ``1.`` itself
+        # is valid and re-attaches the dot.
+        assert values("T1.DNO") == ["T1", ".", "DNO"]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment(self):
+        assert values("SELECT -- all\n X") == ["SELECT", "X"]
+
+    def test_comment_at_end(self):
+        assert values("X -- trailing") == ["X"]
+
+    def test_newlines_and_tabs(self):
+        assert values("a\n\tb\r\nc") == ["A", "B", "C"]
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(LexerError):
+            tokenize("a ; b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_malformed_number(self):
+        with pytest.raises(LexerError):
+            tokenize("1.2.3")
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexerError) as info:
+            tokenize("abc @")
+        assert info.value.position == 4

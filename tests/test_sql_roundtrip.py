@@ -1,0 +1,89 @@
+"""Property test: rendering a parsed query re-parses to the same AST."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import ast, parse_statement
+
+_columns = st.sampled_from(["A", "B", "C"])
+_qualified = st.sampled_from([None, "T", "U"])
+_literals = st.one_of(
+    st.integers(-999, 999).map(ast.Literal),
+    st.text(
+        alphabet="abcXYZ '",
+        max_size=8,
+    ).map(ast.Literal),
+    st.just(ast.Literal(None)),
+)
+_ops = st.sampled_from(list(ast.CompareOp))
+
+
+@st.composite
+def column_refs(draw):
+    return ast.ColumnRef(draw(_qualified), draw(_columns))
+
+
+@st.composite
+def predicates(draw):
+    kind = draw(st.integers(0, 4))
+    column = draw(column_refs())
+    if kind == 0:
+        return ast.Comparison(draw(_ops), column, draw(_literals))
+    if kind == 1:
+        low = ast.Literal(draw(st.integers(-99, 0)))
+        high = ast.Literal(draw(st.integers(1, 99)))
+        return ast.Between(column, low, high)
+    if kind == 2:
+        values = tuple(
+            ast.Literal(v) for v in draw(st.lists(st.integers(-9, 9), min_size=1, max_size=3))
+        )
+        return ast.InList(column, values)
+    if kind == 3:
+        return ast.IsNull(column, draw(st.booleans()))
+    return ast.Like(column, draw(st.sampled_from(["a%", "_b", "%x%"])), draw(st.booleans()))
+
+
+def boolean_exprs():
+    def extend(children):
+        groups = st.lists(children, min_size=2, max_size=3)
+        return st.one_of(
+            st.builds(lambda items: ast.And(tuple(items)), groups),
+            st.builds(lambda items: ast.Or(tuple(items)), groups),
+            st.builds(ast.Not, children),
+        )
+
+    return st.recursive(predicates(), extend, max_leaves=6)
+
+
+@given(boolean_exprs())
+@settings(max_examples=300)
+def test_where_clause_roundtrip(expr):
+    """str() of a parsed WHERE re-parses to an equivalent AST."""
+    sql = f"SELECT * FROM T, U WHERE {expr}"
+    first = parse_statement(sql)
+    assert isinstance(first, ast.SelectQuery)
+    second = parse_statement(str(first))
+    assert first == second
+
+
+@given(
+    st.lists(column_refs(), min_size=1, max_size=3),
+    st.lists(st.tuples(column_refs(), st.booleans()), max_size=2),
+    st.booleans(),
+)
+@settings(max_examples=100)
+def test_select_shape_roundtrip(select_columns, order_items, distinct):
+    parts = ["SELECT"]
+    if distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(str(column) for column in select_columns))
+    parts.append("FROM T, U")
+    if order_items:
+        rendered = ", ".join(
+            f"{column}{' DESC' if desc else ''}" for column, desc in order_items
+        )
+        parts.append(f"ORDER BY {rendered}")
+    sql = " ".join(parts)
+    first = parse_statement(sql)
+    second = parse_statement(str(first))
+    assert first == second

@@ -1,0 +1,112 @@
+"""Stateful property test: the storage engine against a model dictionary.
+
+Hypothesis drives random INSERT / UPDATE / DELETE sequences; after every
+step the stored relation, scanned via segment scan *and* via each index,
+must agree with a plain in-memory model.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.catalog import Catalog
+from repro.datatypes import INTEGER, varchar
+from repro.rss import StorageEngine
+
+
+class StorageMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.catalog = Catalog()
+        self.table = self.catalog.create_table(
+            "T", [("K", INTEGER), ("V", varchar(12)), ("G", INTEGER)]
+        )
+        self.engine = StorageEngine(buffer_pages=8)
+        self.engine.ensure_segment(self.table.segment_name)
+        self.index = self.catalog.create_index("T_G", "T", ["G"])
+        self.engine.create_index(self.index, self.table)
+        self.model: dict = {}  # tid -> values
+
+    tids = Bundle("tids")
+
+    @rule(
+        target=tids,
+        key=st.integers(-100, 100),
+        value=st.one_of(st.none(), st.text(max_size=8)),
+        group=st.one_of(st.none(), st.integers(0, 10)),
+    )
+    def insert(self, key, value, group):
+        tid = self.engine.insert(self.table, [self.index], (key, value, group))
+        self.model[tid] = (key, value, group)
+        return tid
+
+    @rule(tid=tids, new_group=st.one_of(st.none(), st.integers(0, 10)))
+    def update_group(self, tid, new_group):
+        if tid not in self.model:
+            return
+        old = self.model[tid]
+        new = (old[0], old[1], new_group)
+        new_tid = self.engine.update(self.table, [self.index], tid, old, new)
+        del self.model[tid]
+        self.model[new_tid] = new
+
+    @rule(tid=tids, pad=st.text(min_size=9, max_size=12))
+    def update_growing(self, tid, pad):
+        """Growing updates may relocate the tuple (new TID)."""
+        if tid not in self.model:
+            return
+        old = self.model[tid]
+        new = (old[0], pad, old[2])
+        new_tid = self.engine.update(self.table, [self.index], tid, old, new)
+        del self.model[tid]
+        self.model[new_tid] = new
+
+    @rule(tid=tids)
+    def delete(self, tid):
+        if tid not in self.model:
+            return
+        self.engine.delete(self.table, [self.index], tid, self.model[tid])
+        del self.model[tid]
+
+    @invariant()
+    def segment_scan_matches_model(self):
+        scanned = {tid: values for tid, values in self.engine.segment_scan(self.table)}
+        assert scanned == self.model
+
+    @invariant()
+    def index_agrees_with_model(self):
+        btree = self.engine.btree("T_G")
+        index_entries = sorted(
+            (tid, key) for key, tid in btree.scan_all()
+        )
+        model_entries = sorted(
+            (tid, (values[2],)) for tid, values in self.model.items()
+        )
+        assert index_entries == model_entries
+
+    @invariant()
+    def index_lookup_finds_every_group(self):
+        groups = {values[2] for values in self.model.values() if values[2] is not None}
+        for group in groups:
+            via_index = {
+                tid
+                for tid, __ in self.engine.index_scan(
+                    self.index, self.table, low=(group,), high=(group,)
+                )
+            }
+            via_model = {
+                tid
+                for tid, values in self.model.items()
+                if values[2] == group
+            }
+            assert via_index == via_model
+
+
+TestStorageMachine = StorageMachine.TestCase
+TestStorageMachine.settings = __import__("hypothesis").settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
