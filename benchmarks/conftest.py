@@ -8,6 +8,7 @@ DESIGN.md's experiment index).  Numeric results are written to
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -15,6 +16,25 @@ import pytest
 from repro.workloads import build_empdept
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def repro_check():
+    """Run every benchmark with static plan verification enabled.
+
+    Each figure/table regeneration plans dozens of queries; with
+    ``REPRO_CHECK=1`` every one of those plans passes through the
+    structural checker, the cost audit, and the DP prune audit (see
+    ``repro.analysis``), so the whole experiment suite doubles as a
+    property-test corpus.
+    """
+    previous = os.environ.get("REPRO_CHECK")
+    os.environ["REPRO_CHECK"] = "1"
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CHECK", None)
+    else:
+        os.environ["REPRO_CHECK"] = previous
 
 
 class Reporter:

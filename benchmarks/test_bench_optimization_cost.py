@@ -44,6 +44,9 @@ def test_optimization_cost(report, benchmark):
         tables = specs[:count]
         sql = chain_join_query(tables)
         optimizer = db.optimizer()
+        # This experiment times the DP search itself; keep the REPRO_CHECK
+        # instrumentation (prune recording) out of the measurement.
+        optimizer.verify_plans = False
         block = Binder(db.catalog).bind(parse_statement(sql))
 
         def run(block=block):

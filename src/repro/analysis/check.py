@@ -1,0 +1,296 @@
+"""The ``repro check`` driver: run the static analyses over real corpora.
+
+Three sub-checks, all on by default:
+
+- ``--plans`` plans every query of the EMP/DEPT/JOB workload (under every
+  optimizer configuration) and a stream of generated chain/star join
+  queries, with structural plan checking, cost auditing, and DP prune
+  auditing enabled — the whole workload suite acts as a property-test
+  corpus.
+- ``--costs`` re-derives the TABLE 2 formulas against every catalog the
+  corpus builds and audits the collected statistics.
+- ``--lint`` runs the project's ``ast``-based lint over ``src/repro``.
+
+Exit status is non-zero when any violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable
+
+from ..database import Database
+from ..optimizer.planner import Optimizer
+from ..workloads.empdept import FIG1_QUERY, build_empdept
+from ..workloads.generator import (
+    TableSpec,
+    build_database,
+    random_chain_spec,
+    random_select_query,
+    random_star_spec,
+    star_join_query,
+)
+from .cost_audit import audit_cost_model
+from .lint import lint_repo
+from .plan_check import PlanCheckError, Violation
+
+#: The EMP/DEPT/JOB corpus: one query per planner feature.
+EMPDEPT_QUERIES = (
+    FIG1_QUERY,
+    "SELECT NAME, SAL FROM EMP WHERE SAL > 500",
+    "SELECT * FROM EMP WHERE DNO = 5",
+    "SELECT * FROM EMP WHERE DNO = 5 AND JOB = 2 AND SAL < 900",
+    "SELECT DNAME FROM DEPT WHERE DNO = 7",
+    "SELECT NAME FROM EMP WHERE SAL BETWEEN 200 AND 400 ORDER BY SAL",
+    "SELECT NAME, DNAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO "
+    "ORDER BY EMP.DNO",
+    "SELECT DNO, COUNT(*) FROM EMP GROUP BY DNO",
+    "SELECT DNO, AVG(SAL) FROM EMP WHERE JOB = 1 GROUP BY DNO "
+    "HAVING COUNT(*) > 2",
+    # Grouping on an unindexed column under selective predicates: the
+    # estimated group count must stay below the estimated input rows
+    # (regression corpus for the block_output_cardinality clamp).
+    "SELECT DNAME, COUNT(*) FROM DEPT WHERE DNO = 3 AND LOC = 'DENVER' "
+    "GROUP BY DNAME",
+    "SELECT COUNT(*) FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO "
+    "AND LOC = 'DENVER'",
+    "SELECT DISTINCT LOC FROM DEPT",
+    "SELECT DISTINCT TITLE FROM EMP, JOB WHERE EMP.JOB = JOB.JOB "
+    "AND SAL > 800",
+    "SELECT NAME FROM EMP WHERE DNO IN "
+    "(SELECT DNO FROM DEPT WHERE LOC = 'DENVER')",
+    "SELECT NAME FROM EMP X WHERE SAL > "
+    "(SELECT AVG(SAL) FROM EMP WHERE DNO = X.DNO)",
+    "SELECT NAME FROM EMP WHERE SAL > "
+    "(SELECT AVG(SAL) FROM EMP)",
+)
+
+#: (use_heuristic, use_interesting_orders) configurations to cover.
+ABLATIONS = ((True, True), (False, True), (True, False))
+
+
+def verifying_optimizer(
+    db: Database,
+    use_heuristic: bool = True,
+    use_interesting_orders: bool = True,
+) -> Optimizer:
+    """An optimizer over ``db``'s catalog with full verification enabled."""
+    return Optimizer(
+        db.catalog,
+        w=db.w,
+        buffer_pages=db.storage.buffer.capacity,
+        use_heuristic=use_heuristic,
+        use_interesting_orders=use_interesting_orders,
+        verify_plans=True,
+    )
+
+
+def _verify_query(
+    db: Database,
+    sql: str,
+    violations: list[Violation],
+    use_heuristic: bool = True,
+    use_interesting_orders: bool = True,
+) -> None:
+    """Plan one query with verification on, collecting any violations."""
+    from ..sql import parse_statement
+
+    optimizer = verifying_optimizer(db, use_heuristic, use_interesting_orders)
+    try:
+        optimizer.plan_query(parse_statement(sql))
+    except PlanCheckError as error:
+        for violation in error.violations:
+            violations.append(
+                Violation(
+                    violation.rule,
+                    violation.where,
+                    f"{violation.message} [query: {sql}]",
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# corpora
+# ---------------------------------------------------------------------------
+
+
+def empdept_databases() -> list[Database]:
+    """The Figure 1 database, unclustered and clustered."""
+    return [
+        build_empdept(employees=400, departments=20, jobs=5, seed=11),
+        build_empdept(
+            employees=400,
+            departments=20,
+            jobs=5,
+            seed=11,
+            clustered_emp_dno=True,
+        ),
+    ]
+
+
+def generated_batches(
+    count: int, seed: int, batch_size: int = 20
+) -> list[tuple[Database, list[str]]]:
+    """``count`` generated queries in batches sharing one random schema.
+
+    Alternates chain-join and star-join schemas; chain batches use
+    :func:`random_select_query` (random equality filters), star batches
+    random filters on dimension attributes.
+    """
+    rng = random.Random(seed)
+    batches: list[tuple[Database, list[str]]] = []
+    remaining = count
+    star = False
+    while remaining > 0:
+        size = min(batch_size, remaining)
+        remaining -= size
+        if star:
+            specs = random_star_spec(rng.randint(2, 4), rng, fact_rows=600)
+            db = build_database(specs, seed=rng.randrange(1 << 30))
+            queries = [_random_star_query(specs, rng) for __ in range(size)]
+        else:
+            specs = random_chain_spec(rng.randint(3, 5), rng, max_rows=400)
+            db = build_database(specs, seed=rng.randrange(1 << 30))
+            queries = [random_select_query(specs, rng) for __ in range(size)]
+        batches.append((db, queries))
+        star = not star
+    return batches
+
+
+def _random_star_query(
+    specs: list[TableSpec], rng: random.Random, max_selections: int = 2
+) -> str:
+    selections: list[tuple[str, str, int]] = []
+    for __ in range(rng.randint(0, max_selections)):
+        spec = rng.choice(specs[1:])  # a dimension table
+        column = spec.column("ATTR")
+        selections.append(
+            (spec.name, "ATTR", column.low + rng.randrange(column.distinct))
+        )
+    return star_join_query(specs, selections)
+
+
+# ---------------------------------------------------------------------------
+# the three checks
+# ---------------------------------------------------------------------------
+
+
+def check_plans(
+    queries: int = 200, seed: int = 271828, echo: Callable[[str], None] = print
+) -> list[Violation]:
+    """Verify every corpus query's plan; returns all violations."""
+    violations: list[Violation] = []
+    planned = 0
+    for db in empdept_databases():
+        for use_heuristic, use_orders in ABLATIONS:
+            for sql in EMPDEPT_QUERIES:
+                _verify_query(db, sql, violations, use_heuristic, use_orders)
+                planned += 1
+    echo(f"  empdept: {planned} plans verified")
+    generated = 0
+    for db, batch in generated_batches(queries, seed):
+        for sql in batch:
+            _verify_query(db, sql, violations)
+            generated += 1
+    echo(f"  generated: {generated} plans verified")
+    return violations
+
+
+def _empty_relation_database() -> Database:
+    """An empty, indexed relation with collected statistics.
+
+    Degenerate statistics (zero pages, zero cardinality) historically
+    produced out-of-range P(T) values; keep the case in the audit corpus.
+    """
+    db = Database()
+    db.execute("CREATE TABLE EMPTY_REL (A INTEGER, B INTEGER)")
+    db.execute("CREATE INDEX EMPTY_A ON EMPTY_REL (A)")
+    db.execute("UPDATE STATISTICS")
+    return db
+
+
+def check_costs(echo: Callable[[str], None] = print) -> list[Violation]:
+    """Audit the cost model against every corpus catalog."""
+    violations: list[Violation] = []
+    audited = 0
+    for db in [*empdept_databases(), _empty_relation_database()]:
+        violations.extend(
+            audit_cost_model(
+                db.catalog, db.w, db.storage.buffer.capacity
+            )
+        )
+        audited += 1
+    for db, __ in generated_batches(40, seed=314159):
+        violations.extend(
+            audit_cost_model(db.catalog, db.w, db.storage.buffer.capacity)
+        )
+        audited += 1
+    echo(f"  cost model audited against {audited} catalogs")
+    return violations
+
+
+def check_lint(echo: Callable[[str], None] = print) -> list[Violation]:
+    """Run the project lint over ``src/repro``."""
+    violations = lint_repo()
+    echo("  lint pass over src/repro complete")
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# CLI entry point
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro check [--plans] [--costs] [--lint]`` — 0 when clean."""
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="statically verify optimizer plans, costs, and code",
+    )
+    parser.add_argument(
+        "--plans", action="store_true", help="plan-check the query corpora"
+    )
+    parser.add_argument(
+        "--costs", action="store_true", help="audit the cost model"
+    )
+    parser.add_argument(
+        "--lint", action="store_true", help="run the project lint"
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=200,
+        help="number of generated queries for --plans (default 200)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=271828, help="corpus random seed"
+    )
+    args = parser.parse_args(argv)
+    run_all = not (args.plans or args.costs or args.lint)
+
+    failures = 0
+    sections: list[tuple[str, Callable[[], list[Violation]]]] = []
+    if run_all or args.lint:
+        sections.append(("lint", lambda: check_lint()))
+    if run_all or args.costs:
+        sections.append(("costs", lambda: check_costs()))
+    if run_all or args.plans:
+        sections.append(
+            ("plans", lambda: check_plans(args.queries, args.seed))
+        )
+    for name, runner in sections:
+        print(f"check --{name}:")
+        violations = runner()
+        if violations:
+            failures += len(violations)
+            for violation in violations:
+                print(f"  FAIL {violation}")
+        else:
+            print("  ok")
+    if failures:
+        print(f"repro check: {failures} violation(s)", file=sys.stderr)
+        return 1
+    print("repro check: all checks passed")
+    return 0

@@ -1,0 +1,314 @@
+"""Project-specific lint: an ``ast``-based pass over ``src/repro``.
+
+Generic linters cannot know this project's rules, so this pass enforces
+them directly on the parsed source:
+
+- **no-float-eq** — cost-sensitive modules (``optimizer/``, ``analysis/``)
+  may not compare float-valued expressions with ``==`` / ``!=``; cost and
+  cardinality comparisons must use tolerant helpers or inequalities.
+- **mutable-default** — no function may use a mutable default argument
+  (``[]``, ``{}``, ``set()`` and friends) anywhere in the package.
+- **counter-mutation** — the cost counters in :mod:`repro.rss.counters`
+  (``page_fetches``, ``rsi_calls``, ``buffer_hits``) may only be assigned
+  or incremented inside ``rss/``; everyone else observes them through
+  snapshots or ``reset()``.
+- **walker-not-exhaustive** — every registered plan walker must dispatch
+  with ``isinstance`` on *every* :class:`~repro.optimizer.plan.PlanNode`
+  subclass, so adding a plan node type cannot silently fall through.
+
+The subclass list is discovered by parsing ``optimizer/plan.py``, never
+hard-coded, so the lint stays correct as the plan algebra grows.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .plan_check import Violation
+
+#: Modules whose float values must never be compared with ``==``.
+_COST_MODULE_PREFIXES = ("optimizer/", "analysis/")
+
+#: Attribute names that are float-valued throughout the codebase.
+_FLOAT_ATTRS = frozenset(
+    {
+        "pages",
+        "rsi",
+        "rows",
+        "buffer_claim",
+        "selectivity",
+        "fraction",
+        "qcard",
+        "nested_eval_total",
+        "eval_total",
+        "distinct_total",
+    }
+)
+
+#: Calls whose results are float-valued costs.
+_FLOAT_METHODS = frozenset({"total", "scaled", "weighted_cost"})
+
+#: Counter fields that only ``rss/`` may mutate.
+_COUNTER_FIELDS = frozenset({"page_fetches", "rsi_calls", "buffer_hits"})
+
+#: Every plan walker: (module path relative to src/repro, function name).
+#: Each must dispatch on every PlanNode subclass.
+_PLAN_WALKERS = (
+    ("engine/operators.py", "iterate"),
+    ("optimizer/explain.py", "plan_summary"),
+    ("analysis/plan_check.py", "_walk"),
+    ("analysis/cost_audit.py", "_audit_node"),
+)
+
+
+def package_root() -> Path:
+    """The ``src/repro`` directory this module lives in."""
+    return Path(__file__).resolve().parent.parent
+
+
+def lint_repo(root: Path | None = None) -> list[Violation]:
+    """Run every lint rule over the package; returns all violations."""
+    root = package_root() if root is None else root
+    violations: list[Violation] = []
+    trees: dict[str, ast.Module] = {}
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root).as_posix()
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError as error:
+            violations.append(
+                Violation("syntax-error", f"{relative}:{error.lineno}", str(error))
+            )
+            continue
+        trees[relative] = tree
+        _check_mutable_defaults(relative, tree, violations)
+        if relative.startswith(_COST_MODULE_PREFIXES):
+            _check_float_eq(relative, tree, violations)
+        if not relative.startswith("rss/"):
+            _check_counter_mutation(relative, tree, violations)
+    _check_walkers(trees, violations, root)
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# rule: mutable default arguments
+# ---------------------------------------------------------------------------
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "OrderedDict"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _MUTABLE_CALLS:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _MUTABLE_CALLS:
+            return True
+    return False
+
+
+def _check_mutable_defaults(
+    relative: str, tree: ast.Module, violations: list[Violation]
+) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                violations.append(
+                    Violation(
+                        "mutable-default",
+                        f"{relative}:{default.lineno}",
+                        f"function {node.name!r} has a mutable default "
+                        "argument; use None and create it in the body",
+                    )
+                )
+
+
+# ---------------------------------------------------------------------------
+# rule: no float == in cost code
+# ---------------------------------------------------------------------------
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    """Whether an expression is float-valued by this project's conventions."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Attribute):
+        return node.attr in _FLOAT_ATTRS
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _FLOAT_METHODS:
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return True  # true division always produces a float
+    if isinstance(node, (ast.BinOp, ast.UnaryOp)):
+        operands = (
+            [node.left, node.right]
+            if isinstance(node, ast.BinOp)
+            else [node.operand]
+        )
+        return any(_is_floatish(operand) for operand in operands)
+    return False
+
+
+def _check_float_eq(
+    relative: str, tree: ast.Module, violations: list[Violation]
+) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_floatish(left) or _is_floatish(right):
+                violations.append(
+                    Violation(
+                        "float-eq",
+                        f"{relative}:{node.lineno}",
+                        "float-valued expressions compared with == / != in "
+                        "cost code; use a tolerant comparison",
+                    )
+                )
+
+
+# ---------------------------------------------------------------------------
+# rule: counters mutated only inside rss/
+# ---------------------------------------------------------------------------
+
+
+def _check_counter_mutation(
+    relative: str, tree: ast.Module, violations: list[Violation]
+) -> None:
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and target.attr in _COUNTER_FIELDS
+                # `self.page_fetches = 0` inside counters.py itself is the
+                # dataclass definition; everywhere else it is a mutation.
+                and not (
+                    isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and relative == "rss/counters.py"
+                )
+            ):
+                violations.append(
+                    Violation(
+                        "counter-mutation",
+                        f"{relative}:{node.lineno}",
+                        f"cost counter {target.attr!r} mutated outside rss/;"
+                        " only the storage layer may count cost events",
+                    )
+                )
+
+
+# ---------------------------------------------------------------------------
+# rule: exhaustive plan-node dispatch
+# ---------------------------------------------------------------------------
+
+
+def plan_node_subclasses(root: Path | None = None) -> list[str]:
+    """PlanNode subclass names, discovered by parsing ``optimizer/plan.py``."""
+    root = package_root() if root is None else root
+    tree = ast.parse((root / "optimizer" / "plan.py").read_text(encoding="utf-8"))
+    names: list[str] = []
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and any(
+            isinstance(base, ast.Name) and base.id == "PlanNode"
+            for base in node.bases
+        ):
+            names.append(node.name)
+    return names
+
+
+def _isinstance_targets(func: ast.AST) -> set[str]:
+    """Names used as the class argument of ``isinstance`` calls in a body."""
+    targets: set[str] = set()
+    for node in ast.walk(func):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and len(node.args) == 2
+        ):
+            continue
+        classes = node.args[1]
+        elements = (
+            list(classes.elts) if isinstance(classes, ast.Tuple) else [classes]
+        )
+        for element in elements:
+            if isinstance(element, ast.Name):
+                targets.add(element.id)
+            elif isinstance(element, ast.Attribute):
+                targets.add(element.attr)
+    return targets
+
+
+def _find_function(tree: ast.Module, name: str) -> ast.AST | None:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == name:
+                return node
+    return None
+
+
+def _check_walkers(
+    trees: dict[str, ast.Module],
+    violations: list[Violation],
+    root: Path | None = None,
+) -> None:
+    try:
+        subclasses = plan_node_subclasses(root)
+    except (OSError, SyntaxError) as error:
+        violations.append(
+            Violation("walker-not-exhaustive", "optimizer/plan.py", str(error))
+        )
+        return
+    for relative, function_name in _PLAN_WALKERS:
+        where = f"{relative}:{function_name}"
+        tree = trees.get(relative)
+        if tree is None:
+            violations.append(
+                Violation(
+                    "walker-not-exhaustive",
+                    where,
+                    "registered plan walker module is missing",
+                )
+            )
+            continue
+        func = _find_function(tree, function_name)
+        if func is None:
+            violations.append(
+                Violation(
+                    "walker-not-exhaustive",
+                    where,
+                    "registered plan walker function is missing",
+                )
+            )
+            continue
+        handled = _isinstance_targets(func)
+        missing = [name for name in subclasses if name not in handled]
+        if missing:
+            violations.append(
+                Violation(
+                    "walker-not-exhaustive",
+                    where,
+                    "plan walker does not dispatch on "
+                    + ", ".join(missing),
+                )
+            )

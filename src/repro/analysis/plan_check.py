@@ -1,0 +1,709 @@
+"""Structural verification of optimizer plan trees.
+
+The checker walks any :class:`~repro.optimizer.plan.PlanNode` tree and
+asserts the invariants a correct access path selection must satisfy:
+
+- every :class:`ScanNode` references a table that exists in the catalog,
+  and every :class:`IndexAccess` an index of that table (object identity,
+  so stale definitions from dropped relations are caught);
+- the join tree accesses every FROM-list relation exactly once, and join
+  column bindings resolve against the side that produces them;
+- :class:`SortNode` keys are produced by the child subtree, and the node's
+  claimed output order is exactly its key list;
+- both :class:`MergeJoinNode` inputs carry the required interesting order
+  (modulo order equivalence classes from :mod:`repro.optimizer.orders`);
+- the predicates applied across the tree (scan SARGs, probe SARGs, merge
+  columns, join residuals, filter predicates) *partition* the bound WHERE
+  clause's boolean factors — none dropped, none applied twice;
+- claimed output orders never overstate what the children produce.
+
+``check_statement`` verifies a whole :class:`PlannedStatement` including
+its nested blocks; ``verify_planned`` additionally runs the cost audit and
+raises :class:`PlanCheckError`, and is what the ``REPRO_CHECK=1``
+environment flag calls on every ``plan_query()`` result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..catalog.catalog import Catalog
+from ..errors import ReproError
+from ..optimizer.bound import BoundColumn, BoundQueryBlock
+from ..optimizer.orders import InterestingOrders
+from ..optimizer.plan import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    IndexAccess,
+    MergeJoinNode,
+    NestedLoopJoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SegmentAccess,
+    SortNode,
+)
+from ..optimizer.planner import PlannedStatement
+from ..optimizer.predicates import (
+    BooleanFactor,
+    JoinPredicate,
+    SargExpression,
+)
+from ..sql import ast
+
+
+class PlanCheckError(ReproError):
+    """A plan (or its costing) violated a checked invariant."""
+
+    def __init__(self, violations: list["Violation"]):
+        self.violations = list(violations)
+        shown = "; ".join(str(v) for v in self.violations[:8])
+        if len(self.violations) > 8:
+            shown += f"; ... ({len(self.violations) - 8} more)"
+        super().__init__(f"plan check failed: {shown}")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation found by a checker."""
+
+    rule: str  # short stable identifier, e.g. "dangling-index"
+    where: str  # node label or file location
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.where}: {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# predicate application sites
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Site:
+    """One place in the plan tree where a predicate is enforced."""
+
+    kind: str  # "sarg" | "residual" | "filter" | "merge"
+    where: str
+    sarg: SargExpression | None = None
+    expr: ast.Expr | None = None
+    merge_columns: frozenset[BoundColumn] | None = None
+
+
+def _is_probe_for(sarg: SargExpression, join: JoinPredicate) -> bool:
+    """Whether a scan SARG is the probe form of a join predicate."""
+    if len(sarg.groups) != 1 or len(sarg.groups[0]) != 1:
+        return False
+    pred = sarg.groups[0][0]
+    if pred.column == join.left:
+        return pred.value == join.right and pred.op is join.op
+    if pred.column == join.right:
+        return pred.value == join.left and pred.op is join.op.flipped()
+    return False
+
+
+def _factor_matches_site(factor: BooleanFactor, site: _Site) -> bool:
+    if site.kind == "sarg":
+        assert site.sarg is not None
+        if factor.sarg is not None and site.sarg is factor.sarg:
+            return True
+        return factor.join is not None and _is_probe_for(site.sarg, factor.join)
+    if site.kind == "merge":
+        assert site.merge_columns is not None
+        return (
+            factor.join is not None
+            and factor.join.is_equijoin
+            and frozenset((factor.join.left, factor.join.right))
+            == site.merge_columns
+        )
+    # residual / filter: predicate expressions pass through by reference.
+    return site.expr is factor.expr
+
+
+# ---------------------------------------------------------------------------
+# the checker
+# ---------------------------------------------------------------------------
+
+
+class _Checker:
+    """Single-use checker for one plan tree of one bound block."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        block: BoundQueryBlock | None,
+        factors: list[BooleanFactor] | None,
+    ):
+        self._catalog = catalog
+        self._block = block
+        self._orders: InterestingOrders | None = None
+        if block is not None and factors is not None:
+            self._orders = InterestingOrders(block, factors)
+        self._factors = factors
+        self._scans: dict[str, ScanNode] = {}
+        self._sites: list[_Site] = []
+        self.violations: list[Violation] = []
+
+    # -- entry point ------------------------------------------------------------
+
+    def check(self, root: PlanNode) -> None:
+        """Walk the tree, then verify block-level invariants."""
+        produced = self._walk(root)
+        if self._block is not None:
+            wanted = set(self._block.aliases)
+            if set(produced) != wanted:
+                self._flag(
+                    "missing-relation",
+                    root,
+                    f"plan accesses {sorted(produced)} but the block's FROM "
+                    f"list is {sorted(wanted)}",
+                )
+        if self._factors is not None:
+            self._check_partition(self._factors)
+
+    # -- node dispatch (exhaustive over PlanNode subclasses) --------------------
+
+    def _walk(
+        self, node: PlanNode, probe_aliases: frozenset[str] = frozenset()
+    ) -> frozenset[str]:
+        """Check one subtree; returns the aliases it produces rows for."""
+        if isinstance(node, ScanNode):
+            return self._check_scan(node, probe_aliases)
+        if isinstance(node, NestedLoopJoinNode):
+            return self._check_nested_loop(node)
+        if isinstance(node, MergeJoinNode):
+            return self._check_merge_join(node)
+        if isinstance(node, SortNode):
+            return self._check_sort(node)
+        if isinstance(node, FilterNode):
+            return self._check_filter(node)
+        if isinstance(node, AggregateNode):
+            return self._check_aggregate(node)
+        if isinstance(node, ProjectNode):
+            return self._check_project(node)
+        if isinstance(node, DistinctNode):
+            return self._check_distinct(node)
+        self._flag(
+            "unknown-node",
+            node,
+            f"no checker for plan node type {type(node).__name__}",
+        )
+        return frozenset()
+
+    # -- scans ------------------------------------------------------------------
+
+    def _check_scan(
+        self, node: ScanNode, probe_aliases: frozenset[str]
+    ) -> frozenset[str]:
+        if node.alias in self._scans:
+            self._flag(
+                "duplicate-alias",
+                node,
+                f"alias {node.alias!r} scanned more than once",
+            )
+        self._scans[node.alias] = node
+
+        if not self._catalog.has_table(node.table.name):
+            self._flag(
+                "dangling-table",
+                node,
+                f"table {node.table.name!r} does not exist in the catalog",
+            )
+        elif self._catalog.table(node.table.name) is not node.table:
+            self._flag(
+                "stale-table",
+                node,
+                f"table {node.table.name!r} is not the catalog's definition",
+            )
+        if self._block is not None:
+            try:
+                bound = self._block.alias_table(node.alias)
+            except KeyError:
+                bound = None
+                self._flag(
+                    "unknown-alias",
+                    node,
+                    f"alias {node.alias!r} is not in the block's FROM list",
+                )
+            if bound is not None and bound is not node.table:
+                self._flag(
+                    "alias-table-mismatch",
+                    node,
+                    f"alias {node.alias!r} is bound to {bound.name!r}, "
+                    f"not {node.table.name!r}",
+                )
+
+        if isinstance(node.access, IndexAccess):
+            self._check_index_access(node)
+        elif isinstance(node.access, SegmentAccess):
+            if node.order_columns:
+                self._flag(
+                    "phantom-order",
+                    node,
+                    "segment scans are unordered but the node claims "
+                    f"{node.order_columns}",
+                )
+        else:
+            self._flag(
+                "unknown-access",
+                node,
+                f"unrecognized access path {type(node.access).__name__}",
+            )
+
+        for sarg in node.sargs:
+            self._check_sarg(node, sarg, probe_aliases)
+            self._sites.append(_Site("sarg", node.label(), sarg=sarg))
+        for expr in node.residual:
+            for column in self._local_columns(expr):
+                if column.alias != node.alias:
+                    self._flag(
+                        "unbound-residual",
+                        node,
+                        f"residual {expr} references {column} which this "
+                        "scan does not produce",
+                    )
+            self._sites.append(_Site("residual", node.label(), expr=expr))
+        return frozenset({node.alias})
+
+    def _check_index_access(self, node: ScanNode) -> None:
+        access = node.access
+        assert isinstance(access, IndexAccess)
+        index = access.index
+        catalog_indexes = self._catalog.indexes_on(node.table.name)
+        if not any(existing is index for existing in catalog_indexes):
+            self._flag(
+                "dangling-index",
+                node,
+                f"index {index.name!r} is not an index of "
+                f"{node.table.name!r} in the catalog",
+            )
+        if index.table_name != node.table.name:
+            self._flag(
+                "index-table-mismatch",
+                node,
+                f"index {index.name!r} belongs to {index.table_name!r}, "
+                f"not {node.table.name!r}",
+            )
+        for position in index.key_positions:
+            if not 0 <= position < len(node.table.columns):
+                self._flag(
+                    "bad-key-position",
+                    node,
+                    f"index {index.name!r} key position {position} is out of "
+                    f"range for {node.table.name!r}",
+                )
+        expected_order = tuple(
+            (node.alias, position) for position in index.key_positions
+        )
+        if node.order_columns[: len(node.order_columns)] != expected_order[
+            : len(node.order_columns)
+        ]:
+            self._flag(
+                "phantom-order",
+                node,
+                f"claimed order {node.order_columns} is not a prefix of the "
+                f"index key order {expected_order}",
+            )
+        if len(access.low) > len(index.key_positions) or len(access.high) > len(
+            index.key_positions
+        ):
+            self._flag(
+                "bad-key-bounds",
+                node,
+                f"key bounds are longer than the {len(index.key_positions)}"
+                f"-column key of {index.name!r}",
+            )
+
+    def _check_sarg(
+        self,
+        node: ScanNode,
+        sarg: SargExpression,
+        probe_aliases: frozenset[str],
+    ) -> None:
+        for group in sarg.groups:
+            for pred in group:
+                if pred.column.alias != node.alias:
+                    self._flag(
+                        "unbound-sarg",
+                        node,
+                        f"SARG column {pred.column} does not belong to "
+                        f"alias {node.alias!r}",
+                    )
+                else:
+                    self._check_column_binding(node, pred.column)
+                for column in self._local_columns(pred.value):
+                    if column.alias not in probe_aliases:
+                        self._flag(
+                            "unbound-probe",
+                            node,
+                            f"SARG value references {column} but only "
+                            f"{sorted(probe_aliases)} are available from "
+                            "the outer side",
+                        )
+
+    def _check_column_binding(self, node: PlanNode, column: BoundColumn) -> None:
+        scan = self._scans.get(column.alias)
+        if scan is None:
+            return  # flagged by the caller's alias check
+        table = scan.table
+        if not 0 <= column.position < len(table.columns):
+            self._flag(
+                "unbound-column",
+                node,
+                f"{column} position {column.position} is out of range for "
+                f"{table.name!r}",
+            )
+            return
+        defined = table.columns[column.position]
+        if defined.name != column.column_name or table.name != column.table_name:
+            self._flag(
+                "unbound-column",
+                node,
+                f"{column} does not resolve: position {column.position} of "
+                f"{table.name!r} is {defined.name!r}",
+            )
+
+    # -- joins ------------------------------------------------------------------
+
+    def _check_nested_loop(self, node: NestedLoopJoinNode) -> frozenset[str]:
+        outer = self._walk(node.outer)
+        if not isinstance(node.inner, ScanNode):
+            self._flag(
+                "bad-inner",
+                node,
+                "nested-loop inner must be a single-relation scan, got "
+                f"{type(node.inner).__name__}",
+            )
+            inner = self._walk(node.inner)
+        else:
+            inner = self._walk(node.inner, probe_aliases=outer)
+        if outer & inner:
+            self._flag(
+                "duplicate-alias",
+                node,
+                f"outer and inner both produce {sorted(outer & inner)}",
+            )
+        combined = outer | inner
+        self._check_residual(node, node.residual, combined)
+        self._check_order_claim(node, node.order_columns, node.outer.order_columns)
+        return combined
+
+    def _check_merge_join(self, node: MergeJoinNode) -> frozenset[str]:
+        outer = self._walk(node.outer)
+        inner = self._walk(node.inner)
+        if outer & inner:
+            self._flag(
+                "duplicate-alias",
+                node,
+                f"outer and inner both produce {sorted(outer & inner)}",
+            )
+        combined = outer | inner
+        for column, side, aliases in (
+            (node.outer_column, "outer", outer),
+            (node.inner_column, "inner", inner),
+        ):
+            if column.alias not in aliases:
+                self._flag(
+                    "unbound-join-column",
+                    node,
+                    f"{side} merge column {column} is not produced by the "
+                    f"{side} input ({sorted(aliases)})",
+                )
+            else:
+                self._check_column_binding(node, column)
+        self._check_merge_order(node, node.outer, node.outer_column, "outer")
+        self._check_merge_order(node, node.inner, node.inner_column, "inner")
+        self._check_residual(node, node.residual, combined)
+        self._sites.append(
+            _Site(
+                "merge",
+                node.label(),
+                merge_columns=frozenset((node.outer_column, node.inner_column)),
+            )
+        )
+        self._check_order_claim(
+            node,
+            node.order_columns,
+            ((node.outer_column.alias, node.outer_column.position),),
+        )
+        return combined
+
+    def _check_merge_order(
+        self,
+        node: MergeJoinNode,
+        child: PlanNode,
+        column: BoundColumn,
+        side: str,
+    ) -> None:
+        """A merge input must be ordered on its join column's order class."""
+        if not child.order_columns:
+            self._flag(
+                "merge-unordered-input",
+                node,
+                f"{side} input {child.label()!r} carries no order but the "
+                f"merge consumes an order on {column}",
+            )
+            return
+        produced = child.order_columns[0]
+        wanted = (column.alias, column.position)
+        if produced == wanted:
+            return
+        if self._orders is not None and self._orders.class_of(
+            produced
+        ) == self._orders.class_of(wanted):
+            return
+        self._flag(
+            "merge-wrong-order",
+            node,
+            f"{side} input is ordered on {produced} which is not in the "
+            f"order equivalence class of {column}",
+        )
+
+    def _check_residual(
+        self, node: PlanNode, residual: list[ast.Expr], available: frozenset[str]
+    ) -> None:
+        for expr in residual:
+            for column in self._local_columns(expr):
+                if column.alias not in available:
+                    self._flag(
+                        "unbound-residual",
+                        node,
+                        f"residual {expr} references {column} but this join "
+                        f"only produces {sorted(available)}",
+                    )
+            self._sites.append(_Site("residual", node.label(), expr=expr))
+
+    # -- sorting / aggregation / projection ------------------------------------
+
+    def _check_sort(self, node: SortNode) -> frozenset[str]:
+        produced = self._walk(node.child)
+        for column, __ in node.keys:
+            if column.alias not in produced:
+                self._flag(
+                    "unbound-sort-key",
+                    node,
+                    f"sort key {column} is not produced by the child "
+                    f"({sorted(produced)})",
+                )
+            else:
+                self._check_column_binding(node, column)
+        expected = tuple((column.alias, column.position) for column, __ in node.keys)
+        if node.order_columns != expected:
+            self._flag(
+                "phantom-order",
+                node,
+                f"sort claims order {node.order_columns} but its keys are "
+                f"{expected}",
+            )
+        return produced
+
+    def _check_filter(self, node: FilterNode) -> frozenset[str]:
+        produced = self._walk(node.child)
+        for expr in node.predicates:
+            for column in self._local_columns(expr):
+                if column.alias not in produced:
+                    self._flag(
+                        "unbound-filter",
+                        node,
+                        f"filter {expr} references {column} but the child "
+                        f"only produces {sorted(produced)}",
+                    )
+            self._sites.append(_Site("filter", node.label(), expr=expr))
+        self._check_order_claim(node, node.order_columns, node.child.order_columns)
+        return produced
+
+    def _check_aggregate(self, node: AggregateNode) -> frozenset[str]:
+        produced = self._walk(node.child)
+        for column in node.group_by:
+            if column.alias not in produced:
+                self._flag(
+                    "unbound-group-key",
+                    node,
+                    f"grouping column {column} is not produced by the child",
+                )
+            else:
+                self._check_column_binding(node, column)
+        if node.group_by:
+            wanted = tuple(
+                (column.alias, column.position) for column in node.group_by
+            )
+            child_order = node.child.order_columns[: len(wanted)]
+            if not self._order_satisfies(child_order, wanted):
+                self._flag(
+                    "group-order-missing",
+                    node,
+                    f"grouping needs order {wanted} but the child produces "
+                    f"{node.child.order_columns}",
+                )
+        return produced
+
+    def _check_project(self, node: ProjectNode) -> frozenset[str]:
+        produced = self._walk(node.child)
+        if len(node.exprs) != len(node.names):
+            self._flag(
+                "project-arity",
+                node,
+                f"{len(node.exprs)} expressions but {len(node.names)} names",
+            )
+        return produced
+
+    def _check_distinct(self, node: DistinctNode) -> frozenset[str]:
+        if not isinstance(node.child, ProjectNode):
+            self._flag(
+                "distinct-below-project",
+                node,
+                "DISTINCT must apply to fully-projected rows, got "
+                f"{type(node.child).__name__}",
+            )
+        return self._walk(node.child)
+
+    # -- order claims ------------------------------------------------------------
+
+    def _order_satisfies(
+        self,
+        produced: tuple[tuple[str, int], ...],
+        wanted: tuple[tuple[str, int], ...],
+    ) -> bool:
+        """Prefix satisfaction modulo order equivalence classes."""
+        if len(produced) < len(wanted):
+            return False
+        for have, want in zip(produced, wanted):
+            if have == want:
+                continue
+            if self._orders is None or self._orders.class_of(
+                have
+            ) != self._orders.class_of(want):
+                return False
+        return True
+
+    def _check_order_claim(
+        self,
+        node: PlanNode,
+        claimed: tuple[tuple[str, int], ...],
+        available: tuple[tuple[str, int], ...],
+    ) -> None:
+        """A node may not claim more order than its input establishes."""
+        if not claimed:
+            return
+        if not self._order_satisfies(available[: len(claimed)], claimed):
+            self._flag(
+                "phantom-order",
+                node,
+                f"claimed order {claimed} is not established by the input "
+                f"order {available}",
+            )
+
+    # -- predicate partition -----------------------------------------------------
+
+    def _check_partition(self, factors: list[BooleanFactor]) -> None:
+        """Applied predicates must partition the WHERE clause's factors."""
+        remaining = list(self._sites)
+        matched: list[tuple[BooleanFactor, _Site]] = []
+        for factor in factors:
+            site = next(
+                (s for s in remaining if _factor_matches_site(factor, s)), None
+            )
+            if site is None:
+                self._flag(
+                    "dropped-predicate",
+                    None,
+                    f"boolean factor {factor} is not applied anywhere in "
+                    "the plan",
+                )
+                continue
+            remaining.remove(site)
+            matched.append((factor, site))
+        for factor, __ in matched:
+            extra = next(
+                (s for s in remaining if _factor_matches_site(factor, s)), None
+            )
+            if extra is not None:
+                remaining.remove(extra)
+                self._flag(
+                    "double-applied-predicate",
+                    None,
+                    f"boolean factor {factor} is applied more than once "
+                    f"(again at {extra.where})",
+                )
+        for site in remaining:
+            self._flag(
+                "unknown-predicate",
+                None,
+                f"{site.kind} at {site.where} enforces a predicate that is "
+                "not a boolean factor of the WHERE clause",
+            )
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _local_columns(self, expr: ast.Expr) -> list[BoundColumn]:
+        """Same-block bound columns referenced anywhere in an expression."""
+        if self._block is None:
+            return [
+                n for n in ast.walk_expr(expr) if isinstance(n, BoundColumn)
+            ]
+        return [
+            n
+            for n in ast.walk_expr(expr)
+            if isinstance(n, BoundColumn)
+            and n.block_id == self._block.block_id
+        ]
+
+    def _flag(self, rule: str, node: PlanNode | None, message: str) -> None:
+        where = node.label() if node is not None else "<statement>"
+        self.violations.append(Violation(rule, where, message))
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+
+
+def check_plan(
+    root: PlanNode,
+    catalog: Catalog,
+    block: BoundQueryBlock | None = None,
+    factors: list[BooleanFactor] | None = None,
+) -> list[Violation]:
+    """Check one plan tree; block/factors enable the block-level checks."""
+    checker = _Checker(catalog, block, factors)
+    checker.check(root)
+    return checker.violations
+
+
+def check_statement(
+    planned: PlannedStatement, catalog: Catalog
+) -> list[Violation]:
+    """Check a planned statement and every nested block's plan."""
+    violations = check_plan(planned.root, catalog, planned.block, planned.factors)
+    seen: set[int] = set()
+    for sub in planned.subquery_plans.values():
+        if id(sub) in seen:
+            continue
+        seen.add(id(sub))
+        violations.extend(
+            check_plan(sub.root, catalog, sub.block, sub.factors)
+        )
+    return violations
+
+
+def verify_planned(planned: PlannedStatement, catalog: Catalog) -> None:
+    """Full static verification of one planned statement; raises on failure.
+
+    Runs the structural plan check, the cost audit, and — when the search
+    recorded its pruning decisions — the DP prune audit.  This is the hook
+    behind the ``REPRO_CHECK=1`` environment flag.
+    """
+    from .cost_audit import audit_search_stats, audit_statement
+
+    violations = check_statement(planned, catalog)
+    violations.extend(audit_statement(planned, catalog))
+    seen: set[int] = set()
+    for statement in [planned, *planned.subquery_plans.values()]:
+        if id(statement) in seen or statement.search_stats is None:
+            continue
+        seen.add(id(statement))
+        violations.extend(audit_search_stats(statement.search_stats))
+    if violations:
+        raise PlanCheckError(violations)

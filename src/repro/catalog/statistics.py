@@ -87,7 +87,10 @@ def _collect_for_table(
             pages_with_tuples.add(tid.page_id)
         tcard = len(pages_with_tuples)
         non_empty = segment.non_empty_pages()
-        fraction = tcard / non_empty if non_empty else 0.0
+        # P(T) is a fraction in (0, 1]; an empty relation (or a relation
+        # holding no pages of a shared segment) gets the neutral 1.0, never
+        # 0 — a zero P would divide segment-scan costs by zero downstream.
+        fraction = tcard / non_empty if non_empty and tcard else 1.0
         catalog.set_relation_stats(
             table.name, RelationStats(ncard=ncard, tcard=tcard, fraction=fraction)
         )

@@ -183,8 +183,17 @@ class Shell:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point for ``python -m repro``."""
+    """Entry point for ``python -m repro``.
+
+    ``python -m repro check [--plans|--costs|--lint]`` runs the static
+    verification suite instead of the shell; any other arguments are read
+    as SQL script files before the interactive prompt starts.
+    """
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "check":
+        from .analysis.check import main as check_main
+
+        return check_main(argv[1:])
     shell = Shell()
     print("repro — a miniature System R. \\q to quit; statements end with ;")
     for path in argv:

@@ -233,7 +233,7 @@ def _iter_merge_join(
         for inner_row in group:
             if replay or group_served_once:
                 # Re-retrieving a buffered group tuple is an RSI call.
-                counters.rsi_calls += 1
+                counters.count_rsi_call()
             merged = outer_row.merged(inner_row)
             if node.residual:
                 env = ctx.env(merged, outer)

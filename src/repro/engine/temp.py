@@ -54,7 +54,7 @@ class TempList:
             self._storage.buffer.fetch(page.page_id)
             self._tail_page = page
         page.insert(record)
-        self._storage.counters.rsi_calls += 1
+        self._storage.counters.count_rsi_call()
         self.row_count += 1
 
     def build(self, rows: list[Row]) -> None:
@@ -71,7 +71,7 @@ class TempList:
             assert isinstance(page, Page)
             for __, record in page.records():
                 flat = decode_tuple(record, self._datatypes)
-                counters.rsi_calls += 1
+                counters.count_rsi_call()
                 yield self._unflatten(flat)
 
     def page_count(self) -> int:

@@ -9,16 +9,20 @@ These helpers render the same artifacts from a live :class:`JoinSearch`.
 
 from __future__ import annotations
 
+from ..catalog.catalog import Catalog
 from .access_paths import enumerate_paths
 from .bound import BoundQueryBlock
 from .cost import CostModel
 from .joins import JoinSearch
 from .orders import InterestingOrders, OrderKey
 from .plan import (
+    AggregateNode,
+    DistinctNode,
     FilterNode,
     MergeJoinNode,
     NestedLoopJoinNode,
     PlanNode,
+    ProjectNode,
     ScanNode,
     SegmentAccess,
     SortNode,
@@ -45,6 +49,8 @@ def plan_summary(node: PlanNode) -> str:
         return f"SORT({plan_summary(node.child)} by {keys})"
     if isinstance(node, FilterNode):
         return f"FILTER({plan_summary(node.child)})"
+    if isinstance(node, (AggregateNode, ProjectNode, DistinctNode)):
+        return f"{type(node).__name__}({plan_summary(node.child)})"
     children = ", ".join(plan_summary(child) for child in node.children())
     return f"{type(node).__name__}({children})"
 
@@ -59,7 +65,7 @@ def format_order(order_key: OrderKey) -> str:
 def render_single_relation_paths(
     block: BoundQueryBlock,
     factors: list[BooleanFactor],
-    catalog,
+    catalog: Catalog,
     estimator: SelectivityEstimator,
     cost_model: CostModel,
     orders: InterestingOrders,

@@ -15,7 +15,7 @@ relation remains.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..catalog.catalog import Catalog
 from ..errors import PlannerError
@@ -52,6 +52,20 @@ class JoinEntry:
         return self.plan.rows
 
 
+@dataclass(frozen=True)
+class PrunedCandidate:
+    """A solution the DP discarded, kept for the prune audit.
+
+    Recorded only under ``record_prunes`` (the ``REPRO_CHECK=1`` path):
+    the cost auditor verifies that every pruned candidate really was no
+    cheaper than the survivor of its (relation set, order class).
+    """
+
+    aliases: frozenset[str]
+    order_key: OrderKey
+    total: float
+
+
 @dataclass
 class SearchStats:
     """Bookkeeping for the optimization-cost experiments (E10, A3)."""
@@ -60,6 +74,11 @@ class SearchStats:
     entries_stored: int = 0
     subsets_expanded: int = 0
     extensions_pruned_by_heuristic: int = 0
+    #: Filled only when the search runs with ``record_prunes=True``.
+    pruned: list[PrunedCandidate] = field(default_factory=list)
+    survivor_totals: dict[tuple[frozenset[str], OrderKey], float] = field(
+        default_factory=dict
+    )
 
 
 class JoinSearch:
@@ -75,6 +94,7 @@ class JoinSearch:
         orders: InterestingOrders,
         use_heuristic: bool = True,
         use_interesting_orders: bool = True,
+        record_prunes: bool = False,
     ):
         self._block = block
         self._catalog = catalog
@@ -83,6 +103,7 @@ class JoinSearch:
         self._orders = orders
         self._use_heuristic = use_heuristic
         self._use_orders = use_interesting_orders
+        self._record_prunes = record_prunes
         self.stats = SearchStats()
 
         self._aliases = block.aliases
@@ -111,6 +132,14 @@ class JoinSearch:
                     self._extend(subset, alias)
         if full not in self.best or not self.best[full]:
             raise PlannerError("join search produced no complete solution")
+        if self._record_prunes:
+            # Snapshot the survivors so the prune audit can replay every
+            # discard decision against the entry that beat it.
+            for aliases, entries in self.best.items():
+                for key, entry in entries.items():
+                    self.stats.survivor_totals[(aliases, key)] = (
+                        self._cost.total(entry.cost)
+                    )
         return self.best[full]
 
     def solutions_for(self, aliases: frozenset[str]) -> dict[OrderKey, JoinEntry]:
@@ -456,9 +485,17 @@ class JoinSearch:
         table = self.best.setdefault(aliases, {})
         self.stats.plans_considered += 1
         existing = table.get(key)
-        if existing is None or self._cost.total(plan.cost) < self._cost.total(
-            existing.cost
-        ):
-            if existing is None:
-                self.stats.entries_stored += 1
+        total = self._cost.total(plan.cost)
+        if existing is None:
+            self.stats.entries_stored += 1
             table[key] = JoinEntry(plan=plan, order_key=key)
+        elif total < self._cost.total(existing.cost):
+            if self._record_prunes:
+                self.stats.pruned.append(
+                    PrunedCandidate(
+                        aliases, key, self._cost.total(existing.cost)
+                    )
+                )
+            table[key] = JoinEntry(plan=plan, order_key=key)
+        elif self._record_prunes:
+            self.stats.pruned.append(PrunedCandidate(aliases, key, total))

@@ -9,6 +9,7 @@ output cardinality, and the physical order of the rows it produces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from ..catalog.schema import IndexDef, TableDef
 from ..sql import ast
@@ -243,7 +244,7 @@ class DistinctNode(PlanNode):
         return "distinct"
 
 
-def walk_plan(node: PlanNode):
+def walk_plan(node: PlanNode) -> Iterator[PlanNode]:
     """Yield every node of a plan tree, pre-order."""
     yield node
     for child in node.children():

@@ -13,6 +13,7 @@ are re-evaluated per referenced candidate tuple (Section 6).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..catalog.catalog import Catalog
@@ -32,6 +33,18 @@ from .plan import (
 )
 from .predicates import BooleanFactor, to_cnf_factors
 from .selectivity import SelectivityEstimator
+
+
+def check_enabled() -> bool:
+    """Whether the ``REPRO_CHECK`` environment flag requests verification.
+
+    With ``REPRO_CHECK=1`` every ``plan_query()`` result is statically
+    verified (structural plan check, cost audit, DP prune audit) before it
+    is returned; a violated invariant raises
+    :class:`~repro.analysis.plan_check.PlanCheckError` instead of silently
+    running a wrong plan.
+    """
+    return os.environ.get("REPRO_CHECK", "") not in ("", "0")
 
 
 @dataclass
@@ -85,6 +98,7 @@ class Optimizer:
         use_heuristic: bool = True,
         use_interesting_orders: bool = True,
         correlation_ordering: bool = True,
+        verify_plans: bool | None = None,
     ):
         self._catalog = catalog
         self.w = w
@@ -95,6 +109,8 @@ class Optimizer:
         # values, plans ordered on the referenced column become attractive
         # ("it might even pay to sort the referenced relation").
         self._correlation_ordering = correlation_ordering
+        #: None defers to the REPRO_CHECK environment flag at plan time.
+        self.verify_plans = verify_plans
         self._estimator = SelectivityEstimator(catalog)
         self._cost_model = CostModel(catalog, w, buffer_pages)
 
@@ -110,10 +126,22 @@ class Optimizer:
 
     # -- entry points ------------------------------------------------------------
 
+    def verification_enabled(self) -> bool:
+        """Whether this optimizer statically verifies its own output."""
+        if self.verify_plans is not None:
+            return self.verify_plans
+        return check_enabled()
+
     def plan_query(self, query: ast.SelectQuery) -> PlannedStatement:
         """Bind and plan a parsed SELECT statement."""
         block = Binder(self._catalog).bind(query)
-        return self.plan_block(block)
+        planned = self.plan_block(block)
+        if self.verification_enabled():
+            # Imported lazily: the analysis package imports the optimizer.
+            from ..analysis.plan_check import verify_planned
+
+            verify_planned(planned, self._catalog)
+        return planned
 
     def plan_block(self, block: BoundQueryBlock) -> PlannedStatement:
         """Plan one bound query block (nested blocks recursively)."""
@@ -143,6 +171,7 @@ class Optimizer:
             orders,
             use_heuristic=self._use_heuristic,
             use_interesting_orders=self._use_orders,
+            record_prunes=self.verification_enabled(),
         )
         solutions = search.search()
         root, correlation_total = self._choose_solution(

@@ -90,11 +90,13 @@ class SelectivityEstimator:
             return 1.0
         if block.group_by:
             # Expected groups: bounded by the key cardinality of the first
-            # grouping column when an index reveals it.
+            # grouping column when an index reveals it, and always by the
+            # input cardinality itself — every group holds at least one
+            # tuple, so a sub-one QCARD cannot produce a full group.
             icard = self._icard(block.group_by[0])
             if icard is not None:
                 return min(qcard, float(icard))
-            return max(1.0, qcard * DEFAULT_EQ)
+            return min(qcard, max(1.0, qcard * DEFAULT_EQ))
         return qcard
 
     # -- TABLE 1 cases --------------------------------------------------------------

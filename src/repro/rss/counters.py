@@ -26,6 +26,15 @@ class CostCounters:
         self.rsi_calls = 0
         self.buffer_hits = 0
 
+    def count_rsi_call(self, calls: int = 1) -> None:
+        """Record tuples crossing the RSI.
+
+        The only sanctioned way to count RSI events from outside ``rss/``
+        (temporary-list traffic, merge group re-reads); the project lint
+        forbids mutating the counter fields directly elsewhere.
+        """
+        self.rsi_calls += calls
+
     def snapshot(self) -> "CounterSnapshot":
         """An immutable copy of the current counter values."""
         return CounterSnapshot(self.page_fetches, self.rsi_calls, self.buffer_hits)

@@ -1,0 +1,225 @@
+"""The structural plan checker: accepts every real plan, rejects corrupted ones.
+
+Each corruption test plans a real query, mutates the plan tree the way a
+specific optimizer bug would (dangling index reference, dropped predicate,
+phantom order claim, ...), and asserts the checker reports the matching
+rule.  A hypothesis sweep over the workload generator closes the loop:
+whatever the planner produces must verify cleanly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.check import EMPDEPT_QUERIES, verifying_optimizer
+from repro.analysis.plan_check import (
+    PlanCheckError,
+    check_plan,
+    check_statement,
+)
+from repro.catalog.schema import IndexDef
+from repro.optimizer.plan import (
+    FilterNode,
+    IndexAccess,
+    ScanNode,
+    SegmentAccess,
+    walk_plan,
+)
+from repro.optimizer.planner import check_enabled
+from repro.sql import parse_statement
+from repro.workloads.generator import (
+    build_database,
+    random_chain_spec,
+    random_select_query,
+    random_star_spec,
+    star_join_query,
+)
+
+
+def plan(db, sql):
+    """Plan without verification so tests can corrupt the result."""
+    return db.optimizer().plan_query(parse_statement(sql))
+
+
+def rules(violations):
+    return {violation.rule for violation in violations}
+
+
+# ---------------------------------------------------------------------------
+# clean plans are accepted
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("sql", EMPDEPT_QUERIES)
+def test_accepts_every_empdept_plan(empdept, sql):
+    verifying_optimizer(empdept).plan_query(parse_statement(sql))
+
+
+def test_clean_statement_has_no_violations(empdept):
+    planned = plan(
+        empdept, "SELECT NAME, DNAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO"
+    )
+    assert check_statement(planned, empdept.catalog) == []
+
+
+# ---------------------------------------------------------------------------
+# corrupted plans are rejected
+# ---------------------------------------------------------------------------
+
+
+def test_rejects_dangling_index(empdept):
+    planned = plan(empdept, "SELECT * FROM EMP WHERE DNO = 5")
+    scan = next(n for n in walk_plan(planned.root) if isinstance(n, ScanNode))
+    assert isinstance(scan.access, IndexAccess)
+    phantom = IndexDef(
+        name="EMP_PHANTOM",
+        table_name=scan.table.name,
+        column_names=list(scan.access.index.column_names),
+        key_positions=list(scan.access.index.key_positions),
+    )
+    scan.access = IndexAccess(
+        index=phantom, low=scan.access.low, high=scan.access.high
+    )
+    assert "dangling-index" in rules(check_statement(planned, empdept.catalog))
+
+
+def test_rejects_dropped_predicate(empdept):
+    planned = plan(empdept, "SELECT NAME FROM EMP WHERE SAL > 500")
+    for node in walk_plan(planned.root):
+        if isinstance(node, ScanNode):
+            node.sargs.clear()
+            node.residual.clear()
+        elif isinstance(node, FilterNode):
+            node.predicates.clear()
+    assert "dropped-predicate" in rules(
+        check_statement(planned, empdept.catalog)
+    )
+
+
+def test_rejects_double_applied_predicate(empdept):
+    planned = plan(empdept, "SELECT NAME FROM EMP WHERE SAL > 500")
+    scan = next(
+        n for n in walk_plan(planned.root) if isinstance(n, ScanNode) and n.sargs
+    )
+    scan.sargs.append(scan.sargs[0])
+    assert "double-applied-predicate" in rules(
+        check_statement(planned, empdept.catalog)
+    )
+
+
+def test_rejects_phantom_order(empdept):
+    planned = plan(empdept, "SELECT * FROM EMP")
+    scan = next(n for n in walk_plan(planned.root) if isinstance(n, ScanNode))
+    scan.access = SegmentAccess()
+    scan.order_columns = ((scan.alias, 0),)
+    assert "phantom-order" in rules(check_statement(planned, empdept.catalog))
+
+
+def test_rejects_missing_relation(empdept):
+    planned = plan(
+        empdept, "SELECT NAME, DNAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO"
+    )
+    scan = next(n for n in walk_plan(planned.root) if isinstance(n, ScanNode))
+    violations = check_plan(
+        scan, empdept.catalog, planned.block, planned.factors
+    )
+    assert "missing-relation" in rules(violations)
+
+
+def test_rejects_stale_table_definition(empdept):
+    import copy
+
+    planned = plan(empdept, "SELECT * FROM EMP")
+    scan = next(n for n in walk_plan(planned.root) if isinstance(n, ScanNode))
+    scan.table = copy.deepcopy(scan.table)
+    assert "stale-table" in rules(check_statement(planned, empdept.catalog))
+
+
+def test_verifying_optimizer_raises_on_corruption(empdept, monkeypatch):
+    """The REPRO_CHECK path surfaces violations as PlanCheckError."""
+    from repro.analysis import plan_check
+
+    original = plan_check.check_statement
+
+    def corrupting_check(planned, catalog):
+        for node in walk_plan(planned.root):
+            if isinstance(node, ScanNode):
+                node.sargs.clear()
+                node.residual.clear()
+        return original(planned, catalog)
+
+    monkeypatch.setattr(plan_check, "check_statement", corrupting_check)
+    with pytest.raises(PlanCheckError) as excinfo:
+        verifying_optimizer(empdept).plan_query(
+            parse_statement("SELECT NAME FROM EMP WHERE SAL > 500")
+        )
+    assert "dropped-predicate" in rules(excinfo.value.violations)
+
+
+# ---------------------------------------------------------------------------
+# the REPRO_CHECK environment flag
+# ---------------------------------------------------------------------------
+
+
+def test_env_flag_gates_verification(empdept, monkeypatch):
+    calls = []
+    monkeypatch.setattr(
+        "repro.analysis.plan_check.verify_planned",
+        lambda planned, catalog: calls.append(planned),
+    )
+    monkeypatch.setenv("REPRO_CHECK", "1")
+    assert check_enabled()
+    empdept.optimizer().plan_query(parse_statement("SELECT * FROM EMP"))
+    assert calls
+    calls.clear()
+    monkeypatch.setenv("REPRO_CHECK", "0")
+    assert not check_enabled()
+    empdept.optimizer().plan_query(parse_statement("SELECT * FROM EMP"))
+    assert not calls
+
+
+# ---------------------------------------------------------------------------
+# randomized sweep: generated queries must always verify
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def chain_db():
+    rng = random.Random(99)
+    specs = random_chain_spec(4, rng, max_rows=300)
+    return build_database(specs, seed=7), specs
+
+
+@pytest.fixture(scope="module")
+def star_db():
+    rng = random.Random(17)
+    specs = random_star_spec(3, rng, fact_rows=500)
+    return build_database(specs, seed=23), specs
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**20))
+def test_random_chain_queries_verify(chain_db, seed):
+    db, specs = chain_db
+    sql = random_select_query(specs, random.Random(seed))
+    verifying_optimizer(db).plan_query(parse_statement(sql))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**20))
+def test_random_star_queries_verify(star_db, seed):
+    db, specs = star_db
+    rng = random.Random(seed)
+    selections = []
+    for __ in range(rng.randint(0, 2)):
+        spec = rng.choice(specs[1:])
+        column = spec.column("ATTR")
+        selections.append(
+            (spec.name, "ATTR", column.low + rng.randrange(column.distinct))
+        )
+    sql = star_join_query(specs, selections)
+    verifying_optimizer(db).plan_query(parse_statement(sql))

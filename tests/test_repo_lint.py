@@ -1,0 +1,144 @@
+"""The project lint: the repo itself must be clean, and each rule must fire.
+
+Rule tests build a miniature package layout under ``tmp_path`` containing
+exactly one violation and assert the lint reports it; the walker rule gets
+its own synthetic ``optimizer/plan.py`` so the subclass discovery is
+exercised too.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.lint import lint_repo, plan_node_subclasses
+
+
+def write(tmp_path, relative, source):
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def by_rule(tmp_path, rule):
+    return [v for v in lint_repo(tmp_path) if v.rule == rule]
+
+
+#: A plan algebra for the synthetic-root tests (two node types).
+_FAKE_PLAN = """
+    class PlanNode:
+        pass
+
+    class AlphaNode(PlanNode):
+        pass
+
+    class BetaNode(PlanNode):
+        pass
+"""
+
+
+def test_repo_is_lint_clean():
+    assert lint_repo() == []
+
+
+def test_discovers_plan_node_subclasses():
+    names = plan_node_subclasses()
+    assert "ScanNode" in names
+    assert "NestedLoopJoinNode" in names
+    assert len(names) >= 8
+
+
+def test_flags_mutable_default(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "engine/util.py",
+        """
+        def collect(into=[]):
+            return into
+        """,
+    )
+    violations = by_rule(tmp_path, "mutable-default")
+    assert len(violations) == 1
+    assert "engine/util.py" in violations[0].where
+
+
+def test_flags_float_eq_in_cost_code(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "optimizer/costing.py",
+        """
+        def same(a, b):
+            return a.pages == b.pages
+        """,
+    )
+    # The identical comparison outside cost modules is allowed.
+    write(
+        tmp_path,
+        "engine/costing.py",
+        """
+        def same(a, b):
+            return a.pages == b.pages
+        """,
+    )
+    violations = by_rule(tmp_path, "float-eq")
+    assert len(violations) == 1
+    assert "optimizer/costing.py" in violations[0].where
+
+
+def test_flags_counter_mutation_outside_rss(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "engine/sneaky.py",
+        """
+        def bump(counters):
+            counters.rsi_calls += 1
+        """,
+    )
+    # The same mutation inside rss/ is the storage layer doing its job.
+    write(
+        tmp_path,
+        "rss/counting.py",
+        """
+        def bump(counters):
+            counters.rsi_calls += 1
+        """,
+    )
+    violations = by_rule(tmp_path, "counter-mutation")
+    assert len(violations) == 1
+    assert "engine/sneaky.py" in violations[0].where
+
+
+def test_flags_non_exhaustive_walker(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "engine/operators.py",
+        """
+        def iterate(node):
+            if isinstance(node, AlphaNode):
+                return []
+        """,
+    )
+    violations = by_rule(tmp_path, "walker-not-exhaustive")
+    missing_dispatch = [v for v in violations if "BetaNode" in v.message]
+    assert len(missing_dispatch) == 1
+    assert "engine/operators.py" in missing_dispatch[0].where
+
+
+def test_accepts_exhaustive_walker(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "engine/operators.py",
+        """
+        def iterate(node):
+            if isinstance(node, AlphaNode):
+                return []
+            if isinstance(node, BetaNode):
+                return []
+        """,
+    )
+    violations = by_rule(tmp_path, "walker-not-exhaustive")
+    assert not any("engine/operators.py" in v.where for v in violations)
