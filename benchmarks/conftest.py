@@ -3,11 +3,15 @@
 Every benchmark regenerates one of the paper's tables or figures (see
 DESIGN.md's experiment index).  Numeric results are written to
 ``benchmark_results/<test name>.txt`` and echoed to stdout (visible with
-``pytest -s``); EXPERIMENTS.md summarizes them against the paper.
+``pytest -s``); EXPERIMENTS.md summarizes them against the paper.  Each
+run also writes ``benchmark_results/BENCH_<test name>.json`` carrying the
+same tables in machine-readable form, so perf trajectories can be diffed
+across commits without scraping the text rendering.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -38,16 +42,28 @@ def repro_check():
 
 
 class Reporter:
-    """Collects report lines for one experiment."""
+    """Collects report lines (and structured tables) for one experiment."""
 
     def __init__(self, name: str):
         self.name = name
         self._lines: list[str] = []
+        self._tables: list[dict] = []
+        self._metrics: dict[str, object] = {}
 
     def line(self, text: str = "") -> None:
         self._lines.append(str(text))
 
+    def metric(self, name: str, value) -> None:
+        """Record one named scalar for the JSON report (not rendered)."""
+        self._metrics[name] = value
+
     def table(self, headers: list[str], rows: list[list], widths=None) -> None:
+        self._tables.append(
+            {
+                "headers": list(headers),
+                "rows": [list(row) for row in rows],
+            }
+        )
         widths = widths or [max(12, len(h) + 2) for h in headers]
         header = "".join(f"{h:>{w}}" for h, w in zip(headers, widths))
         self._lines.append(header)
@@ -64,15 +80,33 @@ class Reporter:
     def text(self) -> str:
         return "\n".join(self._lines)
 
+    def as_json(self) -> dict:
+        """The machine-readable mirror of the rendered report."""
+        return {
+            "name": self.name,
+            "tables": self._tables,
+            "metrics": self._metrics,
+        }
+
 
 @pytest.fixture
 def report(request):
-    """A per-test reporter persisted under benchmark_results/."""
+    """A per-test reporter persisted under benchmark_results/.
+
+    Writes both the human-readable ``<name>.txt`` and a structured
+    ``BENCH_<name>.json`` (headers/rows exactly as passed to ``table``).
+    """
     reporter = Reporter(request.node.name)
     yield reporter
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{request.node.name}.txt"
     path.write_text(reporter.text() + "\n", encoding="utf-8")
+    json_path = RESULTS_DIR / f"BENCH_{request.node.name}.json"
+    json_path.write_text(
+        json.dumps(reporter.as_json(), indent=2, sort_keys=True, default=str)
+        + "\n",
+        encoding="utf-8",
+    )
     print(f"\n===== {request.node.name} =====")
     print(reporter.text())
 

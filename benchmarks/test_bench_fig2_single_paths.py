@@ -43,4 +43,4 @@ def test_fig2_single_relation_paths(empdept, report, benchmark):
     assert len(interesting) == 2
     # Single-relation pass stored entries for all three relations.
     for alias in ("EMP", "DEPT", "JOB"):
-        assert frozenset({alias}) in search.best
+        assert search.solutions_for({alias})

@@ -48,7 +48,7 @@ def test_fig4_pairs_nested_loop(empdept, report, benchmark):
     assert ("DEPT", "JOB") not in pairs
     assert nested, "nested-loop solutions must survive for some pair"
     # Every nested-loop solution's outer order is its produced order.
-    full_entries = result.best[frozenset({"DEPT", "EMP"})]
+    full_entries = result.solutions_for({"DEPT", "EMP"})
     for entry in full_entries.values():
         if isinstance(entry.plan, NestedLoopJoinNode):
             assert entry.plan.order_columns == entry.plan.outer.order_columns

@@ -520,9 +520,11 @@ def audit_search_stats(stats) -> list[Violation]:
     if survivors is None:
         survivors = {}
     for record in pruned:
-        key = (record.aliases, record.order_key)
+        key = (record.mask, record.order_key)
         survivor = survivors.get(key)
-        where = "{" + ", ".join(sorted(record.aliases)) + "}"
+        # Prune records carry bitmask subset keys; translate them back to
+        # alias names only here, at the reporting boundary.
+        where = "{" + ", ".join(sorted(stats.aliases_of(record.mask))) + "}"
         if survivor is None:
             violations.append(
                 Violation(

@@ -15,6 +15,13 @@ them directly on the parsed source:
 - **walker-not-exhaustive** — every registered plan walker must dispatch
   with ``isinstance`` on *every* :class:`~repro.optimizer.plan.PlanNode`
   subclass, so adding a plan node type cannot silently fall through.
+- **joinsearch-hot-path** — the DP join search keys subsets by interned
+  integer bitmasks and precomputes its catalog statistics: no method of
+  ``JoinSearch`` outside ``__init__`` may build a ``frozenset`` or call a
+  catalog statistics lookup (``relation_stats``, ``index_stats``,
+  ``indexes_on``, ``index_on_column``).  This pins the hot-path overhaul
+  so a future change cannot quietly reintroduce per-extension hashing of
+  alias sets or repeated catalog dictionary probes.
 
 The subclass list is discovered by parsing ``optimizer/plan.py``, never
 hard-coded, so the lint stays correct as the plan algebra grows.
@@ -87,6 +94,8 @@ def lint_repo(root: Path | None = None) -> list[Violation]:
             _check_float_eq(relative, tree, violations)
         if not relative.startswith("rss/"):
             _check_counter_mutation(relative, tree, violations)
+        if relative == "optimizer/joins.py":
+            _check_joinsearch_hot_path(relative, tree, violations)
     _check_walkers(trees, violations, root)
     return violations
 
@@ -215,6 +224,60 @@ def _check_counter_mutation(
                         " only the storage layer may count cost events",
                     )
                 )
+
+
+# ---------------------------------------------------------------------------
+# rule: the join-search hot path stays on bitmasks and memoized stats
+# ---------------------------------------------------------------------------
+
+#: Catalog statistics lookups that must not run per-extension; the search
+#: fetches them once at construction and memoizes.
+_CATALOG_STAT_METHODS = frozenset(
+    {"relation_stats", "index_stats", "indexes_on", "index_on_column"}
+)
+
+#: JoinSearch methods that run before the DP loop and may do setup work.
+_JOINSEARCH_SETUP_METHODS = frozenset({"__init__"})
+
+
+def _check_joinsearch_hot_path(
+    relative: str, tree: ast.Module, violations: list[Violation]
+) -> None:
+    for klass in tree.body:
+        if not (isinstance(klass, ast.ClassDef) and klass.name == "JoinSearch"):
+            continue
+        for func in klass.body:
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if func.name in _JOINSEARCH_SETUP_METHODS:
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = node.func
+                if isinstance(callee, ast.Name) and callee.id == "frozenset":
+                    violations.append(
+                        Violation(
+                            "joinsearch-hot-path",
+                            f"{relative}:{node.lineno}",
+                            f"frozenset built in JoinSearch.{func.name}; "
+                            "subset keys are interned bitmasks — translate "
+                            "to alias sets only at the audit boundary",
+                        )
+                    )
+                elif (
+                    isinstance(callee, ast.Attribute)
+                    and callee.attr in _CATALOG_STAT_METHODS
+                ):
+                    violations.append(
+                        Violation(
+                            "joinsearch-hot-path",
+                            f"{relative}:{node.lineno}",
+                            f"catalog lookup {callee.attr!r} in "
+                            f"JoinSearch.{func.name}; fetch statistics once "
+                            "at construction and memoize",
+                        )
+                    )
 
 
 # ---------------------------------------------------------------------------

@@ -23,6 +23,18 @@ class Catalog:
         self._relation_stats: dict[str, RelationStats] = {}
         self._index_stats: dict[str, IndexStats] = {}
         self._next_relation_id = 1
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter, bumped by every schema or statistics change.
+
+        Caches built over catalog lookups (selectivity factors, per-table
+        index lists, cost-model statistics) key their validity on this:
+        ``UPDATE STATISTICS``, CREATE/DROP TABLE and CREATE/DROP INDEX all
+        advance it, so a stale cache is detected by one int compare.
+        """
+        return self._version
 
     # -- tables ----------------------------------------------------------------
 
@@ -43,6 +55,7 @@ class Catalog:
             (segment_name or key).upper(),
         )
         self._next_relation_id += 1
+        self._version += 1
         self._tables[key] = table
         self._indexes_by_table[key] = []
         return table
@@ -56,6 +69,7 @@ class Catalog:
         del self._tables[key]
         del self._indexes_by_table[key]
         self._relation_stats.pop(key, None)
+        self._version += 1
         return table
 
     def table(self, name: str) -> TableDef:
@@ -105,6 +119,7 @@ class Catalog:
         )
         self._indexes[key] = index
         self._indexes_by_table[table.name].append(key)
+        self._version += 1
         return index
 
     def drop_index(self, name: str) -> IndexDef:
@@ -116,6 +131,7 @@ class Catalog:
             raise CatalogError(f"unknown index {name!r}") from None
         self._indexes_by_table[index.table_name].remove(key)
         self._index_stats.pop(key, None)
+        self._version += 1
         return index
 
     def index(self, name: str) -> IndexDef:
@@ -148,6 +164,7 @@ class Catalog:
     def set_relation_stats(self, table_name: str, stats: RelationStats) -> None:
         """Install NCARD/TCARD/P for a relation (UPDATE STATISTICS does this)."""
         self._relation_stats[table_name.upper()] = stats
+        self._version += 1
 
     def relation_stats(self, table_name: str) -> RelationStats | None:
         """Statistics for a relation, or None when never collected.
@@ -161,6 +178,7 @@ class Catalog:
     def set_index_stats(self, index_name: str, stats: IndexStats) -> None:
         """Install ICARD/NINDX/key-range for an index."""
         self._index_stats[index_name.upper()] = stats
+        self._version += 1
 
     def index_stats(self, index_name: str) -> IndexStats | None:
         """Statistics for an index, or None when never collected."""
@@ -170,3 +188,4 @@ class Catalog:
         """Forget all statistics (used by the no-statistics ablation)."""
         self._relation_stats.clear()
         self._index_stats.clear()
+        self._version += 1

@@ -186,14 +186,20 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``.
 
     ``python -m repro check [--plans|--costs|--lint]`` runs the static
-    verification suite instead of the shell; any other arguments are read
-    as SQL script files before the interactive prompt starts.
+    verification suite and ``python -m repro bench [--quick|--compare]``
+    the optimizer micro-benchmarks instead of the shell; any other
+    arguments are read as SQL script files before the interactive prompt
+    starts.
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "check":
         from .analysis.check import main as check_main
 
         return check_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from .perf.bench import main as bench_main
+
+        return bench_main(argv[1:])
     shell = Shell()
     print("repro — a miniature System R. \\q to quit; statements end with ;")
     for path in argv:

@@ -51,7 +51,15 @@ ZERO_COST = Cost()
 
 
 class CostModel:
-    """Evaluates the paper's cost formulas against catalog statistics."""
+    """Evaluates the paper's cost formulas against catalog statistics.
+
+    Statistics lookups are memoized: NCARD/TCARD/P come from a *single*
+    catalog fetch per relation (and NINDX one per index), cached under
+    :attr:`Catalog.version` so any DDL or ``UPDATE STATISTICS`` drops the
+    cache.  The join search calls these accessors inside its innermost
+    loops; without the memo every candidate plan would re-run the same
+    dictionary lookups and default handling.
+    """
 
     def __init__(
         self,
@@ -62,6 +70,10 @@ class CostModel:
         self._catalog = catalog
         self.w = w
         self.buffer_pages = buffer_pages
+        self._version = catalog.version
+        #: table name -> (NCARD, TCARD, P), one relation_stats fetch each.
+        self._table_cache: dict[str, tuple[float, float, float]] = {}
+        self._nindx_cache: dict[str, float] = {}
 
     def total(self, cost: Cost) -> float:
         """Weighted total under the given W."""
@@ -69,27 +81,51 @@ class CostModel:
 
     # -- statistics with the paper's "small relation" defaults ---------------------
 
+    def _table_stats(self, table: TableDef) -> tuple[float, float, float]:
+        version = self._catalog.version
+        if version != self._version:
+            self._version = version
+            self._table_cache.clear()
+            self._nindx_cache.clear()
+        cached = self._table_cache.get(table.name)
+        if cached is None:
+            stats = self._catalog.relation_stats(table.name)
+            if stats is None:
+                cached = (float(SMALL_NCARD), float(SMALL_TCARD), 1.0)
+            else:
+                cached = (
+                    float(stats.ncard),
+                    float(stats.tcard),
+                    stats.fraction if stats.fraction > 0 else 1.0,
+                )
+            self._table_cache[table.name] = cached
+        return cached
+
     def ncard(self, table: TableDef) -> float:
         """NCARD(T), defaulting to the paper's small-relation guess."""
-        stats = self._catalog.relation_stats(table.name)
-        return float(stats.ncard) if stats is not None else float(SMALL_NCARD)
+        return self._table_stats(table)[0]
 
     def tcard(self, table: TableDef) -> float:
         """TCARD(T), defaulting to one page when unknown."""
-        stats = self._catalog.relation_stats(table.name)
-        return float(stats.tcard) if stats is not None else float(SMALL_TCARD)
+        return self._table_stats(table)[1]
 
     def fraction(self, table: TableDef) -> float:
         """P(T): fraction of the segment's pages holding T's tuples."""
-        stats = self._catalog.relation_stats(table.name)
-        if stats is not None and stats.fraction > 0:
-            return stats.fraction
-        return 1.0
+        return self._table_stats(table)[2]
 
     def nindx(self, index: IndexDef) -> float:
         """NINDX(I): pages in the index."""
-        stats = self._catalog.index_stats(index.name)
-        return float(stats.nindx) if stats is not None else 1.0
+        version = self._catalog.version
+        if version != self._version:
+            self._version = version
+            self._table_cache.clear()
+            self._nindx_cache.clear()
+        cached = self._nindx_cache.get(index.name)
+        if cached is None:
+            stats = self._catalog.index_stats(index.name)
+            cached = float(stats.nindx) if stats is not None else 1.0
+            self._nindx_cache[index.name] = cached
+        return cached
 
     # -- TABLE 2: single relation access paths ---------------------------------------
 

@@ -109,14 +109,16 @@ def render_single_relation_paths(
 def render_search_tree(search: JoinSearch, cost_model: CostModel) -> str:
     """Figures 3-6: the surviving DP solutions, by subset size."""
     lines = ["Join search tree (cheapest solution per relation set and order):"]
-    subsets = sorted(search.best, key=lambda subset: (len(subset), sorted(subset)))
+    # ``best`` is keyed by bitmask; translate to alias names for display.
+    subsets = [(search.aliases_of(mask), mask) for mask in search.best]
+    subsets.sort(key=lambda pair: (len(pair[0]), sorted(pair[0])))
     current_size = 0
-    for subset in subsets:
-        if len(subset) != current_size:
-            current_size = len(subset)
+    for aliases, mask in subsets:
+        if len(aliases) != current_size:
+            current_size = len(aliases)
             lines.append(f"-- {current_size} relation(s) --")
-        name = "{" + ", ".join(sorted(subset)) + "}"
-        for order_key, entry in sorted(search.best[subset].items()):
+        name = "{" + ", ".join(sorted(aliases)) + "}"
+        for order_key, entry in sorted(search.best[mask].items()):
             lines.append(
                 f"  {name:<28s} {format_order(order_key):<14s} "
                 f"cost={cost_model.total(entry.cost):10.2f} "
@@ -130,13 +132,14 @@ def solutions_table(
 ) -> list[dict]:
     """Structured dump of DP solutions of one subset size (for benchmarks)."""
     rows: list[dict] = []
-    for subset, entries in search.best.items():
-        if len(subset) != size:
+    for mask, entries in search.best.items():
+        aliases = search.aliases_of(mask)
+        if len(aliases) != size:
             continue
         for order_key, entry in entries.items():
             rows.append(
                 {
-                    "relations": tuple(sorted(subset)),
+                    "relations": tuple(sorted(aliases)),
                     "order": order_key,
                     "cost": cost_model.total(entry.cost),
                     "rows": entry.rows,

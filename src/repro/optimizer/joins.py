@@ -11,11 +11,25 @@ sides ordered on the join column, sorting whichever side lacks the order).
 The join-order heuristic defers Cartesian products: a relation with no join
 predicate linking it to the composite is considered only when no connected
 relation remains.
+
+Representation: relation subsets are interned integer bitmasks.  Every
+alias gets a bit position at construction; ``best``, the prune records,
+and ``SearchStats.survivor_totals`` are keyed by ``int`` masks, relation
+connectivity is a per-alias adjacency mask (``_connects`` is one AND),
+and factor applicability is a subset test on precomputed factor masks.
+Derived quantities the seed enumerator recomputed per candidate —
+subset cardinalities, composite tuple widths, factor selectivities,
+canonical order keys, and inner-relation access path enumerations — are
+memoized, so the per-extension constant factor stays close to the cost
+arithmetic itself (the paper's "a few thousand instructions" claim,
+Section 8).  ``aliases_of``/``mask_of`` translate at the boundary for
+audits and rendering.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..catalog.catalog import Catalog
 from ..errors import PlannerError
@@ -59,9 +73,11 @@ class PrunedCandidate:
     Recorded only under ``record_prunes`` (the ``REPRO_CHECK=1`` path):
     the cost auditor verifies that every pruned candidate really was no
     cheaper than the survivor of its (relation set, order class).
+    ``mask`` is the search's bitmask subset key; translate it through
+    ``SearchStats.alias_order`` at the audit boundary.
     """
 
-    aliases: frozenset[str]
+    mask: int
     order_key: OrderKey
     total: float
 
@@ -74,11 +90,22 @@ class SearchStats:
     entries_stored: int = 0
     subsets_expanded: int = 0
     extensions_pruned_by_heuristic: int = 0
+    #: Bit position -> alias name, so mask keys can be translated back to
+    #: relation sets outside the search (prune audit, rendering).
+    alias_order: tuple[str, ...] = ()
     #: Filled only when the search runs with ``record_prunes=True``.
     pruned: list[PrunedCandidate] = field(default_factory=list)
-    survivor_totals: dict[tuple[frozenset[str], OrderKey], float] = field(
+    survivor_totals: dict[tuple[int, OrderKey], float] = field(
         default_factory=dict
     )
+
+    def aliases_of(self, mask: int) -> frozenset[str]:
+        """Translate a subset bitmask back into its alias names."""
+        return frozenset(
+            alias
+            for position, alias in enumerate(self.alias_order)
+            if mask >> position & 1
+        )
 
 
 class JoinSearch:
@@ -113,9 +140,58 @@ class JoinSearch:
         self._multi_factors = partition.multi
         self.constant_factors = partition.constant
 
-        self._selectivity_cache: dict[int, float] = {}
-        self._factors_by_id = {id(f): f for f in factors}
-        self.best: dict[frozenset[str], dict[OrderKey, JoinEntry]] = {}
+        # -- bitmask universe: one bit per FROM-list alias -----------------
+        self._bit_of: dict[str, int] = {
+            alias: position for position, alias in enumerate(self._aliases)
+        }
+        count = len(self._aliases)
+        self._full_mask = (1 << count) - 1
+        self.stats.alias_order = tuple(self._aliases)
+
+        # Per-alias adjacency: which other relations share a join factor.
+        self._adjacency = [0] * count
+        # Join/multi factors paired with their alias masks, and indexed by
+        # the alias they touch (a factor becomes newly applicable only
+        # through one of its own relations joining the composite).
+        self._subset_factors: list[tuple[BooleanFactor, int]] = []
+        self._joins_touching: list[list[tuple[BooleanFactor, int]]] = [
+            [] for __ in range(count)
+        ]
+        self._multi_touching: list[list[tuple[BooleanFactor, int]]] = [
+            [] for __ in range(count)
+        ]
+        for factor in self._join_factors:
+            mask = self._mask_of_aliases(factor.aliases)
+            self._subset_factors.append((factor, mask))
+            for position in _bits(mask):
+                self._adjacency[position] |= mask & ~(1 << position)
+                self._joins_touching[position].append((factor, mask))
+        for factor in self._multi_factors:
+            mask = self._mask_of_aliases(factor.aliases)
+            self._subset_factors.append((factor, mask))
+            for position in _bits(mask):
+                self._multi_touching[position].append((factor, mask))
+
+        # Per-alias constants, fetched exactly once per search.
+        self._tables = [self._block.alias_table(alias) for alias in self._aliases]
+        self._alias_bytes = [tuple_byte_width(table) for table in self._tables]
+        self._alias_rows = [0.0] * count
+
+        # Memoization layers for the extension loop.
+        self._selectivity_cache: dict[int, tuple[BooleanFactor, float]] = {}
+        self._subset_rows_cache: dict[int, float] = {}
+        self._composite_bytes_cache: dict[int, int] = {}
+        self._plain_paths: list[list[PathCandidate]] = [[] for __ in range(count)]
+        self._merge_side: dict[int, tuple[PathCandidate, Cost, float]] = {}
+        self._inner_paths: dict[
+            tuple[int, tuple[int, ...], float],
+            list[tuple[PathCandidate, float | None]],
+        ] = {}
+
+        self.best: dict[int, dict[OrderKey, JoinEntry]] = {}
+        self._masks_by_size: list[list[int]] = [
+            [] for __ in range(count + 1)
+        ]
 
     # -- public API -------------------------------------------------------------
 
@@ -123,28 +199,42 @@ class JoinSearch:
         """Run the DP; returns the solutions for the full FROM list."""
         for alias in self._aliases:
             self._seed_single(alias)
-        full = frozenset(self._aliases)
         for size in range(2, len(self._aliases) + 1):
-            subsets = [s for s in list(self.best) if len(s) == size - 1]
-            for subset in subsets:
+            for mask in list(self._masks_by_size[size - 1]):
                 self.stats.subsets_expanded += 1
-                for alias in self._candidate_extensions(subset):
-                    self._extend(subset, alias)
+                for position in self._candidate_extensions(mask):
+                    self._extend(mask, position)
+        full = self._full_mask
         if full not in self.best or not self.best[full]:
             raise PlannerError("join search produced no complete solution")
         if self._record_prunes:
             # Snapshot the survivors so the prune audit can replay every
             # discard decision against the entry that beat it.
-            for aliases, entries in self.best.items():
+            for mask, entries in self.best.items():
                 for key, entry in entries.items():
-                    self.stats.survivor_totals[(aliases, key)] = (
+                    self.stats.survivor_totals[(mask, key)] = (
                         self._cost.total(entry.cost)
                     )
         return self.best[full]
 
-    def solutions_for(self, aliases: frozenset[str]) -> dict[OrderKey, JoinEntry]:
-        """Surviving entries for one relation subset."""
-        return self.best.get(aliases, {})
+    def mask_of(self, aliases: Iterable[str]) -> int:
+        """The bitmask subset key for a collection of alias names."""
+        return self._mask_of_aliases(aliases)
+
+    def aliases_of(self, mask: int) -> frozenset[str]:
+        """The alias names a bitmask subset key denotes."""
+        return self.stats.aliases_of(mask)
+
+    def subset_masks(self) -> list[int]:
+        """Every solved subset's mask, smallest subsets first."""
+        return [mask for masks in self._masks_by_size for mask in masks]
+
+    def solutions_for(
+        self, aliases: Iterable[str] | int
+    ) -> dict[OrderKey, JoinEntry]:
+        """Surviving entries for one relation subset (names or mask)."""
+        mask = aliases if isinstance(aliases, int) else self.mask_of(aliases)
+        return self.best.get(mask, {})
 
     def cheapest(self, solutions: dict[OrderKey, JoinEntry]) -> JoinEntry:
         """The minimum-total entry of a solution set."""
@@ -157,7 +247,8 @@ class JoinSearch:
     # -- DP seeding and extension ---------------------------------------------------
 
     def _seed_single(self, alias: str) -> None:
-        table = self._block.alias_table(alias)
+        position = self._bit_of[alias]
+        table = self._tables[position]
         candidates = enumerate_paths(
             alias,
             table,
@@ -167,16 +258,26 @@ class JoinSearch:
             self._cost,
             self._orders,
         )
+        self._plain_paths[position] = candidates
+        rows = self._cost.ncard(table)
+        for factor in self._local[alias]:
+            rows *= self._factor_selectivity(factor)
+        self._alias_rows[position] = rows
         for candidate in candidates:
-            self._record(frozenset({alias}), candidate.node, candidate.order_key)
+            self._record(1 << position, candidate.node, candidate.order_key)
 
-    def _candidate_extensions(self, subset: frozenset[str]) -> list[str]:
-        remaining = [a for a in self._aliases if a not in subset]
-        if not remaining:
+    def _candidate_extensions(self, mask: int) -> list[int]:
+        remaining_mask = self._full_mask & ~mask
+        if not remaining_mask:
             return []
+        remaining = list(_bits(remaining_mask))
         if not self._use_heuristic:
             return remaining
-        connected = [a for a in remaining if self._connects(a, subset)]
+        connected = [
+            position
+            for position in remaining
+            if self._adjacency[position] & mask
+        ]
         if connected:
             self.stats.extensions_pruned_by_heuristic += len(remaining) - len(
                 connected
@@ -184,44 +285,42 @@ class JoinSearch:
             return connected
         return remaining  # Cartesian product cannot be deferred any further
 
-    def _connects(self, alias: str, subset: frozenset[str]) -> bool:
-        for factor in self._join_factors:
-            if alias in factor.aliases and factor.aliases & subset:
-                return True
-        return False
+    def _connects(self, alias: str, mask: int) -> bool:
+        return bool(self._adjacency[self._bit_of[alias]] & mask)
 
-    def _extend(self, subset: frozenset[str], alias: str) -> None:
-        new_set = subset | {alias}
-        rows_out = self._subset_rows(new_set)
+    def _extend(self, mask: int, position: int) -> None:
+        bit = 1 << position
+        new_mask = mask | bit
+        rows_out = self._subset_rows(new_mask)
         connecting = [
-            f
-            for f in self._join_factors
-            if alias in f.aliases and f.aliases <= new_set
+            factor
+            for factor, factor_mask in self._joins_touching[position]
+            if not factor_mask & ~new_mask
         ]
         newly_applicable = [
-            f.expr
-            for f in self._multi_factors
-            if f.aliases <= new_set and not f.aliases <= subset
+            factor.expr
+            for factor, factor_mask in self._multi_touching[position]
+            if not factor_mask & ~new_mask
         ]
         self._extend_nested_loop(
-            subset, alias, new_set, rows_out, connecting, newly_applicable
+            mask, position, new_mask, rows_out, connecting, newly_applicable
         )
         self._extend_merge(
-            subset, alias, new_set, rows_out, connecting, newly_applicable
+            mask, position, new_mask, rows_out, connecting, newly_applicable
         )
 
     # -- nested loops ---------------------------------------------------------------
 
     def _extend_nested_loop(
         self,
-        subset: frozenset[str],
-        alias: str,
-        new_set: frozenset[str],
+        mask: int,
+        position: int,
+        new_mask: int,
         rows_out: float,
         connecting: list[BooleanFactor],
         extra_residual: list[ast.Expr],
     ) -> None:
-        table = self._block.alias_table(alias)
+        alias = self._aliases[position]
         probes: list[BooleanFactor] = []
         join_residual: list[ast.Expr] = []
         for factor in connecting:
@@ -230,39 +329,29 @@ class JoinSearch:
                 probes.append(probe_factor(factor, sarg))
             else:
                 join_residual.append(factor.expr)
-        for entry in list(self.best.get(subset, {}).values()):
+        probe_ids = tuple(id(factor) for factor in connecting)
+        for entry in list(self.best.get(mask, {}).values()):
             # Buffer pages left for the inner depend on how much of the
             # pool the outer pipeline (including prior resident inners)
             # already claims.
             available = self._cost.inner_available_buffer(
                 entry.plan.buffer_claim
             )
-            inner_candidates = enumerate_paths(
-                alias,
-                table,
-                self._local[alias],
-                self._catalog,
-                self._estimator,
-                self._cost,
-                self._orders,
-                probe_factors=probes,
-                available_buffer=available,
+            inner_candidates = self._inner_candidates(
+                position, probe_ids, probes, available
             )
-            inner = min(
+            entry_rows = entry.rows
+            inner, cap = min(
                 inner_candidates,
-                key=lambda c: self._cost.total(
+                key=lambda pair: self._cost.total(
                     self._cost.nested_loop_cost(
-                        ZERO_COST,
-                        entry.rows,
-                        c.node.cost,
-                        inner_resident_cap(self._cost, c.node, available),
+                        ZERO_COST, entry_rows, pair[0].node.cost, pair[1]
                     )
                 ),
             )
-            cap = inner_resident_cap(self._cost, inner.node, available)
             self.stats.plans_considered += 1
             cost = self._cost.nested_loop_cost(
-                entry.cost, entry.rows, inner.node.cost, cap
+                entry.cost, entry_rows, inner.node.cost, cap
             )
             node = NestedLoopJoinNode(
                 outer=entry.plan,
@@ -274,15 +363,53 @@ class JoinSearch:
                 buffer_claim=entry.plan.buffer_claim
                 + (cap if cap is not None else 2.0),
             )
-            self._record(new_set, node, entry.order_key)
+            self._record(new_mask, node, entry.order_key)
+
+    def _inner_candidates(
+        self,
+        position: int,
+        probe_ids: tuple[int, ...],
+        probes: list[BooleanFactor],
+        available: float,
+    ) -> list[tuple[PathCandidate, float | None]]:
+        """Costed inner paths with their resident caps, memoized.
+
+        Many outer entries share one buffer claim, and many subsets share
+        one connecting-factor set: the (alias, probes, buffer) triple
+        fully determines the candidate list, so the seed's per-entry
+        ``enumerate_paths`` call collapses into a dict hit.
+        """
+        key = (position, probe_ids, available)
+        cached = self._inner_paths.get(key)
+        if cached is None:
+            alias = self._aliases[position]
+            candidates = enumerate_paths(
+                alias,
+                self._tables[position],
+                self._local[alias],
+                self._catalog,
+                self._estimator,
+                self._cost,
+                self._orders,
+                probe_factors=probes,
+                available_buffer=available,
+            )
+            cached = self._inner_paths[key] = [
+                (
+                    candidate,
+                    inner_resident_cap(self._cost, candidate.node, available),
+                )
+                for candidate in candidates
+            ]
+        return cached
 
     # -- merging scans ----------------------------------------------------------------
 
     def _extend_merge(
         self,
-        subset: frozenset[str],
-        alias: str,
-        new_set: frozenset[str],
+        mask: int,
+        position: int,
+        new_mask: int,
         rows_out: float,
         connecting: list[BooleanFactor],
         extra_residual: list[ast.Expr],
@@ -292,23 +419,13 @@ class JoinSearch:
         ]
         if not equijoins:
             return
-        table = self._block.alias_table(alias)
-        inner_bytes = tuple_byte_width(table)
-        inner_rows = self._inner_rows(alias)
-        entries = self.best.get(subset, {})
+        alias = self._aliases[position]
+        inner_rows = self._alias_rows[position]
+        entries = self.best.get(mask, {})
         if not entries:
             return
         cheapest_outer = min(
             entries.values(), key=lambda e: self._cost.total(e.cost)
-        )
-        plain_paths = enumerate_paths(
-            alias,
-            table,
-            self._local[alias],
-            self._catalog,
-            self._estimator,
-            self._cost,
-            self._orders,
         )
         for merge_factor in equijoins:
             join = merge_factor.join
@@ -316,7 +433,7 @@ class JoinSearch:
             inner_column = join.column_for(alias)
             outer_column = join.other_column(alias)
             merge_class = self._orders.class_of_column(inner_column)
-            matches = self._merge_matches(subset, alias, merge_factor)
+            matches = self._merge_matches(mask, position, merge_factor)
             residual = [
                 f.expr for f in equijoins if f is not merge_factor
             ] + [
@@ -326,10 +443,10 @@ class JoinSearch:
             ] + extra_residual
 
             inner_options = self._merge_inner_options(
-                plain_paths, inner_column, merge_class, inner_rows, inner_bytes, matches
+                position, inner_column, merge_class, inner_rows, matches
             )
             outer_options = self._merge_outer_options(
-                subset, entries, cheapest_outer, outer_column, merge_class
+                mask, entries, cheapest_outer, outer_column, merge_class
             )
             for outer_plan, outer_key in outer_options:
                 for inner_plan, inner_cost in inner_options:
@@ -351,16 +468,35 @@ class JoinSearch:
                         + inner_plan.buffer_claim,
                     )
                     self._record(
-                        new_set, node, self._canonical((merge_class,))
+                        new_mask, node, self._canonical((merge_class,))
                     )
+
+    def _merge_inner_side(
+        self, position: int
+    ) -> tuple[PathCandidate, Cost, float]:
+        """Per-alias constants of the sorted-inner option, memoized:
+        the cheapest plain path, its sort build cost, and TEMPPAGES."""
+        cached = self._merge_side.get(position)
+        if cached is None:
+            plain_paths = self._plain_paths[position]
+            cheapest = min(
+                plain_paths, key=lambda c: self._cost.total(c.node.cost)
+            )
+            inner_rows = self._alias_rows[position]
+            inner_bytes = self._alias_bytes[position]
+            temp_pages = self._cost.temp_pages(inner_rows, inner_bytes)
+            build = self._cost.sort_build_cost(
+                cheapest.node.cost, inner_rows, inner_bytes
+            )
+            cached = self._merge_side[position] = (cheapest, build, temp_pages)
+        return cached
 
     def _merge_inner_options(
         self,
-        plain_paths: list[PathCandidate],
+        position: int,
         inner_column: BoundColumn,
         merge_class: int,
         inner_rows: float,
-        inner_bytes: int,
         matches: float,
     ) -> list[tuple[PlanNode, Cost]]:
         """Ways to present the inner relation in join-column order.
@@ -371,20 +507,14 @@ class JoinSearch:
         traffic of emitting matches (group re-reads included).
         """
         options: list[tuple[PlanNode, Cost]] = []
-        for candidate in plain_paths:
+        for candidate in self._plain_paths[position]:
             if candidate.order_key[:1] == (merge_class,):
                 inner_cost = Cost(
                     pages=candidate.node.cost.pages,
                     rsi=max(candidate.node.cost.rsi, matches),
                 )
                 options.append((candidate.node, inner_cost))
-        cheapest = min(
-            plain_paths, key=lambda c: self._cost.total(c.node.cost)
-        )
-        temp_pages = self._cost.temp_pages(inner_rows, inner_bytes)
-        build = self._cost.sort_build_cost(
-            cheapest.node.cost, inner_rows, inner_bytes
-        )
+        cheapest, build, temp_pages = self._merge_inner_side(position)
         sort_total = build + Cost(pages=temp_pages, rsi=max(inner_rows, matches))
         sort_node = SortNode(
             child=cheapest.node,
@@ -400,7 +530,7 @@ class JoinSearch:
 
     def _merge_outer_options(
         self,
-        subset: frozenset[str],
+        mask: int,
         entries: dict[OrderKey, JoinEntry],
         cheapest: JoinEntry,
         outer_column: BoundColumn,
@@ -411,7 +541,7 @@ class JoinSearch:
         for entry in entries.values():
             if entry.order_key[:1] == (merge_class,):
                 options.append((entry.plan, entry.order_key))
-        outer_bytes = self._composite_bytes(subset)
+        outer_bytes = self._composite_bytes(mask)
         build = self._cost.sort_build_cost(
             cheapest.cost, cheapest.rows, outer_bytes
         )
@@ -429,60 +559,67 @@ class JoinSearch:
 
     # -- estimates --------------------------------------------------------------------
 
-    def _subset_rows(self, aliases: frozenset[str]) -> float:
-        rows = 1.0
-        for alias in aliases:
-            rows *= self._cost.ncard(self._block.alias_table(alias))
-        for factor in (
-            self._join_factors
-            + self._multi_factors
-            + [f for a in aliases for f in self._local[a]]
-        ):
-            if factor.aliases and factor.aliases <= aliases:
-                rows *= self._factor_selectivity(factor)
-        return rows
-
-    def _inner_rows(self, alias: str) -> float:
-        rows = self._cost.ncard(self._block.alias_table(alias))
-        for factor in self._local[alias]:
-            rows *= self._factor_selectivity(factor)
+    def _subset_rows(self, mask: int) -> float:
+        rows = self._subset_rows_cache.get(mask)
+        if rows is None:
+            rows = 1.0
+            for position in _bits(mask):
+                rows *= self._alias_rows[position]
+            for factor, factor_mask in self._subset_factors:
+                if not factor_mask & ~mask:
+                    rows *= self._factor_selectivity(factor)
+            self._subset_rows_cache[mask] = rows
         return rows
 
     def _merge_matches(
-        self, subset: frozenset[str], alias: str, merge_factor: BooleanFactor
+        self, mask: int, position: int, merge_factor: BooleanFactor
     ) -> float:
         """Expected tuples crossing the inner RSI during the merge."""
         return (
-            self._subset_rows(subset)
-            * self._inner_rows(alias)
+            self._subset_rows(mask)
+            * self._alias_rows[position]
             * self._factor_selectivity(merge_factor)
         )
 
     def _factor_selectivity(self, factor: BooleanFactor) -> float:
         key = id(factor)
-        if key not in self._selectivity_cache:
-            self._selectivity_cache[key] = self._estimator.factor_selectivity(
-                factor
+        cached = self._selectivity_cache.get(key)
+        if cached is None:
+            # The factor reference in the value pins the object alive, so
+            # its id cannot be recycled while the cache holds it.
+            cached = self._selectivity_cache[key] = (
+                factor,
+                self._estimator.factor_selectivity(factor),
             )
-        return self._selectivity_cache[key]
+        return cached[1]
 
-    def _composite_bytes(self, aliases: frozenset[str]) -> int:
-        return sum(
-            tuple_byte_width(self._block.alias_table(alias)) for alias in aliases
-        )
+    def _composite_bytes(self, mask: int) -> int:
+        cached = self._composite_bytes_cache.get(mask)
+        if cached is None:
+            cached = self._composite_bytes_cache[mask] = sum(
+                self._alias_bytes[position] for position in _bits(mask)
+            )
+        return cached
 
     # -- solution table ----------------------------------------------------------------
+
+    def _mask_of_aliases(self, aliases: Iterable[str]) -> int:
+        mask = 0
+        for alias in aliases:
+            mask |= 1 << self._bit_of[alias]
+        return mask
 
     def _canonical(self, order: OrderKey) -> OrderKey:
         if not self._use_orders:
             return UNORDERED
         return self._orders.canonicalize(order)
 
-    def _record(
-        self, aliases: frozenset[str], plan: PlanNode, order_key: OrderKey
-    ) -> None:
+    def _record(self, mask: int, plan: PlanNode, order_key: OrderKey) -> None:
         key = self._canonical(order_key)
-        table = self.best.setdefault(aliases, {})
+        table = self.best.get(mask)
+        if table is None:
+            table = self.best[mask] = {}
+            self._masks_by_size[mask.bit_count()].append(mask)
         self.stats.plans_considered += 1
         existing = table.get(key)
         total = self._cost.total(plan.cost)
@@ -492,10 +629,18 @@ class JoinSearch:
         elif total < self._cost.total(existing.cost):
             if self._record_prunes:
                 self.stats.pruned.append(
-                    PrunedCandidate(
-                        aliases, key, self._cost.total(existing.cost)
-                    )
+                    PrunedCandidate(mask, key, self._cost.total(existing.cost))
                 )
             table[key] = JoinEntry(plan=plan, order_key=key)
         elif self._record_prunes:
-            self.stats.pruned.append(PrunedCandidate(aliases, key, total))
+            self.stats.pruned.append(PrunedCandidate(mask, key, total))
+
+
+def _bits(mask: int):
+    """Bit positions set in ``mask``, lowest first."""
+    position = 0
+    while mask:
+        if mask & 1:
+            yield position
+        mask >>= 1
+        position += 1

@@ -10,6 +10,14 @@ class rather than per column.
 Orders are canonicalized to tuples of class ids, truncated to the longest
 prefix that is still interesting; two plans whose orders differ only beyond
 that prefix are interchangeable and the cheaper one wins.
+
+Canonical keys are *interned*: :meth:`InterestingOrders.canonicalize`
+memoizes its result per produced order and always hands back the same
+tuple object for equal keys.  The join search canonicalizes once per
+candidate plan, so interning turns the hot path's repeated
+canonicalization into one dict hit and makes equal keys
+identity-comparable (dict probes on interned keys short-circuit on
+``is`` before falling back to ``==``).
 """
 
 from __future__ import annotations
@@ -61,6 +69,10 @@ class InterestingOrders:
         # Every join column defines a single-column interesting order.
         self._single_classes = {self.class_of(column) for column in join_columns}
 
+        # Interning tables: one canonical tuple object per distinct key.
+        self._interned: dict[OrderKey, OrderKey] = {UNORDERED: UNORDERED}
+        self._canonical_cache: dict[OrderKey, OrderKey] = {}
+
     # -- class structure -------------------------------------------------------
 
     def _find(self, key: ColumnKey) -> ColumnKey:
@@ -94,13 +106,24 @@ class InterestingOrders:
         """Class-id tuple for a column sequence."""
         return tuple(self.class_of(column) for column in columns)
 
+    def intern(self, key: OrderKey) -> OrderKey:
+        """The canonical tuple object for ``key`` (identity-stable)."""
+        interned = self._interned.get(key)
+        if interned is None:
+            interned = self._interned[key] = key
+        return interned
+
     def canonicalize(self, produced: OrderKey) -> OrderKey:
         """Truncate a produced order to its longest interesting prefix.
 
         An order whose very first class is uninteresting collapses to
         UNORDERED; otherwise we keep the prefix while it can still serve
-        some interesting sequence or single-column order.
+        some interesting sequence or single-column order.  Results are
+        memoized and interned: equal inputs return the identical tuple.
         """
+        cached = self._canonical_cache.get(produced)
+        if cached is not None:
+            return cached
         kept: list[int] = []
         for position, class_id in enumerate(produced):
             prefix = tuple(kept) + (class_id,)
@@ -113,7 +136,9 @@ class InterestingOrders:
                 kept.append(class_id)
                 continue
             break
-        return tuple(kept)
+        result = self.intern(tuple(kept))
+        self._canonical_cache[self.intern(produced)] = result
+        return result
 
     def satisfies(self, produced: OrderKey, required: OrderKey) -> bool:
         """True when a produced order subsumes the required one (prefix rule)."""

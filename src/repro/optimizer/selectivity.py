@@ -29,16 +29,46 @@ SMALL_TCARD = 1
 
 
 class SelectivityEstimator:
-    """Computes F for boolean factors, and QCARD / RSICARD for blocks."""
+    """Computes F for boolean factors, and QCARD / RSICARD for blocks.
+
+    Lookups are memoized: per-factor F values, per-block QCARDs, and the
+    index-derived ICARD / key-range statistics behind them.  Every cache
+    is stamped with :attr:`Catalog.version` and dropped wholesale when the
+    catalog changes, so ``UPDATE STATISTICS`` (or any DDL) is visible to
+    the very next estimate even on a long-lived estimator.
+    """
 
     def __init__(self, catalog: Catalog):
         self._catalog = catalog
+        self._version = catalog.version
+        # id() keys hold the keyed object in the value, pinning it alive
+        # so the id cannot be recycled while the cache entry exists.
+        self._factor_cache: dict[int, tuple[BooleanFactor, float]] = {}
+        self._qcard_cache: dict[int, tuple[BoundQueryBlock, tuple[int, ...], float]] = {}
+        self._icard_cache: dict[tuple[str, str], int | None] = {}
+        self._key_range_cache: dict[tuple[str, str], tuple[float, float] | None] = {}
+
+    def _validate_caches(self) -> None:
+        version = self._catalog.version
+        if version != self._version:
+            self._version = version
+            self._factor_cache.clear()
+            self._qcard_cache.clear()
+            self._icard_cache.clear()
+            self._key_range_cache.clear()
 
     # -- public API -------------------------------------------------------------
 
     def factor_selectivity(self, factor: BooleanFactor) -> float:
         """F for one boolean factor (TABLE 1)."""
-        return self.expr_selectivity(factor.expr)
+        self._validate_caches()
+        cached = self._factor_cache.get(id(factor))
+        if cached is None:
+            cached = self._factor_cache[id(factor)] = (
+                factor,
+                self.expr_selectivity(factor.expr),
+            )
+        return cached[1]
 
     def expr_selectivity(self, expr: ast.Expr) -> float:
         """F for an arbitrary bound predicate expression."""
@@ -74,11 +104,17 @@ class SelectivityEstimator:
 
     def block_qcard(self, block: BoundQueryBlock, factors: list[BooleanFactor]) -> float:
         """QCARD: product of FROM cardinalities times all factor F's."""
+        self._validate_caches()
+        factor_ids = tuple(id(factor) for factor in factors)
+        cached = self._qcard_cache.get(id(block))
+        if cached is not None and cached[1] == factor_ids:
+            return cached[2]
         qcard = 1.0
         for entry in block.tables:
             qcard *= self.relation_cardinality(entry.table.name)
         for factor in factors:
             qcard *= self.factor_selectivity(factor)
+        self._qcard_cache[id(block)] = (block, factor_ids, qcard)
         return qcard
 
     def block_output_cardinality(
@@ -205,25 +241,34 @@ class SelectivityEstimator:
 
     def _icard(self, column: BoundColumn) -> int | None:
         """ICARD of an index whose first key column is ``column``, if any."""
-        index = self._catalog.index_on_column(column.table_name, column.column_name)
-        if index is None:
-            return None
-        stats = self._catalog.index_stats(index.name)
-        if stats is None or stats.icard <= 0:
-            return None
-        return stats.icard
+        self._validate_caches()
+        key = (column.table_name, column.column_name)
+        if key in self._icard_cache:
+            return self._icard_cache[key]
+        index = self._catalog.index_on_column(*key)
+        icard: int | None = None
+        if index is not None:
+            stats = self._catalog.index_stats(index.name)
+            if stats is not None and stats.icard > 0:
+                icard = stats.icard
+        self._icard_cache[key] = icard
+        return icard
 
     def _key_range(self, column: BoundColumn) -> tuple[float, float] | None:
-        index = self._catalog.index_on_column(column.table_name, column.column_name)
-        if index is None:
-            return None
-        stats = self._catalog.index_stats(index.name)
-        if stats is None:
-            return None
-        low, high = stats.low_key, stats.high_key
-        if isinstance(low, (int, float)) and isinstance(high, (int, float)):
-            return float(low), float(high)
-        return None
+        self._validate_caches()
+        key = (column.table_name, column.column_name)
+        if key in self._key_range_cache:
+            return self._key_range_cache[key]
+        result: tuple[float, float] | None = None
+        index = self._catalog.index_on_column(*key)
+        if index is not None:
+            stats = self._catalog.index_stats(index.name)
+            if stats is not None:
+                low, high = stats.low_key, stats.high_key
+                if isinstance(low, (int, float)) and isinstance(high, (int, float)):
+                    result = (float(low), float(high))
+        self._key_range_cache[key] = result
+        return result
 
 
 def _literal_number(expr: ast.Expr) -> float | None:

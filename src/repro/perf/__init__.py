@@ -1,0 +1,27 @@
+"""Optimizer performance tracking.
+
+The paper's Section 8 argues that access path selection itself is cheap —
+"a few thousand instructions" per optimization.  This package keeps that
+claim honest for the reproduction: :mod:`repro.perf.bench` is a
+micro-benchmark harness (``repro bench``) that times *planning only* over
+generated chain / star / clique workloads, records the DP's own search
+statistics next to wall-clock, and emits a machine-readable
+``BENCH_optimizer.json`` so perf trajectories can be compared across
+commits (``repro bench --compare old.json``).
+"""
+
+from .bench import (
+    BenchResult,
+    compare_reports,
+    default_workloads,
+    load_report,
+    run_bench,
+)
+
+__all__ = [
+    "BenchResult",
+    "compare_reports",
+    "default_workloads",
+    "load_report",
+    "run_bench",
+]

@@ -1,0 +1,381 @@
+"""``repro bench`` — time access path selection, not query execution.
+
+Each workload is a generated schema (chain, star, or clique topology; see
+:mod:`repro.workloads.generator`) plus its natural join query over 2-12
+relations.  The harness builds the database once, then repeatedly plans
+the query with a fresh optimizer — the same per-statement lifecycle
+``Database.execute`` uses — and records wall-clock together with the
+DP's own :class:`~repro.optimizer.joins.SearchStats`, so a slowdown can
+be attributed either to doing more work (more plans considered) or to
+doing the same work slower (a fatter constant factor).
+
+Results are written to ``BENCH_optimizer.json`` (machine readable, stable
+key order); ``--compare old.json`` reports per-workload and aggregate
+speedups against an earlier run.  Static plan verification is disabled
+during timing — ``REPRO_CHECK=1`` correctness runs live in the test
+suite, not the stopwatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import random
+import statistics
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..database import Database
+from ..optimizer.planner import Optimizer
+from ..sql import ast, parse_statement
+from ..workloads.generator import (
+    TableSpec,
+    build_database,
+    chain_join_query,
+    clique_join_query,
+    random_chain_spec,
+    random_clique_spec,
+    random_star_spec,
+    star_join_query,
+)
+
+#: Bump when the JSON schema changes shape.
+REPORT_VERSION = 1
+
+DEFAULT_OUTPUT = "BENCH_optimizer.json"
+
+#: Relation counts per topology for the full run.  Cliques stop at 10:
+#: every pair is joined, so the heuristic never prunes and the DP visits
+#: all 2^n subsets — the n=12 clique alone would dwarf the whole suite.
+FULL_SIZES: dict[str, tuple[int, ...]] = {
+    "chain": (2, 3, 4, 6, 8, 10, 12),
+    "star": (2, 3, 4, 6, 8, 10, 12),
+    "clique": (2, 3, 4, 6, 8, 10),
+}
+
+#: The CI smoke subset (`--quick`): one small size per topology plus one
+#: mid-size chain, sized to finish within a tight wall-clock budget.
+QUICK_SIZES: dict[str, tuple[int, ...]] = {
+    "chain": (3, 6),
+    "star": (4,),
+    "clique": (4,),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One named benchmark point: a topology at a relation count."""
+
+    topology: str
+    relations: int
+    seed: int = 97
+
+    @property
+    def name(self) -> str:
+        return f"{self.topology}-{self.relations}"
+
+    def build(self) -> tuple[Database, str]:
+        """Materialize the schema and return (database, join SQL)."""
+        rng = random.Random(self.seed * 1000 + self.relations)
+        tables: list[TableSpec]
+        if self.topology == "chain":
+            tables = random_chain_spec(
+                self.relations, rng, min_rows=40, max_rows=400
+            )
+            sql = chain_join_query(tables)
+        elif self.topology == "star":
+            tables = random_star_spec(
+                self.relations - 1, rng, fact_rows=500
+            )
+            sql = star_join_query(tables)
+        elif self.topology == "clique":
+            tables = random_clique_spec(
+                self.relations, rng, min_rows=40, max_rows=300
+            )
+            sql = clique_join_query(tables)
+        else:
+            raise ValueError(f"unknown topology {self.topology!r}")
+        db = build_database(tables, seed=self.seed)
+        return db, sql
+
+
+@dataclass
+class BenchResult:
+    """Timing and search statistics for one workload."""
+
+    spec: WorkloadSpec
+    repeats: int
+    times_s: list[float] = field(default_factory=list)
+    plans_considered: int = 0
+    entries_stored: int = 0
+    subsets_expanded: int = 0
+    heuristic_pruned: int = 0
+
+    @property
+    def mean_ms(self) -> float:
+        return statistics.fmean(self.times_s) * 1000.0
+
+    @property
+    def min_ms(self) -> float:
+        return min(self.times_s) * 1000.0
+
+    def as_json(self) -> dict:
+        return {
+            "name": self.spec.name,
+            "topology": self.spec.topology,
+            "relations": self.spec.relations,
+            "seed": self.spec.seed,
+            "repeats": self.repeats,
+            "mean_ms": round(self.mean_ms, 4),
+            "min_ms": round(self.min_ms, 4),
+            "plans_considered": self.plans_considered,
+            "entries_stored": self.entries_stored,
+            "subsets_expanded": self.subsets_expanded,
+            "heuristic_pruned": self.heuristic_pruned,
+        }
+
+
+def default_workloads(
+    quick: bool = False,
+    topologies: tuple[str, ...] | None = None,
+    sizes: tuple[int, ...] | None = None,
+) -> list[WorkloadSpec]:
+    """The benchmark matrix: every requested topology at every size."""
+    table = QUICK_SIZES if quick else FULL_SIZES
+    chosen = topologies or tuple(table)
+    specs: list[WorkloadSpec] = []
+    for topology in chosen:
+        if topology not in FULL_SIZES:
+            raise ValueError(f"unknown topology {topology!r}")
+        for relations in sizes or table[topology]:
+            if relations < 2:
+                raise ValueError("workloads need at least two relations")
+            specs.append(WorkloadSpec(topology, relations))
+    return specs
+
+
+def _repeats_for(relations: int, quick: bool) -> int:
+    """More repeats for small (noisy) points, fewer for the slow tail."""
+    if quick:
+        return 3
+    if relations <= 4:
+        return 15
+    if relations <= 8:
+        return 7
+    return 3
+
+
+def run_workload(
+    spec: WorkloadSpec, repeats: int | None = None, quick: bool = False
+) -> BenchResult:
+    """Benchmark one workload: build once, plan ``repeats`` times."""
+    db, sql = spec.build()
+    statement = parse_statement(sql)
+    assert isinstance(statement, ast.SelectQuery)
+    repeats = _repeats_for(spec.relations, quick) if repeats is None else repeats
+    result = BenchResult(spec=spec, repeats=repeats)
+
+    def plan_once() -> None:
+        # A fresh Optimizer per plan is the Database.execute lifecycle;
+        # verification is explicitly off so the stopwatch sees only
+        # access path selection.
+        optimizer = Optimizer(
+            db.catalog,
+            w=db.w,
+            buffer_pages=db.storage.buffer.capacity,
+            verify_plans=False,
+        )
+        planned = optimizer.plan_query(statement)
+        stats = planned.search_stats
+        if stats is not None:
+            result.plans_considered = stats.plans_considered
+            result.entries_stored = stats.entries_stored
+            result.subsets_expanded = stats.subsets_expanded
+            result.heuristic_pruned = stats.extensions_pruned_by_heuristic
+    plan_once()  # warm the catalog and statistics caches
+
+    for __ in range(repeats):
+        started = time.perf_counter()
+        plan_once()
+        result.times_s.append(time.perf_counter() - started)
+    return result
+
+
+def run_bench(
+    workloads: list[WorkloadSpec],
+    repeats: int | None = None,
+    quick: bool = False,
+    echo: Callable[[str], None] = print,
+) -> dict:
+    """Run the matrix and return the JSON-ready report."""
+    results: list[BenchResult] = []
+    for spec in workloads:
+        result = run_workload(spec, repeats=repeats, quick=quick)
+        results.append(result)
+        echo(
+            f"  {spec.name:<12s} mean {result.mean_ms:9.2f} ms  "
+            f"min {result.min_ms:9.2f} ms  "
+            f"plans {result.plans_considered:>7d}  "
+            f"entries {result.entries_stored:>6d}"
+        )
+    ten_relation = [r.mean_ms for r in results if r.spec.relations == 10]
+    report = {
+        "version": REPORT_VERSION,
+        "quick": quick,
+        "workloads": [result.as_json() for result in results],
+        "summary": {
+            "total_mean_ms": round(sum(r.mean_ms for r in results), 4),
+            "mean_ms_at_10_relations": (
+                round(statistics.fmean(ten_relation), 4)
+                if ten_relation
+                else None
+            ),
+        },
+    }
+    return report
+
+
+def load_report(path: str | Path) -> dict:
+    """Load a previously written ``BENCH_optimizer.json``."""
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    if "workloads" not in report:
+        raise ValueError(f"{path}: not a repro bench report")
+    return report
+
+
+def compare_reports(
+    old: dict, new: dict, echo: Callable[[str], None] = print
+) -> dict:
+    """Per-workload speedups of ``new`` over ``old`` (matched by name).
+
+    ``speedup`` > 1 means the new run plans faster.  The aggregate is the
+    geometric mean over matched workloads; the 10-relation aggregate is
+    the arithmetic mean-of-means ratio (the acceptance metric).
+    """
+    old_by_name = {w["name"]: w for w in old["workloads"]}
+    rows: list[dict] = []
+    for workload in new["workloads"]:
+        before = old_by_name.get(workload["name"])
+        if before is None or before["mean_ms"] <= 0.0:
+            continue
+        speedup = before["mean_ms"] / workload["mean_ms"]
+        rows.append(
+            {
+                "name": workload["name"],
+                "relations": workload["relations"],
+                "old_mean_ms": before["mean_ms"],
+                "new_mean_ms": workload["mean_ms"],
+                "speedup": round(speedup, 3),
+                "plans_considered_delta": workload["plans_considered"]
+                - before["plans_considered"],
+            }
+        )
+        marker = "" if speedup >= 1.0 else "  REGRESSION"
+        echo(
+            f"  {workload['name']:<12s} {before['mean_ms']:9.2f} ms -> "
+            f"{workload['mean_ms']:9.2f} ms  {speedup:6.2f}x{marker}"
+        )
+    if not rows:
+        raise ValueError("no matching workloads between the two reports")
+    geo = math.exp(statistics.fmean(math.log(row["speedup"]) for row in rows))
+    ten_old = [r["old_mean_ms"] for r in rows if r["relations"] == 10]
+    ten_new = [r["new_mean_ms"] for r in rows if r["relations"] == 10]
+    ten_speedup = (
+        statistics.fmean(ten_old) / statistics.fmean(ten_new)
+        if ten_new
+        else None
+    )
+    comparison = {
+        "workloads": rows,
+        "geomean_speedup": round(geo, 3),
+        "speedup_at_10_relations": (
+            round(ten_speedup, 3) if ten_speedup is not None else None
+        ),
+        "regressions": [row["name"] for row in rows if row["speedup"] < 1.0],
+    }
+    echo(f"  geomean speedup: {comparison['geomean_speedup']:.2f}x")
+    if ten_speedup is not None:
+        echo(f"  10-relation mean speedup: {ten_speedup:.2f}x")
+    if comparison["regressions"]:
+        echo(f"  regressions: {', '.join(comparison['regressions'])}")
+    return comparison
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro bench [--quick] [--compare OLD] [--output PATH]``."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="micro-benchmark the optimizer's planning hot path",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small matrix for CI smoke runs",
+    )
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help=f"report path (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="OLD_JSON",
+        help="report speedups/regressions against an earlier report",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="override the per-workload repeat count",
+    )
+    parser.add_argument(
+        "--topologies",
+        default=None,
+        help="comma-separated subset of chain,star,clique",
+    )
+    parser.add_argument(
+        "--sizes",
+        default=None,
+        help="comma-separated relation counts (overrides the defaults)",
+    )
+    args = parser.parse_args(argv)
+
+    topologies = (
+        tuple(t.strip() for t in args.topologies.split(",") if t.strip())
+        if args.topologies
+        else None
+    )
+    sizes = (
+        tuple(int(s) for s in args.sizes.split(",") if s.strip())
+        if args.sizes
+        else None
+    )
+    workloads = default_workloads(
+        quick=args.quick, topologies=topologies, sizes=sizes
+    )
+    print(f"repro bench: {len(workloads)} workload(s)")
+    report = run_bench(workloads, repeats=args.repeats, quick=args.quick)
+    output = Path(args.output)
+    output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {output}")
+    if args.compare:
+        old = load_report(args.compare)
+        print(f"compare against {args.compare}:")
+        comparison = compare_reports(old, report)
+        report["comparison"] = comparison
+        output.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return 0

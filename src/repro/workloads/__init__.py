@@ -13,7 +13,9 @@ from .generator import (
     TableSpec,
     build_database,
     chain_join_query,
+    clique_join_query,
     random_chain_spec,
+    random_clique_spec,
     random_select_query,
     random_star_spec,
     star_join_query,
@@ -27,8 +29,10 @@ __all__ = [
     "build_database",
     "build_empdept",
     "chain_join_query",
+    "clique_join_query",
     "load_rows",
     "random_chain_spec",
+    "random_clique_spec",
     "random_select_query",
     "random_star_spec",
     "star_join_query",

@@ -244,6 +244,75 @@ def star_join_query(
     return f"SELECT * FROM {froms} WHERE {' AND '.join(predicates)}"
 
 
+def random_clique_spec(
+    count: int,
+    rng: random.Random,
+    min_rows: int = 50,
+    max_rows: int = 400,
+    index_probability: float = 0.5,
+    pad_bytes: int = 0,
+) -> list[TableSpec]:
+    """A clique-join schema: every pair of tables shares a join column.
+
+    Table Ti carries one column ``C{i}_{j}`` per partner Tj (i < j names
+    the shared domain), all drawn from one domain per pair.  With every
+    relation connected to every other, the join-order heuristic never
+    prunes an extension, so the DP visits all 2^n subsets — the worst
+    case for enumeration cost.
+    """
+    row_counts = [rng.randint(min_rows, max_rows) for __ in range(count)]
+    domains = {
+        (i, j): rng.randint(max(10, min(row_counts) // 2), max(row_counts))
+        for i in range(count)
+        for j in range(i + 1, count)
+    }
+    tables: list[TableSpec] = []
+    for position in range(count):
+        rows = row_counts[position]
+        columns = [ColumnSpec("TID", distinct=rows * 2, low=0)]
+        for other in range(count):
+            if other == position:
+                continue
+            pair = (min(position, other), max(position, other))
+            columns.append(
+                ColumnSpec(
+                    f"C{pair[0] + 1}_{pair[1] + 1}", distinct=domains[pair]
+                )
+            )
+        columns.append(ColumnSpec("ATTR", distinct=rng.randint(4, 100)))
+        indexes = [
+            IndexSpec(f"IX_T{position + 1}_{column.name}", [column.name])
+            for column in columns[1:]
+            if rng.random() < index_probability
+        ]
+        tables.append(
+            TableSpec(
+                name=f"T{position + 1}",
+                rows=rows,
+                columns=columns,
+                indexes=indexes,
+                pad_bytes=pad_bytes,
+            )
+        )
+    return tables
+
+
+def clique_join_query(
+    tables: list[TableSpec],
+    selections: list[tuple[str, str, int]] | None = None,
+) -> str:
+    """The all-pairs equi-join over :func:`random_clique_spec` tables."""
+    froms = ", ".join(spec.name for spec in tables)
+    predicates = [
+        f"T{i + 1}.C{i + 1}_{j + 1} = T{j + 1}.C{i + 1}_{j + 1}"
+        for i in range(len(tables))
+        for j in range(i + 1, len(tables))
+    ]
+    for table, column, value in selections or []:
+        predicates.append(f"{table}.{column} = {value}")
+    return f"SELECT * FROM {froms} WHERE {' AND '.join(predicates)}"
+
+
 def random_select_query(
     tables: list[TableSpec], rng: random.Random, max_selections: int = 2
 ) -> str:

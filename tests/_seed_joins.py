@@ -1,0 +1,497 @@
+"""Frozen copy of the seed (pre-bitmask) join enumerator.
+
+This is the reference implementation for the plan-equivalence gate: the
+bitmask DP in :mod:`repro.optimizer.joins` must produce cost-identical
+plans (same totals, same chosen order classes) as this enumerator on the
+paper's Fig. 1-6 examples and on generated query sweeps.  Keep this file
+frozen — it intentionally preserves the seed's ``frozenset[str]`` subset
+keys and its uncached per-extension arithmetic.
+"""
+
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.errors import PlannerError
+from repro.sql import ast
+from repro.optimizer.access_paths import (
+    PathCandidate,
+    enumerate_paths,
+    inner_resident_cap,
+    probe_factor,
+)
+from repro.optimizer.bound import BoundColumn, BoundQueryBlock
+from repro.optimizer.cost import Cost, CostModel, ZERO_COST, tuple_byte_width
+from repro.optimizer.orders import InterestingOrders, OrderKey, UNORDERED
+from repro.optimizer.plan import MergeJoinNode, NestedLoopJoinNode, PlanNode, SortNode
+from repro.optimizer.predicates import BooleanFactor, join_factor_as_sarg, partition_factors
+from repro.optimizer.selectivity import SelectivityEstimator
+
+
+@dataclass
+class SeedJoinEntry:
+    """The cheapest known solution for (relation subset, order class)."""
+
+    plan: PlanNode
+    order_key: OrderKey
+
+    @property
+    def cost(self) -> Cost:
+        """The entry's predicted cost."""
+        return self.plan.cost
+
+    @property
+    def rows(self) -> float:
+        """The entry's estimated output cardinality."""
+        return self.plan.rows
+
+
+@dataclass(frozen=True)
+class SeedPrunedCandidate:
+    """A solution the DP discarded, kept for the prune audit.
+
+    Recorded only under ``record_prunes`` (the ``REPRO_CHECK=1`` path):
+    the cost auditor verifies that every pruned candidate really was no
+    cheaper than the survivor of its (relation set, order class).
+    """
+
+    aliases: frozenset[str]
+    order_key: OrderKey
+    total: float
+
+
+@dataclass
+class SeedSearchStats:
+    """Bookkeeping for the optimization-cost experiments (E10, A3)."""
+
+    plans_considered: int = 0
+    entries_stored: int = 0
+    subsets_expanded: int = 0
+    extensions_pruned_by_heuristic: int = 0
+    #: Filled only when the search runs with ``record_prunes=True``.
+    pruned: list[SeedPrunedCandidate] = field(default_factory=list)
+    survivor_totals: dict[tuple[frozenset[str], OrderKey], float] = field(
+        default_factory=dict
+    )
+
+
+class SeedJoinSearch:
+    """One DP search over a bound query block's FROM list."""
+
+    def __init__(
+        self,
+        block: BoundQueryBlock,
+        factors: list[BooleanFactor],
+        catalog: Catalog,
+        estimator: SelectivityEstimator,
+        cost_model: CostModel,
+        orders: InterestingOrders,
+        use_heuristic: bool = True,
+        use_interesting_orders: bool = True,
+        record_prunes: bool = False,
+    ):
+        self._block = block
+        self._catalog = catalog
+        self._estimator = estimator
+        self._cost = cost_model
+        self._orders = orders
+        self._use_heuristic = use_heuristic
+        self._use_orders = use_interesting_orders
+        self._record_prunes = record_prunes
+        self.stats = SeedSearchStats()
+
+        self._aliases = block.aliases
+        partition = partition_factors(factors, self._aliases)
+        self._local = partition.local
+        self._join_factors = partition.joins
+        self._multi_factors = partition.multi
+        self.constant_factors = partition.constant
+
+        self._selectivity_cache: dict[int, float] = {}
+        self._factors_by_id = {id(f): f for f in factors}
+        self.best: dict[frozenset[str], dict[OrderKey, SeedJoinEntry]] = {}
+
+    # -- public API -------------------------------------------------------------
+
+    def search(self) -> dict[OrderKey, SeedJoinEntry]:
+        """Run the DP; returns the solutions for the full FROM list."""
+        for alias in self._aliases:
+            self._seed_single(alias)
+        full = frozenset(self._aliases)
+        for size in range(2, len(self._aliases) + 1):
+            subsets = [s for s in list(self.best) if len(s) == size - 1]
+            for subset in subsets:
+                self.stats.subsets_expanded += 1
+                for alias in self._candidate_extensions(subset):
+                    self._extend(subset, alias)
+        if full not in self.best or not self.best[full]:
+            raise PlannerError("join search produced no complete solution")
+        if self._record_prunes:
+            # Snapshot the survivors so the prune audit can replay every
+            # discard decision against the entry that beat it.
+            for aliases, entries in self.best.items():
+                for key, entry in entries.items():
+                    self.stats.survivor_totals[(aliases, key)] = (
+                        self._cost.total(entry.cost)
+                    )
+        return self.best[full]
+
+    def solutions_for(self, aliases: frozenset[str]) -> dict[OrderKey, SeedJoinEntry]:
+        """Surviving entries for one relation subset."""
+        return self.best.get(aliases, {})
+
+    def cheapest(self, solutions: dict[OrderKey, SeedJoinEntry]) -> SeedJoinEntry:
+        """The minimum-total entry of a solution set."""
+        return min(solutions.values(), key=lambda e: self._cost.total(e.cost))
+
+    def total_entries(self) -> int:
+        """Entries stored across all subsets (the 2^n-bound metric)."""
+        return sum(len(entries) for entries in self.best.values())
+
+    # -- DP seeding and extension ---------------------------------------------------
+
+    def _seed_single(self, alias: str) -> None:
+        table = self._block.alias_table(alias)
+        candidates = enumerate_paths(
+            alias,
+            table,
+            self._local[alias],
+            self._catalog,
+            self._estimator,
+            self._cost,
+            self._orders,
+        )
+        for candidate in candidates:
+            self._record(frozenset({alias}), candidate.node, candidate.order_key)
+
+    def _candidate_extensions(self, subset: frozenset[str]) -> list[str]:
+        remaining = [a for a in self._aliases if a not in subset]
+        if not remaining:
+            return []
+        if not self._use_heuristic:
+            return remaining
+        connected = [a for a in remaining if self._connects(a, subset)]
+        if connected:
+            self.stats.extensions_pruned_by_heuristic += len(remaining) - len(
+                connected
+            )
+            return connected
+        return remaining  # Cartesian product cannot be deferred any further
+
+    def _connects(self, alias: str, subset: frozenset[str]) -> bool:
+        for factor in self._join_factors:
+            if alias in factor.aliases and factor.aliases & subset:
+                return True
+        return False
+
+    def _extend(self, subset: frozenset[str], alias: str) -> None:
+        new_set = subset | {alias}
+        rows_out = self._subset_rows(new_set)
+        connecting = [
+            f
+            for f in self._join_factors
+            if alias in f.aliases and f.aliases <= new_set
+        ]
+        newly_applicable = [
+            f.expr
+            for f in self._multi_factors
+            if f.aliases <= new_set and not f.aliases <= subset
+        ]
+        self._extend_nested_loop(
+            subset, alias, new_set, rows_out, connecting, newly_applicable
+        )
+        self._extend_merge(
+            subset, alias, new_set, rows_out, connecting, newly_applicable
+        )
+
+    # -- nested loops ---------------------------------------------------------------
+
+    def _extend_nested_loop(
+        self,
+        subset: frozenset[str],
+        alias: str,
+        new_set: frozenset[str],
+        rows_out: float,
+        connecting: list[BooleanFactor],
+        extra_residual: list[ast.Expr],
+    ) -> None:
+        table = self._block.alias_table(alias)
+        probes: list[BooleanFactor] = []
+        join_residual: list[ast.Expr] = []
+        for factor in connecting:
+            sarg = join_factor_as_sarg(factor, alias)
+            if sarg is not None:
+                probes.append(probe_factor(factor, sarg))
+            else:
+                join_residual.append(factor.expr)
+        for entry in list(self.best.get(subset, {}).values()):
+            # Buffer pages left for the inner depend on how much of the
+            # pool the outer pipeline (including prior resident inners)
+            # already claims.
+            available = self._cost.inner_available_buffer(
+                entry.plan.buffer_claim
+            )
+            inner_candidates = enumerate_paths(
+                alias,
+                table,
+                self._local[alias],
+                self._catalog,
+                self._estimator,
+                self._cost,
+                self._orders,
+                probe_factors=probes,
+                available_buffer=available,
+            )
+            inner = min(
+                inner_candidates,
+                key=lambda c: self._cost.total(
+                    self._cost.nested_loop_cost(
+                        ZERO_COST,
+                        entry.rows,
+                        c.node.cost,
+                        inner_resident_cap(self._cost, c.node, available),
+                    )
+                ),
+            )
+            cap = inner_resident_cap(self._cost, inner.node, available)
+            self.stats.plans_considered += 1
+            cost = self._cost.nested_loop_cost(
+                entry.cost, entry.rows, inner.node.cost, cap
+            )
+            node = NestedLoopJoinNode(
+                outer=entry.plan,
+                inner=inner.node,
+                residual=join_residual + extra_residual,
+                cost=cost,
+                rows=rows_out,
+                order_columns=entry.plan.order_columns,
+                buffer_claim=entry.plan.buffer_claim
+                + (cap if cap is not None else 2.0),
+            )
+            self._record(new_set, node, entry.order_key)
+
+    # -- merging scans ----------------------------------------------------------------
+
+    def _extend_merge(
+        self,
+        subset: frozenset[str],
+        alias: str,
+        new_set: frozenset[str],
+        rows_out: float,
+        connecting: list[BooleanFactor],
+        extra_residual: list[ast.Expr],
+    ) -> None:
+        equijoins = [
+            f for f in connecting if f.join is not None and f.join.is_equijoin
+        ]
+        if not equijoins:
+            return
+        table = self._block.alias_table(alias)
+        inner_bytes = tuple_byte_width(table)
+        inner_rows = self._inner_rows(alias)
+        entries = self.best.get(subset, {})
+        if not entries:
+            return
+        cheapest_outer = min(
+            entries.values(), key=lambda e: self._cost.total(e.cost)
+        )
+        plain_paths = enumerate_paths(
+            alias,
+            table,
+            self._local[alias],
+            self._catalog,
+            self._estimator,
+            self._cost,
+            self._orders,
+        )
+        for merge_factor in equijoins:
+            join = merge_factor.join
+            assert join is not None
+            inner_column = join.column_for(alias)
+            outer_column = join.other_column(alias)
+            merge_class = self._orders.class_of_column(inner_column)
+            matches = self._merge_matches(subset, alias, merge_factor)
+            residual = [
+                f.expr for f in equijoins if f is not merge_factor
+            ] + [
+                f.expr
+                for f in connecting
+                if f.join is not None and not f.join.is_equijoin
+            ] + extra_residual
+
+            inner_options = self._merge_inner_options(
+                plain_paths, inner_column, merge_class, inner_rows, inner_bytes, matches
+            )
+            outer_options = self._merge_outer_options(
+                subset, entries, cheapest_outer, outer_column, merge_class
+            )
+            for outer_plan, outer_key in outer_options:
+                for inner_plan, inner_cost in inner_options:
+                    self.stats.plans_considered += 1
+                    cost = outer_plan.cost + inner_cost
+                    order_columns = (
+                        (outer_column.alias, outer_column.position),
+                    )
+                    node = MergeJoinNode(
+                        outer=outer_plan,
+                        inner=inner_plan,
+                        outer_column=outer_column,
+                        inner_column=inner_column,
+                        residual=residual,
+                        cost=cost,
+                        rows=rows_out,
+                        order_columns=order_columns,
+                        buffer_claim=outer_plan.buffer_claim
+                        + inner_plan.buffer_claim,
+                    )
+                    self._record(
+                        new_set, node, self._canonical((merge_class,))
+                    )
+
+    def _merge_inner_options(
+        self,
+        plain_paths: list[PathCandidate],
+        inner_column: BoundColumn,
+        merge_class: int,
+        inner_rows: float,
+        inner_bytes: int,
+        matches: float,
+    ) -> list[tuple[PlanNode, Cost]]:
+        """Ways to present the inner relation in join-column order.
+
+        Either an index path already ordered on the merge class, or the
+        cheapest path sorted into a temporary list.  The returned cost is
+        the *total* inner-side contribution: one ordered pass plus the RSI
+        traffic of emitting matches (group re-reads included).
+        """
+        options: list[tuple[PlanNode, Cost]] = []
+        for candidate in plain_paths:
+            if candidate.order_key[:1] == (merge_class,):
+                inner_cost = Cost(
+                    pages=candidate.node.cost.pages,
+                    rsi=max(candidate.node.cost.rsi, matches),
+                )
+                options.append((candidate.node, inner_cost))
+        cheapest = min(
+            plain_paths, key=lambda c: self._cost.total(c.node.cost)
+        )
+        temp_pages = self._cost.temp_pages(inner_rows, inner_bytes)
+        build = self._cost.sort_build_cost(
+            cheapest.node.cost, inner_rows, inner_bytes
+        )
+        sort_total = build + Cost(pages=temp_pages, rsi=max(inner_rows, matches))
+        sort_node = SortNode(
+            child=cheapest.node,
+            keys=[(inner_column, False)],
+            cost=sort_total,
+            rows=cheapest.node.rows,
+            order_columns=((inner_column.alias, inner_column.position),),
+        )
+        options.append((sort_node, sort_total))
+        # Keep at most the two cheapest inner options; more never win.
+        options.sort(key=lambda pair: self._cost.total(pair[1]))
+        return options[:2]
+
+    def _merge_outer_options(
+        self,
+        subset: frozenset[str],
+        entries: dict[OrderKey, SeedJoinEntry],
+        cheapest: SeedJoinEntry,
+        outer_column: BoundColumn,
+        merge_class: int,
+    ) -> list[tuple[PlanNode, OrderKey]]:
+        """Outer sides ordered on the merge class: reuse an order or sort."""
+        options: list[tuple[PlanNode, OrderKey]] = []
+        for entry in entries.values():
+            if entry.order_key[:1] == (merge_class,):
+                options.append((entry.plan, entry.order_key))
+        outer_bytes = self._composite_bytes(subset)
+        build = self._cost.sort_build_cost(
+            cheapest.cost, cheapest.rows, outer_bytes
+        )
+        read_back = self._cost.temp_scan_cost(cheapest.rows, outer_bytes)
+        sort_node = SortNode(
+            child=cheapest.plan,
+            keys=[(outer_column, False)],
+            cost=build + read_back,
+            rows=cheapest.rows,
+            order_columns=((outer_column.alias, outer_column.position),),
+        )
+        options.append((sort_node, self._canonical((merge_class,))))
+        options.sort(key=lambda pair: self._cost.total(pair[0].cost))
+        return options[:2]
+
+    # -- estimates --------------------------------------------------------------------
+
+    def _subset_rows(self, aliases: frozenset[str]) -> float:
+        rows = 1.0
+        for alias in aliases:
+            rows *= self._cost.ncard(self._block.alias_table(alias))
+        for factor in (
+            self._join_factors
+            + self._multi_factors
+            + [f for a in aliases for f in self._local[a]]
+        ):
+            if factor.aliases and factor.aliases <= aliases:
+                rows *= self._factor_selectivity(factor)
+        return rows
+
+    def _inner_rows(self, alias: str) -> float:
+        rows = self._cost.ncard(self._block.alias_table(alias))
+        for factor in self._local[alias]:
+            rows *= self._factor_selectivity(factor)
+        return rows
+
+    def _merge_matches(
+        self, subset: frozenset[str], alias: str, merge_factor: BooleanFactor
+    ) -> float:
+        """Expected tuples crossing the inner RSI during the merge."""
+        return (
+            self._subset_rows(subset)
+            * self._inner_rows(alias)
+            * self._factor_selectivity(merge_factor)
+        )
+
+    def _factor_selectivity(self, factor: BooleanFactor) -> float:
+        key = id(factor)
+        if key not in self._selectivity_cache:
+            self._selectivity_cache[key] = self._estimator.factor_selectivity(
+                factor
+            )
+        return self._selectivity_cache[key]
+
+    def _composite_bytes(self, aliases: frozenset[str]) -> int:
+        return sum(
+            tuple_byte_width(self._block.alias_table(alias)) for alias in aliases
+        )
+
+    # -- solution table ----------------------------------------------------------------
+
+    def _canonical(self, order: OrderKey) -> OrderKey:
+        if not self._use_orders:
+            return UNORDERED
+        return self._orders.canonicalize(order)
+
+    def _record(
+        self, aliases: frozenset[str], plan: PlanNode, order_key: OrderKey
+    ) -> None:
+        key = self._canonical(order_key)
+        table = self.best.setdefault(aliases, {})
+        self.stats.plans_considered += 1
+        existing = table.get(key)
+        total = self._cost.total(plan.cost)
+        if existing is None:
+            self.stats.entries_stored += 1
+            table[key] = SeedJoinEntry(plan=plan, order_key=key)
+        elif total < self._cost.total(existing.cost):
+            if self._record_prunes:
+                self.stats.pruned.append(
+                    SeedPrunedCandidate(
+                        aliases, key, self._cost.total(existing.cost)
+                    )
+                )
+            table[key] = SeedJoinEntry(plan=plan, order_key=key)
+        elif self._record_prunes:
+            self.stats.pruned.append(SeedPrunedCandidate(aliases, key, total))

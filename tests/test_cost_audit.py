@@ -207,24 +207,24 @@ def test_rejects_bad_statistics(db):
 
 
 def test_rejects_inadmissible_prune():
-    key = frozenset({"A", "B"})
-    stats = SearchStats()
-    stats.survivor_totals[(key, UNORDERED)] = 10.0
-    stats.pruned.append(PrunedCandidate(key, UNORDERED, 5.0))
+    mask = 0b11  # {A, B}
+    stats = SearchStats(alias_order=("A", "B"))
+    stats.survivor_totals[(mask, UNORDERED)] = 10.0
+    stats.pruned.append(PrunedCandidate(mask, UNORDERED, 5.0))
     assert "inadmissible-prune" in rules(audit_search_stats(stats))
 
 
 def test_rejects_prune_without_survivor():
-    stats = SearchStats()
-    stats.pruned.append(PrunedCandidate(frozenset({"A"}), UNORDERED, 5.0))
+    stats = SearchStats(alias_order=("A", "B"))
+    stats.pruned.append(PrunedCandidate(0b01, UNORDERED, 5.0))
     assert "prune-without-survivor" in rules(audit_search_stats(stats))
 
 
 def test_accepts_admissible_prune():
-    key = frozenset({"A", "B"})
-    stats = SearchStats()
-    stats.survivor_totals[(key, UNORDERED)] = 10.0
-    stats.pruned.append(PrunedCandidate(key, UNORDERED, 15.0))
+    mask = 0b11  # {A, B}
+    stats = SearchStats(alias_order=("A", "B"))
+    stats.survivor_totals[(mask, UNORDERED)] = 10.0
+    stats.pruned.append(PrunedCandidate(mask, UNORDERED, 15.0))
     assert audit_search_stats(stats) == []
 
 

@@ -66,20 +66,20 @@ class TestSearchStructure:
     def test_all_single_subsets_seeded(self, catalog):
         search = search_for(catalog, CHAIN)
         for name in ("T1", "T2", "T3"):
-            assert frozenset({name}) in search.best
+            assert search.solutions_for({name})
 
     def test_full_solution_exists(self, catalog):
         search = search_for(catalog, CHAIN)
-        assert frozenset({"T1", "T2", "T3"}) in search.best
+        assert search.solutions_for({"T1", "T2", "T3"})
 
     def test_heuristic_skips_cartesian_pair(self, catalog):
         search = search_for(catalog, CHAIN)
         # T1 and T3 are not directly connected: the pair must never form.
-        assert frozenset({"T1", "T3"}) not in search.best
+        assert not search.solutions_for({"T1", "T3"})
 
     def test_heuristic_disabled_allows_cartesian_pair(self, catalog):
         search = search_for(catalog, CHAIN, use_heuristic=False)
-        assert frozenset({"T1", "T3"}) in search.best
+        assert search.solutions_for({"T1", "T3"})
 
     def test_heuristic_reduces_stored_entries(self, catalog):
         with_h = search_for(catalog, CHAIN)
@@ -92,12 +92,12 @@ class TestSearchStructure:
         model = CostModel(catalog, w=0.05)
         with_h = search_for(catalog, CHAIN)
         without_h = search_for(catalog, CHAIN, use_heuristic=False)
-        full = frozenset({"T1", "T2", "T3"})
+        full = {"T1", "T2", "T3"}
         best_with = min(
-            model.total(e.cost) for e in with_h.best[full].values()
+            model.total(e.cost) for e in with_h.solutions_for(full).values()
         )
         best_without = min(
-            model.total(e.cost) for e in without_h.best[full].values()
+            model.total(e.cost) for e in without_h.solutions_for(full).values()
         )
         # For a connected chain the heuristic loses nothing here.
         assert best_with <= best_without * 1.0001
@@ -110,32 +110,32 @@ class TestSearchStructure:
 
     def test_disconnected_query_still_plans(self, catalog):
         search = search_for(catalog, "SELECT * FROM T1, T2 WHERE T1.ID = 5")
-        full = frozenset({"T1", "T2"})
-        assert full in search.best
-        entry = search.cheapest(search.best[full])
+        full = {"T1", "T2"}
+        assert search.solutions_for(full)
+        entry = search.cheapest(search.solutions_for(full))
         assert isinstance(entry.plan, NestedLoopJoinNode)
 
 
 class TestMethods:
     def test_both_methods_considered(self, catalog):
         search = search_for(catalog, CHAIN)
-        full = frozenset({"T1", "T2", "T3"})
+        full = {"T1", "T2", "T3"}
         kinds = set()
-        for entry in search.best[full].values():
+        for entry in search.solutions_for(full).values():
             for node in walk_plan(entry.plan):
                 kinds.add(type(node))
         assert NestedLoopJoinNode in kinds or MergeJoinNode in kinds
 
     def test_merge_entry_carries_order(self, catalog):
         search = search_for(catalog, CHAIN)
-        pair = frozenset({"T1", "T2"})
-        ordered = [key for key in search.best[pair] if key]
+        pair = {"T1", "T2"}
+        ordered = [key for key in search.solutions_for(pair) if key]
         assert ordered  # some ordered solution exists for the join column
 
     def test_nested_loop_preserves_outer_order(self, catalog):
         search = search_for(catalog, CHAIN)
-        pair = frozenset({"T1", "T2"})
-        for key, entry in search.best[pair].items():
+        pair = {"T1", "T2"}
+        for key, entry in search.solutions_for(pair).items():
             if isinstance(entry.plan, NestedLoopJoinNode):
                 assert entry.plan.order_columns == entry.plan.outer.order_columns
 
@@ -146,14 +146,14 @@ class TestMethods:
 
     def test_orders_enabled_never_costs_more(self, catalog):
         model = CostModel(catalog, w=0.05)
-        full = frozenset({"T1", "T2", "T3"})
+        full = {"T1", "T2", "T3"}
         with_orders = search_for(catalog, CHAIN)
         without = search_for(catalog, CHAIN, use_interesting_orders=False)
         best_with = min(
-            model.total(e.cost) for e in with_orders.best[full].values()
+            model.total(e.cost) for e in with_orders.solutions_for(full).values()
         )
         best_without = min(
-            model.total(e.cost) for e in without.best[full].values()
+            model.total(e.cost) for e in without.solutions_for(full).values()
         )
         assert best_with <= best_without * 1.0001
 
@@ -161,8 +161,8 @@ class TestMethods:
 class TestEstimates:
     def test_rows_independent_of_join_order(self, catalog):
         search = search_for(catalog, CHAIN)
-        full = frozenset({"T1", "T2", "T3"})
-        rows = {round(entry.rows, 6) for entry in search.best[full].values()}
+        full = {"T1", "T2", "T3"}
+        rows = {round(entry.rows, 6) for entry in search.solutions_for(full).values()}
         assert len(rows) == 1  # "cardinality is the same regardless of order"
 
     def test_stats_populated(self, catalog):

@@ -1,0 +1,86 @@
+"""OrderKey interning and memoized canonicalization.
+
+The join search canonicalizes an order key per candidate plan; the
+interning layer in :class:`InterestingOrders` must return the *identical*
+tuple object for equal keys (so dict probes short-circuit on identity)
+without ever changing which prefix survives canonicalization.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import Catalog, RelationStats
+from repro.datatypes import INTEGER
+from repro.optimizer.binder import Binder
+from repro.optimizer.orders import UNORDERED, InterestingOrders
+from repro.optimizer.predicates import to_cnf_factors
+from repro.sql import parse_statement
+
+
+def orders_for(sql: str) -> InterestingOrders:
+    catalog = Catalog()
+    for name in ("T1", "T2", "T3"):
+        catalog.create_table(
+            name, [("ID", INTEGER), ("A", INTEGER), ("B", INTEGER)]
+        )
+        catalog.set_relation_stats(name, RelationStats(100, 4, 1.0))
+    block = Binder(catalog).bind(parse_statement(sql))
+    factors = to_cnf_factors(block.where, block)
+    return InterestingOrders(block, factors)
+
+
+CHAIN = "SELECT * FROM T1, T2, T3 WHERE T1.A = T2.A AND T2.B = T3.B"
+
+
+def test_intern_returns_identical_object():
+    orders = orders_for(CHAIN)
+    key = orders.intern((1, 2))
+    assert orders.intern((1, 2)) is key
+    # A structurally equal but distinct tuple maps to the first object.
+    other = tuple([1, 2])
+    assert other is not key
+    assert orders.intern(other) is key
+
+
+def test_intern_unordered_is_the_module_constant():
+    orders = orders_for(CHAIN)
+    assert orders.intern(()) is UNORDERED
+
+
+def test_canonicalize_memoized_and_interned():
+    orders = orders_for(CHAIN)
+    block = orders_for(CHAIN)  # independent instance: separate tables
+    del block
+    first = orders.canonicalize((1,))
+    again = orders.canonicalize(tuple([1]))
+    assert again is first  # same object, not merely equal
+
+
+def test_canonicalize_results_agree_with_uncached_semantics():
+    orders = orders_for(CHAIN)
+    # Join columns each form a single-column interesting order...
+    single = orders.canonicalize((1,))
+    assert single == (1,)
+    # ...but an uninteresting first class collapses to UNORDERED.
+    assert orders.canonicalize((99,)) is UNORDERED
+    # A longer order truncates to its interesting prefix; repeated calls
+    # return the identical object.
+    truncated = orders.canonicalize((1, 99))
+    assert truncated == (1,)
+    assert truncated is single
+
+
+def test_canonicalize_keeps_interesting_sequences():
+    orders = orders_for(
+        "SELECT A, B FROM T1 WHERE T1.A = 1 ORDER BY A, B"
+    )
+    block_key = orders.order_key([("T1", 1), ("T1", 2)])
+    kept = orders.canonicalize(block_key)
+    assert kept == block_key  # the full ORDER BY sequence is interesting
+    assert orders.canonicalize(block_key) is kept
+
+
+def test_distinct_keys_do_not_collide():
+    orders = orders_for(CHAIN)
+    a = orders.canonicalize((1,))
+    b = orders.canonicalize((2,))
+    assert a is not b and a != b

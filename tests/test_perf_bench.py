@@ -1,0 +1,122 @@
+"""The ``repro bench`` harness: workload matrix, JSON report, comparison."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    WorkloadSpec,
+    compare_reports,
+    default_workloads,
+    load_report,
+    main,
+    run_bench,
+    run_workload,
+)
+
+
+def test_default_workload_matrix_quick_and_full():
+    quick = default_workloads(quick=True)
+    full = default_workloads(quick=False)
+    assert {spec.topology for spec in full} == {"chain", "star", "clique"}
+    assert len(quick) < len(full)
+    assert all(spec.relations >= 2 for spec in quick + full)
+
+
+def test_workload_names_and_filters():
+    specs = default_workloads(topologies=("chain",), sizes=(2, 3))
+    assert [spec.name for spec in specs] == ["chain-2", "chain-3"]
+    with pytest.raises(ValueError):
+        default_workloads(topologies=("ring",))
+    with pytest.raises(ValueError):
+        default_workloads(sizes=(1,))
+
+
+@pytest.mark.parametrize("topology", ["chain", "star", "clique"])
+def test_workload_builds_and_plans(topology):
+    result = run_workload(WorkloadSpec(topology, 3), repeats=1)
+    assert len(result.times_s) == 1
+    assert result.plans_considered > 0
+    assert result.entries_stored > 0
+    payload = result.as_json()
+    assert payload["name"] == f"{topology}-3"
+    assert payload["mean_ms"] > 0.0
+
+
+def test_run_bench_report_shape():
+    report = run_bench(
+        default_workloads(topologies=("chain",), sizes=(2,)),
+        repeats=1,
+        echo=lambda text: None,
+    )
+    assert report["version"] == 1
+    assert [w["name"] for w in report["workloads"]] == ["chain-2"]
+    assert report["summary"]["total_mean_ms"] > 0.0
+    json.dumps(report)  # must be JSON-serializable as-is
+
+
+def test_compare_reports_speedups():
+    old = {
+        "workloads": [
+            {"name": "chain-10", "relations": 10, "mean_ms": 40.0,
+             "plans_considered": 100},
+            {"name": "star-4", "relations": 4, "mean_ms": 10.0,
+             "plans_considered": 50},
+        ]
+    }
+    new = {
+        "workloads": [
+            {"name": "chain-10", "relations": 10, "mean_ms": 10.0,
+             "plans_considered": 100},
+            {"name": "star-4", "relations": 4, "mean_ms": 20.0,
+             "plans_considered": 50},
+        ]
+    }
+    comparison = compare_reports(old, new, echo=lambda text: None)
+    by_name = {row["name"]: row for row in comparison["workloads"]}
+    assert by_name["chain-10"]["speedup"] == 4.0
+    assert by_name["star-4"]["speedup"] == 0.5
+    assert comparison["speedup_at_10_relations"] == 4.0
+    assert comparison["regressions"] == ["star-4"]
+    assert abs(comparison["geomean_speedup"] - 2.0 ** 0.5) < 1e-3
+
+
+def test_compare_reports_requires_overlap():
+    with pytest.raises(ValueError):
+        compare_reports(
+            {"workloads": []}, {"workloads": []}, echo=lambda text: None
+        )
+
+
+def test_cli_writes_report_and_comparison(tmp_path, capsys):
+    first = tmp_path / "old.json"
+    second = tmp_path / "new.json"
+    assert (
+        main(
+            ["--topologies", "chain", "--sizes", "2", "--repeats", "1",
+             "--output", str(first)]
+        )
+        == 0
+    )
+    report = load_report(first)
+    assert report["workloads"][0]["name"] == "chain-2"
+    assert (
+        main(
+            ["--topologies", "chain", "--sizes", "2", "--repeats", "1",
+             "--output", str(second), "--compare", str(first)]
+        )
+        == 0
+    )
+    merged = load_report(second)
+    assert "comparison" in merged
+    assert merged["comparison"]["workloads"][0]["name"] == "chain-2"
+    capsys.readouterr()
+
+
+def test_load_report_rejects_foreign_json(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text("{}", encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_report(path)

@@ -1,0 +1,212 @@
+"""Plan-equivalence gate: the bitmask DP must match the seed enumerator.
+
+The optimizer hot path was rewritten around interned integer bitmasks and
+memoized statistics.  That refactor must not change *what* the optimizer
+decides, only how fast it decides it: for every relation subset, the new
+search must keep the same interesting-order classes with the same costed
+totals (within float tolerance — the seed multiplied selectivities in
+``frozenset`` iteration order, so the products can differ in the last few
+ulps) and the same search-effort statistics.  The frozen seed enumerator
+lives in :mod:`tests._seed_joins`.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.check import verifying_optimizer
+from repro.optimizer.binder import Binder
+from repro.optimizer.cost import CostModel
+from repro.optimizer.joins import JoinSearch
+from repro.optimizer.orders import InterestingOrders
+from repro.optimizer.predicates import to_cnf_factors
+from repro.optimizer.selectivity import SelectivityEstimator
+from repro.sql import parse_statement
+from repro.workloads import FIG1_QUERY, build_empdept
+from repro.workloads.generator import (
+    build_database,
+    chain_join_query,
+    clique_join_query,
+    random_chain_spec,
+    random_clique_spec,
+    random_star_spec,
+    star_join_query,
+)
+
+from ._seed_joins import SeedJoinSearch
+
+#: Totals must agree to this relative tolerance.  The two enumerators
+#: multiply the same selectivity factors in different orders, which is
+#: enough to perturb the last bits of a float product.
+REL_TOL = 1e-9
+
+
+def _close(left: float, right: float) -> bool:
+    scale = max(abs(left), abs(right), 1.0)
+    return abs(left - right) <= REL_TOL * scale
+
+
+def _run_search(search_class, db, sql, **kwargs):
+    block = Binder(db.catalog).bind(parse_statement(sql))
+    factors = to_cnf_factors(block.where, block)
+    orders = InterestingOrders(block, factors)
+    model = CostModel(
+        db.catalog, w=db.w, buffer_pages=db.storage.buffer.capacity
+    )
+    search = search_class(
+        block,
+        factors,
+        db.catalog,
+        SelectivityEstimator(db.catalog),
+        model,
+        orders,
+        **kwargs,
+    )
+    search.search()
+    return search, model
+
+
+def assert_equivalent(db, sql, **kwargs) -> None:
+    """Both enumerators agree on every subset's surviving solutions."""
+    seed, seed_model = _run_search(SeedJoinSearch, db, sql, **kwargs)
+    mask, mask_model = _run_search(JoinSearch, db, sql, **kwargs)
+
+    # Identical search effort: the rewrite must not visit more or fewer
+    # candidate plans than the seed.
+    assert mask.stats.plans_considered == seed.stats.plans_considered
+    assert mask.stats.entries_stored == seed.stats.entries_stored
+    assert mask.stats.subsets_expanded == seed.stats.subsets_expanded
+    assert (
+        mask.stats.extensions_pruned_by_heuristic
+        == seed.stats.extensions_pruned_by_heuristic
+    )
+
+    seed_by_subset = {aliases: entries for aliases, entries in seed.best.items()}
+    mask_by_subset = {
+        mask.aliases_of(key): entries for key, entries in mask.best.items()
+    }
+    assert set(mask_by_subset) == set(seed_by_subset)
+    for aliases, seed_entries in seed_by_subset.items():
+        mask_entries = mask_by_subset[aliases]
+        assert set(mask_entries) == set(seed_entries), aliases
+        for order_key, seed_entry in seed_entries.items():
+            mask_entry = mask_entries[order_key]
+            seed_total = seed_model.total(seed_entry.cost)
+            mask_total = mask_model.total(mask_entry.cost)
+            assert _close(seed_total, mask_total), (
+                aliases,
+                order_key,
+                seed_total,
+                mask_total,
+            )
+            assert _close(seed_entry.rows, mask_entry.rows)
+
+
+# ---------------------------------------------------------------------------
+# the paper's running examples (Figures 1-6 all plan over this database)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def empdept():
+    return build_empdept(employees=800, departments=30, jobs=5, seed=11)
+
+
+FIGURE_QUERIES = [
+    # Fig. 1/6: the paper's three-way clerk/Denver join.
+    FIG1_QUERY,
+    # Fig. 2: single-relation access path selection, sargable predicate.
+    "SELECT NAME FROM EMP WHERE DNO = 7",
+    "SELECT NAME FROM EMP WHERE SAL > 500 ORDER BY DNO",
+    # Fig. 4: two-way nested-loop shape.
+    "SELECT NAME, DNAME FROM EMP, DEPT WHERE EMP.DNO = DEPT.DNO",
+    # Fig. 5: merge-join shape with an interesting final order.
+    "SELECT NAME, DNAME FROM EMP, DEPT "
+    "WHERE EMP.DNO = DEPT.DNO ORDER BY EMP.DNO",
+    # Fig. 3: full search tree with a local predicate on each relation.
+    "SELECT NAME, TITLE FROM EMP, DEPT, JOB "
+    "WHERE EMP.DNO = DEPT.DNO AND EMP.JOB = JOB.JOB AND SAL > 300",
+    # Grouping introduces an interesting order requirement.
+    "SELECT DNO, COUNT(*) FROM EMP GROUP BY DNO",
+]
+
+
+@pytest.mark.parametrize("sql", FIGURE_QUERIES)
+def test_figure_queries_equivalent(empdept, sql):
+    assert_equivalent(empdept, sql)
+
+
+@pytest.mark.parametrize("sql", [FIG1_QUERY, FIGURE_QUERIES[3]])
+def test_figure_queries_equivalent_without_heuristic(empdept, sql):
+    assert_equivalent(empdept, sql, use_heuristic=False)
+
+
+def test_figure_query_equivalent_without_interesting_orders(empdept):
+    assert_equivalent(empdept, FIG1_QUERY, use_interesting_orders=False)
+
+
+def test_figure_queries_verify_under_repro_check(empdept):
+    """The new enumerator's plans pass the full static audit stack."""
+    optimizer = verifying_optimizer(empdept)
+    for sql in FIGURE_QUERIES:
+        planned = optimizer.plan_query(parse_statement(sql))
+        assert planned.search_stats is not None
+
+
+# ---------------------------------------------------------------------------
+# generated workload sweep (chain / star / clique topologies)
+# ---------------------------------------------------------------------------
+
+
+def _workload(topology: str, relations: int, seed: int):
+    rng = random.Random(seed)
+    if topology == "chain":
+        tables = random_chain_spec(relations, rng, min_rows=30, max_rows=200)
+        sql = chain_join_query(tables)
+    elif topology == "star":
+        tables = random_star_spec(relations - 1, rng, fact_rows=300)
+        sql = star_join_query(tables)
+    else:
+        tables = random_clique_spec(relations, rng, min_rows=30, max_rows=150)
+        sql = clique_join_query(tables)
+    return build_database(tables, seed=seed), sql
+
+
+@pytest.mark.parametrize("topology", ["chain", "star", "clique"])
+@pytest.mark.parametrize("relations", [2, 3, 5])
+def test_generated_workloads_equivalent(topology, relations):
+    db, sql = _workload(topology, relations, seed=relations * 17 + 3)
+    assert_equivalent(db, sql)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    topology=st.sampled_from(["chain", "star", "clique"]),
+    relations=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_equivalence_sweep(topology, relations, seed):
+    db, sql = _workload(topology, relations, seed)
+    assert_equivalent(db, sql)
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    relations=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_sweep_verifies_under_repro_check(relations, seed):
+    """REPRO_CHECK-style audits stay green on generated workloads."""
+    db, sql = _workload("chain", relations, seed)
+    planned = verifying_optimizer(db).plan_query(parse_statement(sql))
+    stats = planned.search_stats
+    assert stats is not None
+    assert stats.survivor_totals  # record_prunes path exercised

@@ -127,6 +127,59 @@ def test_flags_non_exhaustive_walker(tmp_path):
     assert "engine/operators.py" in missing_dispatch[0].where
 
 
+def test_flags_frozenset_in_joinsearch_hot_path(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "optimizer/joins.py",
+        """
+        class JoinSearch:
+            def __init__(self, aliases):
+                self._setup = frozenset(aliases)  # allowed: construction
+
+            def _extend(self, subset, alias):
+                return frozenset(subset) | {alias}
+        """,
+    )
+    violations = by_rule(tmp_path, "joinsearch-hot-path")
+    assert len(violations) == 1
+    assert "_extend" in violations[0].message
+
+
+def test_flags_catalog_lookup_in_joinsearch_hot_path(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "optimizer/joins.py",
+        """
+        class JoinSearch:
+            def __init__(self, catalog):
+                self._stats = catalog.relation_stats("T")  # allowed
+
+            def _subset_rows(self, catalog, mask):
+                return catalog.relation_stats("T").ncard
+        """,
+    )
+    violations = by_rule(tmp_path, "joinsearch-hot-path")
+    assert len(violations) == 1
+    assert "relation_stats" in violations[0].message
+    assert "_subset_rows" in violations[0].message
+
+
+def test_joinsearch_rule_ignores_other_classes(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "optimizer/joins.py",
+        """
+        class Helper:
+            def anywhere(self, catalog):
+                return catalog.index_stats("I")
+        """,
+    )
+    assert by_rule(tmp_path, "joinsearch-hot-path") == []
+
+
 def test_accepts_exhaustive_walker(tmp_path):
     write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
     write(
