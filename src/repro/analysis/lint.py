@@ -22,6 +22,16 @@ them directly on the parsed source:
   ``indexes_on``, ``index_on_column``).  This pins the hot-path overhaul
   so a future change cannot quietly reintroduce per-extension hashing of
   alias sets or repeated catalog dictionary probes.
+- **executor-hot-path** — the execution engine compiles expressions,
+  SARG matchers, and decode plans once per plan/scan open; per-tuple
+  loops must run only the compiled artifacts.  Inside ``for``/``while``
+  bodies of ``engine/operators.py`` and ``rss/scan.py`` there may be no
+  call to ``evaluate`` / ``predicate_holds`` / ``decode_tuple``, no
+  ``EvalEnv`` construction, and no ``isinstance`` dispatch (``assert``
+  statements are exempt — they exist for type narrowing).  The closures
+  built by :mod:`repro.engine.compile` are themselves per-row code, so
+  nested functions there may not call ``isinstance`` or build ``EvalEnv``
+  either (canonical values use ``type(x) is ...`` checks instead).
 
 The subclass list is discovered by parsing ``optimizer/plan.py``, never
 hard-coded, so the lint stays correct as the plan algebra grows.
@@ -96,6 +106,10 @@ def lint_repo(root: Path | None = None) -> list[Violation]:
             _check_counter_mutation(relative, tree, violations)
         if relative == "optimizer/joins.py":
             _check_joinsearch_hot_path(relative, tree, violations)
+        if relative in _EXECUTOR_HOT_PATH_MODULES:
+            _check_executor_hot_path(relative, tree, violations)
+        if relative == "engine/compile.py":
+            _check_compiled_closures(relative, tree, violations)
     _check_walkers(trees, violations, root)
     return violations
 
@@ -276,6 +290,119 @@ def _check_joinsearch_hot_path(
                             f"catalog lookup {callee.attr!r} in "
                             f"JoinSearch.{func.name}; fetch statistics once "
                             "at construction and memoize",
+                        )
+                    )
+
+
+# ---------------------------------------------------------------------------
+# rule: the execution engine's per-tuple loops run only compiled artifacts
+# ---------------------------------------------------------------------------
+
+#: Modules whose ``for``/``while`` bodies are per-tuple hot paths.
+_EXECUTOR_HOT_PATH_MODULES = frozenset({"engine/operators.py", "rss/scan.py"})
+
+#: Interpreter entry points that must only run at compile/open time.
+_HOT_PATH_BANNED_CALLS = frozenset({"evaluate", "predicate_holds", "decode_tuple"})
+
+
+def _walk_skipping_asserts(node: ast.AST):
+    """``ast.walk`` over a statement, pruning ``assert`` subtrees.
+
+    ``assert isinstance(...)`` narrows types for mypy and vanishes under
+    ``-O``; it is not dispatch, so the hot-path rules ignore it.
+    """
+    stack: list[ast.AST] = [node]
+    while stack:
+        child = stack.pop()
+        if isinstance(child, ast.Assert):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _call_name(node: ast.Call) -> str | None:
+    callee = node.func
+    if isinstance(callee, ast.Name):
+        return callee.id
+    if isinstance(callee, ast.Attribute):
+        return callee.attr
+    return None
+
+
+def _check_executor_hot_path(
+    relative: str, tree: ast.Module, violations: list[Violation]
+) -> None:
+    flagged: set[int] = set()  # nested loops are walked repeatedly
+    for loop in ast.walk(tree):
+        if not isinstance(loop, (ast.For, ast.While)):
+            continue
+        for statement in loop.body + loop.orelse:
+            for node in _walk_skipping_asserts(statement):
+                if not isinstance(node, ast.Call) or node.lineno in flagged:
+                    continue
+                name = _call_name(node)
+                if name in _HOT_PATH_BANNED_CALLS:
+                    flagged.add(node.lineno)
+                    violations.append(
+                        Violation(
+                            "executor-hot-path",
+                            f"{relative}:{node.lineno}",
+                            f"interpreter entry point {name!r} called inside "
+                            "a per-tuple loop; compile it once per plan or "
+                            "scan open instead",
+                        )
+                    )
+                elif name == "EvalEnv":
+                    flagged.add(node.lineno)
+                    violations.append(
+                        Violation(
+                            "executor-hot-path",
+                            f"{relative}:{node.lineno}",
+                            "EvalEnv constructed inside a per-tuple loop; "
+                            "build one environment per open and mutate "
+                            "its row instead",
+                        )
+                    )
+                elif name == "isinstance":
+                    flagged.add(node.lineno)
+                    violations.append(
+                        Violation(
+                            "executor-hot-path",
+                            f"{relative}:{node.lineno}",
+                            "isinstance dispatch inside a per-tuple loop; "
+                            "resolve the variant at compile/open time",
+                        )
+                    )
+
+
+def _check_compiled_closures(
+    relative: str, tree: ast.Module, violations: list[Violation]
+) -> None:
+    """Nested functions in ``engine/compile.py`` are per-row closures."""
+    toplevel_functions: set[ast.AST] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            toplevel_functions.add(node)
+    flagged: set[int] = set()
+    for outer in toplevel_functions:
+        for inner in ast.walk(outer):
+            if inner is outer or not isinstance(
+                inner, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            for node in _walk_skipping_asserts(inner):
+                if not isinstance(node, ast.Call) or node.lineno in flagged:
+                    continue
+                name = _call_name(node)
+                if name in ("isinstance", "EvalEnv"):
+                    flagged.add(node.lineno)
+                    violations.append(
+                        Violation(
+                            "executor-hot-path",
+                            f"{relative}:{node.lineno}",
+                            f"{name} used inside a compiled closure; "
+                            "closures run per row — use type(x) checks on "
+                            "canonical values and reuse environments",
                         )
                     )
 

@@ -60,6 +60,7 @@ class Database:
         use_heuristic: bool = True,
         use_interesting_orders: bool = True,
         subquery_cache_mode: str = "prev",
+        exec_mode: str | None = None,
     ):
         self.catalog = Catalog()
         self.storage = StorageEngine(buffer_pages)
@@ -67,6 +68,9 @@ class Database:
         self.use_heuristic = use_heuristic
         self.use_interesting_orders = use_interesting_orders
         self.subquery_cache_mode = subquery_cache_mode
+        #: "compiled" / "interp" / None (None reads REPRO_EXEC, default
+        #: compiled) — chooses closure programs vs the reference interpreter.
+        self.exec_mode = exec_mode
         #: Override for the planner's §6 correlation-ordering decision;
         #: None derives it from the cache mode.
         self.correlation_ordering: bool | None = None
@@ -92,7 +96,10 @@ class Database:
 
     def executor(self) -> Executor:
         """A fresh executor bound to this database's storage and catalog."""
-        return Executor(self.storage, self.catalog, self.subquery_cache_mode)
+        return Executor(
+            self.storage, self.catalog, self.subquery_cache_mode,
+            exec_mode=self.exec_mode,
+        )
 
     @property
     def counters(self):
@@ -261,7 +268,10 @@ class Database:
             where=where,
         )
         planned = self.plan_query(query)
-        executor = Executor(self.storage, self.catalog, self.subquery_cache_mode)
+        executor = Executor(
+            self.storage, self.catalog, self.subquery_cache_mode,
+            exec_mode=self.exec_mode,
+        )
         return planned, list(executor.execute_rows(planned))
 
     def _update(self, statement: ast.UpdateStmt) -> StatementResult:
@@ -321,7 +331,10 @@ class Database:
     # -- internals -----------------------------------------------------------------------
 
     def _run(self, planned: PlannedStatement) -> QueryResult:
-        executor = Executor(self.storage, self.catalog, self.subquery_cache_mode)
+        executor = Executor(
+            self.storage, self.catalog, self.subquery_cache_mode,
+            exec_mode=self.exec_mode,
+        )
         self.last_executor = executor
         return executor.execute(planned)
 

@@ -184,16 +184,12 @@ def _in_subquery(expr: ast.InSubquery, env: EvalEnv) -> bool | None:
 _LIKE_CACHE: dict[str, re.Pattern[str]] = {}
 
 
-def _like(expr: ast.Like, env: EvalEnv) -> bool | None:
-    operand = evaluate(expr.operand, env)
-    if operand is None:
-        return None
-    if not isinstance(operand, str):
-        raise ExecutionError("LIKE requires a string operand")
-    pattern = _LIKE_CACHE.get(expr.pattern)
+def like_regex(like_pattern: str) -> re.Pattern[str]:
+    """The compiled regex for a LIKE pattern (``%`` → ``.*``, ``_`` → ``.``)."""
+    pattern = _LIKE_CACHE.get(like_pattern)
     if pattern is None:
         regex_parts: list[str] = []
-        for char in expr.pattern:
+        for char in like_pattern:
             if char == "%":
                 regex_parts.append(".*")
             elif char == "_":
@@ -201,8 +197,17 @@ def _like(expr: ast.Like, env: EvalEnv) -> bool | None:
             else:
                 regex_parts.append(re.escape(char))
         pattern = re.compile("^" + "".join(regex_parts) + "$", re.DOTALL)
-        _LIKE_CACHE[expr.pattern] = pattern
-    matched = pattern.match(operand) is not None
+        _LIKE_CACHE[like_pattern] = pattern
+    return pattern
+
+
+def _like(expr: ast.Like, env: EvalEnv) -> bool | None:
+    operand = evaluate(expr.operand, env)
+    if operand is None:
+        return None
+    if not isinstance(operand, str):
+        raise ExecutionError("LIKE requires a string operand")
+    matched = like_regex(expr.pattern).match(operand) is not None
     return (not matched) if expr.negated else matched
 
 

@@ -12,6 +12,7 @@ experiment.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from ..catalog.catalog import Catalog
@@ -47,6 +48,19 @@ class QueryResult:
         return self.rows[0][0]
 
 
+def resolve_exec_mode(exec_mode: str | None = None) -> str:
+    """The execution mode: ``"compiled"`` (default) or ``"interp"``.
+
+    ``None`` falls back to the ``REPRO_EXEC`` environment variable, letting
+    any entry point A/B the compiled engine against the reference
+    interpreter without code changes.
+    """
+    mode = exec_mode or os.environ.get("REPRO_EXEC", "compiled")
+    if mode not in ("compiled", "interp"):
+        raise ValueError(f"bad exec mode {mode!r}")
+    return mode
+
+
 class Runtime:
     """Cross-block execution services for one statement."""
 
@@ -56,9 +70,11 @@ class Runtime:
         catalog: Catalog,
         planned: PlannedStatement,
         subquery_cache_mode: str = "prev",
+        exec_mode: str | None = None,
     ):
         if subquery_cache_mode not in ("prev", "none", "memo"):
             raise ValueError(f"bad subquery_cache_mode {subquery_cache_mode!r}")
+        self.interpret = resolve_exec_mode(exec_mode) == "interp"
         self.storage = storage
         self.catalog = catalog
         self.planned = planned
@@ -168,7 +184,11 @@ def _context_for(runtime: Runtime, planned: PlannedStatement) -> ExecContext:
         entry.alias: [column.datatype for column in entry.table.columns]
         for entry in planned.block.tables
     }
-    return ExecContext(runtime=runtime, schemas=schemas)
+    return ExecContext(
+        runtime=runtime,
+        schemas=schemas,
+        interpret=getattr(runtime, "interpret", False),
+    )
 
 
 class Executor:
@@ -179,16 +199,19 @@ class Executor:
         storage: StorageEngine,
         catalog: Catalog,
         subquery_cache_mode: str = "prev",
+        exec_mode: str | None = None,
     ):
         self._storage = storage
         self._catalog = catalog
         self._cache_mode = subquery_cache_mode
+        self._exec_mode = resolve_exec_mode(exec_mode)
         self.last_runtime: Runtime | None = None
 
     def execute(self, planned: PlannedStatement) -> QueryResult:
         """Run a planned SELECT to completion."""
         runtime = Runtime(
-            self._storage, self._catalog, planned, self._cache_mode
+            self._storage, self._catalog, planned, self._cache_mode,
+            exec_mode=self._exec_mode,
         )
         self.last_runtime = runtime
         ctx = _context_for(runtime, planned)
@@ -201,7 +224,8 @@ class Executor:
     def execute_rows(self, planned: PlannedStatement):
         """Yield pre-projection rows (with TIDs) — used by UPDATE/DELETE."""
         runtime = Runtime(
-            self._storage, self._catalog, planned, self._cache_mode
+            self._storage, self._catalog, planned, self._cache_mode,
+            exec_mode=self._exec_mode,
         )
         self.last_runtime = runtime
         node = planned.root

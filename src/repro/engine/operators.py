@@ -5,14 +5,31 @@ Operators receive an :class:`ExecContext` (runtime services plus the
 current block's alias schemas) and an optional outer :class:`EvalEnv`
 chain carrying enclosing blocks' candidate tuples for correlation and
 nested-loop probes.
+
+Expressions never evaluate by tree-walking here.  On first execution each
+node's predicates, projections, and SARG value expressions are compiled
+once (:mod:`repro.engine.compile`) into closure programs cached on the
+node (``PlanNode.compiled``, keyed by execution mode), and the per-row
+loops call those closures against a single mutated environment per
+operator — no per-row ``EvalEnv`` construction, no ``isinstance``
+dispatch, no alias-chain walks for block-local columns.  Expressions
+evaluated at *open* (SARG comparison values, index bounds) compile with an
+empty local-alias set: their environment's own row is empty, and probe or
+correlation values genuinely live in the enclosing chain.
+
+RSI accounting stays exact: scans are consumed through uncounted
+``batches()`` and every consumed tuple is charged via
+``CostCounters.count_rsi_call`` at the moment it surfaces, so partial
+consumption (a merge join that stops pulling) counts precisely the tuples
+the tuple-at-a-time interface would have.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
-from ..datatypes import DataType, compare_values
+from ..datatypes import DataType
 from ..errors import ExecutionError
 from ..optimizer.plan import (
     AggregateNode,
@@ -24,14 +41,14 @@ from ..optimizer.plan import (
     PlanNode,
     ProjectNode,
     ScanNode,
-    SegmentAccess,
     SortNode,
     walk_plan,
 )
-from ..optimizer.predicates import SargExpression
-from ..rss.sargs import SargPredicate, Sargs
+from ..rss.sargs import and_matcher, dnf_matcher, predicate_factory, type_family
+from ..rss.tuples import DecodePlan
 from ..sql import ast
-from .evaluator import EvalEnv, evaluate, predicate_holds
+from .compile import EvalFn, ExprCompiler, ordering_fns
+from .evaluator import EvalEnv
 from .rows import AGGREGATE_ALIAS, OUTPUT_ALIAS, Row
 
 
@@ -41,6 +58,9 @@ class ExecContext:
 
     runtime: object  # Runtime (duck-typed to avoid an import cycle)
     schemas: dict[str, list[DataType]]
+    #: When set, compiled programs are thin wrappers over the reference
+    #: interpreter — identical operators, interpreted expressions.
+    interpret: bool = False
 
     @property
     def storage(self):
@@ -76,86 +96,141 @@ def iterate(
 
 
 # ---------------------------------------------------------------------------
+# compiled-program cache
+# ---------------------------------------------------------------------------
+
+
+def _program(node: PlanNode, ctx: ExecContext, build: Callable):
+    """The node's compiled program for the context's execution mode."""
+    key = "interp" if ctx.interpret else "compiled"
+    cache = node.compiled
+    if key not in cache:
+        cache[key] = build(node, ctx)
+    return cache[key]
+
+
+def _local_aliases(node: PlanNode) -> tuple[str, ...]:
+    """Aliases whose tuples are present in the rows this subtree produces."""
+    return tuple(
+        scan.alias for scan in walk_plan(node) if isinstance(scan, ScanNode)
+    )
+
+
+def _compiler(node: PlanNode, ctx: ExecContext) -> ExprCompiler:
+    return ExprCompiler(_local_aliases(node), interpret=ctx.interpret)
+
+
+# ---------------------------------------------------------------------------
 # scans
 # ---------------------------------------------------------------------------
 
 
-class _ConjunctiveSargs:
-    """AND of several DNF search arguments (one per sargable factor)."""
+@dataclass
+class _ScanProgram:
+    """Everything per-query-constant about opening and driving one scan."""
 
-    def __init__(self, parts: list[Sargs]):
-        self._parts = parts
+    decode_plan: DecodePlan
+    #: per sargable factor, per DNF group: (matcher factory, value closure)
+    sarg_parts: list[list[list[tuple[Callable, EvalFn]]]]
+    low_fns: tuple[EvalFn, ...] = ()
+    high_fns: tuple[EvalFn, ...] = ()
+    residual: Callable[[EvalEnv], bool] | None = None
 
-    def matches(self, values: tuple) -> bool:
-        """Whether a tuple's values satisfy this expression."""
-        return all(part.matches(values) for part in self._parts)
 
-
-_EMPTY_MARKER = object()
+def _build_scan(node: ScanNode, ctx: ExecContext) -> _ScanProgram:
+    # SARG values and index bounds evaluate at open against an empty row,
+    # so every column they mention resolves through the enclosing chain.
+    opens = ExprCompiler((), interpret=ctx.interpret)
+    sarg_parts: list[list[list[tuple[Callable, EvalFn]]]] = []
+    for expression in node.sargs:
+        part: list[list[tuple[Callable, EvalFn]]] = []
+        for group in expression.groups:
+            compiled_group: list[tuple[Callable, EvalFn]] = []
+            for pred in group:
+                family = (
+                    None
+                    if ctx.interpret
+                    else type_family(pred.column.datatype)
+                )
+                make = predicate_factory(pred.column.position, pred.op, family)
+                compiled_group.append((make, opens.expr_fn(pred.value)))
+            part.append(compiled_group)
+        sarg_parts.append(part)
+    low_fns: tuple[EvalFn, ...] = ()
+    high_fns: tuple[EvalFn, ...] = ()
+    if isinstance(node.access, IndexAccess):
+        low_fns = tuple(opens.expr_fn(expr) for expr in node.access.low)
+        high_fns = tuple(opens.expr_fn(expr) for expr in node.access.high)
+    residual = ExprCompiler((node.alias,), interpret=ctx.interpret).conjunction(
+        node.residual
+    )
+    return _ScanProgram(
+        decode_plan=DecodePlan(ctx.schemas[node.alias]),
+        sarg_parts=sarg_parts,
+        low_fns=low_fns,
+        high_fns=high_fns,
+        residual=residual,
+    )
 
 
 def _iter_scan(
     node: ScanNode, ctx: ExecContext, outer: EvalEnv | None
 ) -> Iterator[Row]:
+    program: _ScanProgram = _program(node, ctx, _build_scan)
     value_env = ctx.env(Row(), outer)
-    sargs = _build_sargs(node.sargs, value_env)
+    matcher = None
+    if program.sarg_parts:
+        parts = []
+        for part in program.sarg_parts:
+            groups = [
+                [make(value_fn(value_env)) for make, value_fn in group]
+                for group in part
+            ]
+            parts.append(dnf_matcher(groups))
+        matcher = and_matcher(parts)
     storage = ctx.storage
-
-    if isinstance(node.access, SegmentAccess):
-        scan = storage.segment_scan(node.table, sargs)
+    if not program.low_fns and not program.high_fns and not isinstance(
+        node.access, IndexAccess
+    ):
+        scan = storage.segment_scan(
+            node.table, matcher=matcher, decode_plan=program.decode_plan
+        )
     else:
         access = node.access
-        bounds = _evaluate_bounds(access, value_env)
-        if bounds is _EMPTY_MARKER:
+        assert isinstance(access, IndexAccess)
+        low = tuple(fn(value_env) for fn in program.low_fns)
+        high = tuple(fn(value_env) for fn in program.high_fns)
+        if any(value is None for value in low) or any(
+            value is None for value in high
+        ):
             return  # a NULL bound can never be satisfied
-        low, high = bounds  # type: ignore[misc]
         scan = storage.index_scan(
             access.index,
             node.table,
-            low=low,
-            high=high,
+            low=low or None,
+            high=high or None,
             low_inclusive=access.low_inclusive,
             high_inclusive=access.high_inclusive,
-            sargs=sargs,
+            matcher=matcher,
+            decode_plan=program.decode_plan,
         )
-    for tid, values in scan:
-        row = Row(values={node.alias: values}, tids={node.alias: tid})
-        if node.residual:
-            env = ctx.env(row, outer)
-            if not all(predicate_holds(pred, env) for pred in node.residual):
-                continue
-        yield row
-
-
-def _build_sargs(
-    expressions: list[SargExpression], env: EvalEnv
-) -> _ConjunctiveSargs | None:
-    if not expressions:
-        return None
-    parts: list[Sargs] = []
-    for expression in expressions:
-        groups: list[list[SargPredicate]] = []
-        for group in expression.groups:
-            groups.append(
-                [
-                    SargPredicate(
-                        column_position=pred.column.position,
-                        op=pred.op,
-                        value=evaluate(pred.value, env),
-                    )
-                    for pred in group
-                ]
-            )
-        parts.append(Sargs(groups))
-    return _ConjunctiveSargs(parts)
-
-
-def _evaluate_bounds(access: IndexAccess, env: EvalEnv):
-    low = tuple(evaluate(expr, env) for expr in access.low)
-    high = tuple(evaluate(expr, env) for expr in access.high)
-    if any(value is None for value in low) or any(value is None for value in high):
-        return _EMPTY_MARKER
-    return (low or None, high or None)
+    count_rsi = storage.counters.count_rsi_call
+    alias = node.alias
+    residual = program.residual
+    if residual is None:
+        for batch in scan.batches():
+            for tid, values in batch:
+                count_rsi()
+                yield Row(values={alias: values}, tids={alias: tid})
+    else:
+        env = ctx.env(Row(), outer)
+        for batch in scan.batches():
+            for tid, values in batch:
+                count_rsi()
+                row = Row(values={alias: values}, tids={alias: tid})
+                env.row = row
+                if residual(env):
+                    yield row
 
 
 # ---------------------------------------------------------------------------
@@ -163,27 +238,76 @@ def _evaluate_bounds(access: IndexAccess, env: EvalEnv):
 # ---------------------------------------------------------------------------
 
 
+def _build_filter(node: FilterNode, ctx: ExecContext):
+    return _compiler(node.child, ctx).conjunction(node.predicates)
+
+
 def _iter_filter(
     node: FilterNode, ctx: ExecContext, outer: EvalEnv | None
 ) -> Iterator[Row]:
-    for row in iterate(node.child, ctx, outer):
-        env = ctx.env(row, outer)
-        if all(predicate_holds(pred, env) for pred in node.predicates):
+    keep = _program(node, ctx, _build_filter)
+    child = iterate(node.child, ctx, outer)
+    if keep is None:
+        yield from child
+        return
+    env = ctx.env(Row(), outer)
+    for row in child:
+        env.row = row
+        if keep(env):
             yield row
+
+
+def _build_nested_loop(node: NestedLoopJoinNode, ctx: ExecContext):
+    return _compiler(node, ctx).conjunction(node.residual)
 
 
 def _iter_nested_loop(
     node: NestedLoopJoinNode, ctx: ExecContext, outer: EvalEnv | None
 ) -> Iterator[Row]:
+    residual = _program(node, ctx, _build_nested_loop)
+    probe_env = ctx.env(Row(), outer)
+    env = ctx.env(Row(), outer)
     for outer_row in iterate(node.outer, ctx, outer):
-        probe_env = ctx.env(outer_row, outer)
-        for inner_row in iterate(node.inner, ctx, probe_env):
-            merged = outer_row.merged(inner_row)
-            if node.residual:
-                env = ctx.env(merged, outer)
-                if not all(predicate_holds(p, env) for p in node.residual):
-                    continue
-            yield merged
+        # The inner pipeline is exhausted before the next outer row, so one
+        # probe environment is safely re-pointed at each outer row in turn.
+        probe_env.row = outer_row
+        if residual is None:
+            for inner_row in iterate(node.inner, ctx, probe_env):
+                yield outer_row.merged(inner_row)
+        else:
+            for inner_row in iterate(node.inner, ctx, probe_env):
+                merged = outer_row.merged(inner_row)
+                env.row = merged
+                if residual(env):
+                    yield merged
+
+
+@dataclass
+class _MergeProgram:
+    outer_get: Callable[[Row], object]
+    inner_get: Callable[[Row], object]
+    key_eq: Callable[[object, object], bool]
+    key_ge: Callable[[object, object], bool]
+    residual: Callable[[EvalEnv], bool] | None
+
+
+def _build_merge(node: MergeJoinNode, ctx: ExecContext) -> _MergeProgram:
+    compiler = _compiler(node, ctx)
+    key_eq, key_ge = ordering_fns(
+        node.outer_column.datatype,
+        node.inner_column.datatype,
+        interpret=ctx.interpret,
+    )
+    return _MergeProgram(
+        outer_get=compiler.column_getter(node.outer_column),
+        inner_get=compiler.column_getter(node.inner_column),
+        key_eq=key_eq,
+        key_ge=key_ge,
+        residual=compiler.conjunction(node.residual),
+    )
+
+
+_EMPTY_MARKER = object()
 
 
 def _iter_merge_join(
@@ -196,28 +320,32 @@ def _iter_merge_join(
     tuple is counted as an RSI call — that re-retrieval is exactly what the
     cost formulas charge for.
     """
-    counters = ctx.storage.counters
+    program: _MergeProgram = _program(node, ctx, _build_merge)
+    count_rsi = ctx.storage.counters.count_rsi_call
+    inner_key = program.inner_get
+    outer_get = program.outer_get
+    key_eq = program.key_eq
+    key_ge = program.key_ge
+    residual = program.residual
+    env = ctx.env(Row(), outer)
+
     inner_iter = iterate(node.inner, ctx, outer)
     inner_current = next(inner_iter, None)
     group: list[Row] = []
     group_key: object = _EMPTY_MARKER
     group_served_once = False
 
-    def inner_key(row: Row) -> object:
-        return row.values[node.inner_column.alias][node.inner_column.position]
-
     for outer_row in iterate(node.outer, ctx, outer):
-        outer_values = outer_row.values[node.outer_column.alias]
-        outer_key = outer_values[node.outer_column.position]
+        outer_key = outer_get(outer_row)
         if outer_key is None:
             continue  # NULL join keys never match
-        if group_key is not _EMPTY_MARKER and compare_values(outer_key, group_key) == 0:
+        if group_key is not _EMPTY_MARKER and key_eq(outer_key, group_key):
             replay = True
         else:
             # Advance the inner scan to the first key >= outer_key.
             while inner_current is not None:
                 key = inner_key(inner_current)
-                if key is not None and compare_values(key, outer_key) >= 0:
+                if key is not None and key_ge(key, outer_key):
                     break
                 inner_current = next(inner_iter, None)
             group = []
@@ -225,7 +353,7 @@ def _iter_merge_join(
             group_served_once = False
             while inner_current is not None:
                 key = inner_key(inner_current)
-                if key is None or compare_values(key, outer_key) != 0:
+                if key is None or not key_eq(key, outer_key):
                     break
                 group.append(inner_current)
                 inner_current = next(inner_iter, None)
@@ -233,11 +361,11 @@ def _iter_merge_join(
         for inner_row in group:
             if replay or group_served_once:
                 # Re-retrieving a buffered group tuple is an RSI call.
-                counters.count_rsi_call()
+                count_rsi()
             merged = outer_row.merged(inner_row)
-            if node.residual:
-                env = ctx.env(merged, outer)
-                if not all(predicate_holds(p, env) for p in node.residual):
+            if residual is not None:
+                env.row = merged
+                if not residual(env):
                     continue
             yield merged
         group_served_once = True
@@ -270,13 +398,7 @@ def _iter_sort(
     from .external_sort import ExternalSorter
 
     child_rows = iterate(node.child, ctx, outer)
-    aliases = sorted(
-        {
-            scan.alias
-            for scan in walk_plan(node.child)
-            if isinstance(scan, ScanNode)
-        }
-    )
+    aliases = sorted(_local_aliases(node.child))
     materializable = aliases and all(alias in ctx.schemas for alias in aliases)
     has_aggregate = any(
         isinstance(n, AggregateNode) for n in walk_plan(node.child)
@@ -326,13 +448,14 @@ class _AggState:
                 return
             self.distinct.add(value)
         self.count += 1
-        if self.call.name in ("SUM", "AVG"):
+        name = self.call.name
+        if name in ("SUM", "AVG"):
             self.total += value  # type: ignore[operator]
-        elif self.call.name == "MIN":
-            if self.minimum is None or compare_values(value, self.minimum) < 0:
+        elif name == "MIN":
+            if self.minimum is None or value < self.minimum:  # type: ignore[operator]
                 self.minimum = value
-        elif self.call.name == "MAX":
-            if self.maximum is None or compare_values(value, self.maximum) > 0:
+        elif name == "MAX":
+            if self.maximum is None or value > self.maximum:  # type: ignore[operator]
                 self.maximum = value
 
     def result(self) -> object:
@@ -351,22 +474,49 @@ class _AggState:
         return self.maximum
 
 
+@dataclass
+class _AggregateProgram:
+    key_getters: tuple[Callable[[Row], object], ...]
+    #: aligned with ``node.aggregates``; None marks COUNT(*)
+    arg_fns: tuple[EvalFn | None, ...]
+    having: Callable[[EvalEnv], object] | None = None
+
+
+def _build_aggregate(node: AggregateNode, ctx: ExecContext) -> _AggregateProgram:
+    compiler = _compiler(node.child, ctx)
+    arg_fns = tuple(
+        None if call.argument is None else compiler.expr_fn(call.argument)
+        for call in node.aggregates
+    )
+    having = None
+    if node.having is not None:
+        having = compiler.truth_fn(node.having)
+    return _AggregateProgram(
+        key_getters=tuple(
+            compiler.column_getter(column) for column in node.group_by
+        ),
+        arg_fns=arg_fns,
+        having=having,
+    )
+
+
 def _iter_aggregate(
     node: AggregateNode, ctx: ExecContext, outer: EvalEnv | None
 ) -> Iterator[Row]:
     """Streaming aggregation over input ordered on the grouping columns."""
-
-    def group_key(row: Row) -> tuple:
-        return tuple(
-            row.values[column.alias][column.position] for column in node.group_by
-        )
+    program: _AggregateProgram = _program(node, ctx, _build_aggregate)
+    key_getters = program.key_getters
+    arg_fns = program.arg_fns
+    having = program.having
+    arg_env = ctx.env(Row(), outer)
+    having_env = ctx.env(Row(), outer)
 
     def emit(representative: Row, states: list[_AggState]) -> Row | None:
         results = tuple(state.result() for state in states)
         out = representative.with_alias(AGGREGATE_ALIAS, results)
-        if node.having is not None:
-            env = ctx.env(out, outer)
-            if not predicate_holds(node.having, env):
+        if having is not None:
+            having_env.row = out
+            if having(having_env) is not True:
                 return None
         return out
 
@@ -376,7 +526,7 @@ def _iter_aggregate(
     saw_rows = False
     for row in iterate(node.child, ctx, outer):
         saw_rows = True
-        key = group_key(row)
+        key = tuple([getter(row) for getter in key_getters])
         if current_key is _EMPTY_MARKER or key != current_key:
             if representative is not None:
                 out = emit(representative, states)
@@ -385,14 +535,9 @@ def _iter_aggregate(
             current_key = key
             representative = row
             states = [_AggState(call) for call in node.aggregates]
-        for state in states:
-            env = ctx.env(row, outer)
-            value = (
-                None
-                if state.call.argument is None
-                else evaluate(state.call.argument, env)
-            )
-            state.add(value)
+        arg_env.row = row
+        for state, fn in zip(states, arg_fns):
+            state.add(None if fn is None else fn(arg_env))
     if representative is not None:
         out = emit(representative, states)
         if out is not None:
@@ -409,12 +554,19 @@ def _iter_aggregate(
 # ---------------------------------------------------------------------------
 
 
+def _build_project(node: ProjectNode, ctx: ExecContext):
+    compiler = _compiler(node.child, ctx)
+    return tuple(compiler.expr_fn(expr) for expr in node.exprs)
+
+
 def _iter_project(
     node: ProjectNode, ctx: ExecContext, outer: EvalEnv | None
 ) -> Iterator[Row]:
+    fns = _program(node, ctx, _build_project)
+    env = ctx.env(Row(), outer)
     for row in iterate(node.child, ctx, outer):
-        env = ctx.env(row, outer)
-        output = tuple(evaluate(expr, env) for expr in node.exprs)
+        env.row = row
+        output = tuple([fn(env) for fn in fns])
         yield Row(values={**row.values, OUTPUT_ALIAS: output}, tids=row.tids)
 
 

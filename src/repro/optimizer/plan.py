@@ -31,6 +31,11 @@ class PlanNode:
     #: inner assumed buffer-resident.  Join costing subtracts the outer's
     #: claim before granting residency to a new inner.
     buffer_claim: float = field(default=2.0, kw_only=True)
+    #: Per-execution-mode compiled artifacts (closure programs) attached by
+    #: the engine on first execution; never part of plan identity.
+    compiled: dict = field(
+        default_factory=dict, kw_only=True, compare=False, repr=False
+    )
 
     def children(self) -> list["PlanNode"]:
         """Child plan nodes, outer before inner."""

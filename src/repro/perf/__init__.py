@@ -8,6 +8,13 @@ generated chain / star / clique workloads, records the DP's own search
 statistics next to wall-clock, and emits a machine-readable
 ``BENCH_optimizer.json`` so perf trajectories can be compared across
 commits (``repro bench --compare old.json``).
+
+:mod:`repro.perf.bench_exec` (``repro bench --exec``) is the companion
+harness for the execution engine: it times end-to-end query runs over
+empdept and generated join workloads, fingerprints results and
+:class:`~repro.rss.counters.CostCounters` deltas, and writes
+``BENCH_executor.json``; ``--compare`` additionally enforces that the
+physical cost counters are bit-identical between the two runs.
 """
 
 from .bench import (

@@ -23,6 +23,7 @@ import json
 import math
 import random
 import statistics
+import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -311,7 +312,13 @@ def compare_reports(
 
 
 def main(argv: list[str] | None = None) -> int:
-    """``repro bench [--quick] [--compare OLD] [--output PATH]``."""
+    """``repro bench [--exec] [--quick] [--compare OLD] [--output PATH]``."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if "--exec" in arguments:
+        from . import bench_exec
+
+        arguments.remove("--exec")
+        return bench_exec.main(arguments)
     parser = argparse.ArgumentParser(
         prog="repro bench",
         description="micro-benchmark the optimizer's planning hot path",

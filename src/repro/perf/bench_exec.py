@@ -1,0 +1,362 @@
+"""``repro bench --exec`` — time end-to-end query execution, not planning.
+
+The planning benchmark (:mod:`repro.perf.bench`) times access path
+selection; this harness times what the chosen plan then *does*: scans,
+SARG evaluation, tuple decoding, joins, predicates, aggregation, and
+projection — the CPU path the paper's ``W``·RSICARD term models.
+
+Each query is planned once, then executed repeatedly prepared-statement
+style with a fresh executor and a cold buffer pool per run, so the
+stopwatch sees steady-state execution over identical physical I/O.  In
+addition to wall-clock, every query records its result checksum and the
+exact :class:`~repro.rss.counters.CostCounters` deltas (page fetches, RSI
+calls, buffer hits) of one cold execution; ``--compare old.json`` reports
+per-query speedups and **fails** if any counter or checksum moved — an
+execution-engine optimization must change how fast the work happens, not
+how much work the cost model sees.
+
+The module is deliberately self-contained over the stable public API
+(``Database``, ``parse_statement``, the workload generators), so the same
+file can be pointed at an older checkout via ``PYTHONPATH`` to produce
+the "before" report:
+
+    git worktree add /tmp/seed <base-commit>
+    PYTHONPATH=/tmp/seed/src python src/repro/perf/bench_exec.py \
+        --output BENCH_executor_seed.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import math
+import random
+import statistics
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.database import Database
+from repro.sql import ast, parse_statement
+from repro.workloads.empdept import FIG1_QUERY, build_empdept
+from repro.workloads.generator import (
+    build_database,
+    chain_join_query,
+    random_chain_spec,
+    random_star_spec,
+    star_join_query,
+)
+
+#: Bump when the JSON schema changes shape.
+REPORT_VERSION = 1
+
+DEFAULT_OUTPUT = "BENCH_executor.json"
+
+#: Counter fields that must be bit-identical between compared runs.
+COUNTER_FIELDS = ("page_fetches", "rsi_calls", "buffer_hits")
+
+
+@dataclass(frozen=True)
+class ExecCase:
+    """One named benchmark point: a database builder plus a query."""
+
+    name: str
+    build: Callable[[], Database]
+    sql: str
+    quick: bool = False  # part of the CI smoke subset
+
+
+def _empdept_cases(employees: int) -> list[ExecCase]:
+    def build() -> Database:
+        return build_empdept(employees=employees, departments=24, seed=7)
+
+    return [
+        ExecCase("fig1-join", build, FIG1_QUERY, quick=True),
+        ExecCase(
+            "emp-filter",
+            build,
+            "SELECT NAME, SAL FROM EMP WHERE SAL > 400 AND JOB = 2",
+            quick=True,
+        ),
+        ExecCase(
+            "emp-arith",
+            build,
+            "SELECT ENO, SAL * 12 + 500 FROM EMP WHERE SAL / 2 > 150",
+        ),
+        ExecCase(
+            "emp-between-in",
+            build,
+            "SELECT ENO, SAL FROM EMP "
+            "WHERE SAL BETWEEN 200 AND 800 AND DNO IN (1, 2, 3, 4, 5)",
+        ),
+        ExecCase(
+            "emp-like",
+            build,
+            "SELECT NAME FROM EMP WHERE NAME LIKE 'EMP1%' AND SAL > 300",
+        ),
+        ExecCase(
+            "emp-agg",
+            build,
+            "SELECT DNO, COUNT(*), AVG(SAL), MAX(SAL) FROM EMP "
+            "GROUP BY DNO HAVING COUNT(*) > 2",
+            quick=True,
+        ),
+        ExecCase(
+            "emp-order",
+            build,
+            "SELECT NAME, SAL FROM EMP WHERE DNO <= 12 ORDER BY SAL DESC",
+        ),
+    ]
+
+
+def _chain_case(relations: int, max_rows: int, quick: bool = False) -> ExecCase:
+    """A chain join at one NCARD scale (``max_rows`` ≈ the largest NCARD)."""
+
+    def build() -> Database:
+        rng = random.Random(1000 + relations * 10 + max_rows)
+        tables = random_chain_spec(
+            relations, rng, min_rows=max_rows // 4, max_rows=max_rows
+        )
+        return build_database(tables, seed=relations)
+
+    rng = random.Random(1000 + relations * 10 + max_rows)
+    tables = random_chain_spec(
+        relations, rng, min_rows=max_rows // 4, max_rows=max_rows
+    )
+    sql = chain_join_query(tables)
+    return ExecCase(f"chain{relations}-n{max_rows}", build, sql, quick=quick)
+
+
+def _star_case(dimensions: int, fact_rows: int, quick: bool = False) -> ExecCase:
+    """A star join at one fact-table NCARD scale."""
+
+    def build() -> Database:
+        rng = random.Random(2000 + dimensions * 10 + fact_rows)
+        tables = random_star_spec(dimensions, rng, fact_rows=fact_rows)
+        return build_database(tables, seed=dimensions)
+
+    rng = random.Random(2000 + dimensions * 10 + fact_rows)
+    tables = random_star_spec(dimensions, rng, fact_rows=fact_rows)
+    sql = star_join_query(tables)
+    return ExecCase(f"star{dimensions}-n{fact_rows}", build, sql, quick=quick)
+
+
+def default_cases(quick: bool = False) -> list[ExecCase]:
+    """The benchmark matrix: empdept corpus + chain/star at several NCARDs."""
+    cases = _empdept_cases(employees=600 if quick else 1500)
+    cases += [
+        _chain_case(3, 400, quick=True),
+        _chain_case(3, 1600),
+        _chain_case(5, 800),
+        _star_case(3, 1000, quick=True),
+        _star_case(3, 4000),
+        _star_case(5, 2000),
+    ]
+    if quick:
+        return [case for case in cases if case.quick]
+    return cases
+
+
+def _checksum(rows: list[tuple]) -> str:
+    digest = hashlib.sha256()
+    for row in sorted(repr(row) for row in rows):
+        digest.update(row.encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def run_case(case: ExecCase, repeats: int) -> dict:
+    """Benchmark one case: build and plan once, execute ``repeats`` times."""
+    db = case.build()
+    statement = parse_statement(case.sql)
+    assert isinstance(statement, ast.SelectQuery)
+    planned = db.plan_query(statement)
+    storage = db.storage
+
+    # One cold, measured execution for the result fingerprint and the cost
+    # counters (which --compare later requires to be bit-identical).
+    storage.cold_cache()
+    before = storage.counters.snapshot()
+    result = db.executor().execute(planned)
+    after = storage.counters.snapshot()
+    counters = {
+        "page_fetches": after.page_fetches - before.page_fetches,
+        "rsi_calls": after.rsi_calls - before.rsi_calls,
+        "buffer_hits": after.buffer_hits - before.buffer_hits,
+    }
+
+    times: list[float] = []
+    for __ in range(repeats):
+        executor = db.executor()
+        storage.cold_cache()
+        started = time.perf_counter()
+        executor.execute(planned)
+        times.append(time.perf_counter() - started)
+
+    return {
+        "name": case.name,
+        "repeats": repeats,
+        "mean_ms": round(statistics.fmean(times) * 1000.0, 4),
+        "min_ms": round(min(times) * 1000.0, 4),
+        "rows": len(result.rows),
+        "checksum": _checksum(result.rows),
+        **counters,
+    }
+
+
+def run_bench(
+    cases: list[ExecCase],
+    repeats: int | None = None,
+    quick: bool = False,
+    echo: Callable[[str], None] = print,
+) -> dict:
+    """Run the matrix and return the JSON-ready report."""
+    queries: list[dict] = []
+    for case in cases:
+        entry = run_case(case, repeats=repeats or (3 if quick else 7))
+        queries.append(entry)
+        echo(
+            f"  {entry['name']:<16s} mean {entry['mean_ms']:9.2f} ms  "
+            f"min {entry['min_ms']:9.2f} ms  rows {entry['rows']:>6d}  "
+            f"fetches {entry['page_fetches']:>6d}  "
+            f"rsi {entry['rsi_calls']:>8d}"
+        )
+    return {
+        "version": REPORT_VERSION,
+        "kind": "executor",
+        "quick": quick,
+        "queries": queries,
+        "summary": {
+            "total_mean_ms": round(sum(q["mean_ms"] for q in queries), 4),
+        },
+    }
+
+
+def load_report(path: str | Path) -> dict:
+    """Load a previously written ``BENCH_executor.json``."""
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    if "queries" not in report:
+        raise ValueError(f"{path}: not a repro bench --exec report")
+    return report
+
+
+def compare_reports(
+    old: dict, new: dict, echo: Callable[[str], None] = print
+) -> dict:
+    """Per-query speedups of ``new`` over ``old`` plus counter fidelity.
+
+    ``speedup`` > 1 means the new run executes faster.  Any difference in
+    page fetches, RSI calls, buffer hits, row counts, or result checksums
+    is reported as a counter mismatch — the optimization contract is that
+    the physical work is unchanged.
+    """
+    old_by_name = {q["name"]: q for q in old["queries"]}
+    rows: list[dict] = []
+    mismatches: list[str] = []
+    for query in new["queries"]:
+        before = old_by_name.get(query["name"])
+        if before is None or before["mean_ms"] <= 0.0:
+            continue
+        speedup = before["mean_ms"] / query["mean_ms"]
+        identical = all(
+            before.get(fieldname) == query.get(fieldname)
+            for fieldname in (*COUNTER_FIELDS, "rows", "checksum")
+        )
+        if not identical:
+            mismatches.append(query["name"])
+        rows.append(
+            {
+                "name": query["name"],
+                "old_mean_ms": before["mean_ms"],
+                "new_mean_ms": query["mean_ms"],
+                "speedup": round(speedup, 3),
+                "counters_identical": identical,
+            }
+        )
+        marker = "" if speedup >= 1.0 else "  REGRESSION"
+        if not identical:
+            marker += "  COUNTER MISMATCH"
+        echo(
+            f"  {query['name']:<16s} {before['mean_ms']:9.2f} ms -> "
+            f"{query['mean_ms']:9.2f} ms  {speedup:6.2f}x{marker}"
+        )
+    if not rows:
+        raise ValueError("no matching queries between the two reports")
+    geo = math.exp(statistics.fmean(math.log(row["speedup"]) for row in rows))
+    comparison = {
+        "queries": rows,
+        "geomean_speedup": round(geo, 3),
+        "regressions": [row["name"] for row in rows if row["speedup"] < 1.0],
+        "counter_mismatches": mismatches,
+    }
+    echo(f"  geomean speedup: {comparison['geomean_speedup']:.2f}x")
+    if comparison["regressions"]:
+        echo(f"  regressions: {', '.join(comparison['regressions'])}")
+    if mismatches:
+        echo(f"  COUNTER MISMATCHES: {', '.join(mismatches)}")
+    else:
+        echo("  cost counters identical on every query")
+    return comparison
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro bench --exec [--quick] [--compare OLD] [--output PATH]``."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench --exec",
+        description="benchmark end-to-end query execution",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small matrix for CI smoke runs",
+    )
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help=f"report path (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="OLD_JSON",
+        help="report speedups/counter fidelity against an earlier report",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="override the per-query repeat count",
+    )
+    args = parser.parse_args(argv)
+
+    cases = default_cases(quick=args.quick)
+    print(f"repro bench --exec: {len(cases)} quer{'y' if len(cases) == 1 else 'ies'}")
+    report = run_bench(cases, repeats=args.repeats, quick=args.quick)
+    output = Path(args.output)
+    output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {output}")
+    if args.compare:
+        old = load_report(args.compare)
+        print(f"compare against {args.compare}:")
+        comparison = compare_reports(old, report)
+        report["comparison"] = comparison
+        output.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        if comparison["counter_mismatches"]:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

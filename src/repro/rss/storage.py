@@ -11,6 +11,7 @@ the data under INSERT / UPDATE / DELETE.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from typing import Callable
 
 from ..catalog.schema import IndexDef, TableDef
 from ..datatypes import DataType
@@ -20,10 +21,10 @@ from .buffer import DEFAULT_BUFFER_PAGES, BufferPool
 from .counters import CostCounters
 from .page import TupleId
 from .pagestore import PageStore
-from .sargs import Sargs
-from .scan import IndexScan, SegmentScan
+from .sargs import ConjunctiveSargs, Sargs
+from .scan import DEFAULT_BATCH_SIZE, IndexScan, SegmentScan
 from .segment import Segment
-from .tuples import encode_tuple
+from .tuples import DecodePlan, encode_tuple
 
 
 class StorageEngine:
@@ -185,7 +186,12 @@ class StorageEngine:
     # -- scans ------------------------------------------------------------------
 
     def segment_scan(
-        self, table: TableDef, sargs: Sargs | None = None
+        self,
+        table: TableDef,
+        sargs: "Sargs | ConjunctiveSargs | None" = None,
+        matcher: Callable[[tuple], bool] | None = None,
+        decode_plan: DecodePlan | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> SegmentScan:
         """An RSI segment scan over one relation."""
         return SegmentScan(
@@ -195,6 +201,9 @@ class StorageEngine:
             self.buffer,
             self.counters,
             sargs,
+            matcher=matcher,
+            decode_plan=decode_plan,
+            batch_size=batch_size,
         )
 
     def index_scan(
@@ -205,7 +214,10 @@ class StorageEngine:
         high: tuple | None = None,
         low_inclusive: bool = True,
         high_inclusive: bool = True,
-        sargs: Sargs | None = None,
+        sargs: "Sargs | ConjunctiveSargs | None" = None,
+        matcher: Callable[[tuple], bool] | None = None,
+        decode_plan: DecodePlan | None = None,
+        batch_size: int = 1,
     ) -> IndexScan:
         """An RSI index scan with optional key bounds and SARGs."""
         return IndexScan(
@@ -220,6 +232,9 @@ class StorageEngine:
             low_inclusive,
             high_inclusive,
             sargs,
+            matcher=matcher,
+            decode_plan=decode_plan,
+            batch_size=batch_size,
         )
 
     # -- measurement helpers -------------------------------------------------------

@@ -1,0 +1,178 @@
+"""DecodePlan and compiled SARG matchers ≡ their reference counterparts.
+
+:class:`repro.rss.tuples.DecodePlan` precomputes the null-bitmap geometry
+(and an all-fixed ``struct`` unpack when the schema has no VARCHAR); it must
+decode every record byte-for-byte like :func:`repro.rss.tuples.decode_tuple`.
+Likewise the matchers built by :func:`repro.rss.sargs.compile_matcher` must
+accept exactly the tuples :meth:`Sargs.matches` accepts, including NULL
+values and NULL sarg constants.  Batched scans must yield the same tuples
+in the same order as tuple-at-a-time iteration, with identical counters.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog
+from repro.datatypes import FLOAT, INTEGER, varchar
+from repro.rss import StorageEngine
+from repro.rss.sargs import (
+    CompareOp,
+    SargPredicate,
+    Sargs,
+    compile_matcher,
+    predicate_factory,
+    type_family,
+)
+from repro.rss.tuples import DecodePlan, decode_tuple, encode_tuple
+
+MIXED_SCHEMA = [INTEGER, varchar(20), FLOAT]
+FIXED_SCHEMA = [INTEGER, FLOAT, INTEGER]
+
+
+class TestDecodePlan:
+    @pytest.mark.parametrize("schema", [MIXED_SCHEMA, FIXED_SCHEMA])
+    def test_matches_reference_on_null_patterns(self, schema):
+        plan = DecodePlan(schema)
+        base = {
+            INTEGER: -(2**60),
+            FLOAT: 3.25,
+        }
+        for pattern in itertools.product((True, False), repeat=len(schema)):
+            values = tuple(
+                (base.get(dt, "héllo") if keep else None)
+                for keep, dt in zip(pattern, schema)
+            )
+            record = encode_tuple(9, values, schema)
+            assert plan.decode(record) == decode_tuple(record, schema)
+
+    def test_wide_bitmap(self):
+        schema = [INTEGER] * 20
+        plan = DecodePlan(schema)
+        values = tuple(i if i % 3 else None for i in range(20))
+        record = encode_tuple(1, values, schema)
+        assert plan.decode(record) == decode_tuple(record, schema) == values
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        a=st.none() | st.integers(-(2**62), 2**62),
+        s=st.none() | st.text(max_size=20),
+        f=st.none() | st.floats(allow_nan=False, width=32),
+    )
+    def test_random_values_roundtrip(self, a, s, f):
+        record = encode_tuple(5, (a, s, f), MIXED_SCHEMA)
+        plan = DecodePlan(MIXED_SCHEMA)
+        assert plan.decode(record) == decode_tuple(record, MIXED_SCHEMA)
+
+
+_PROBE_TUPLES = [
+    (k, name, g)
+    for k in (None, -5, 0, 3, 7, 10)
+    for name, g in ((None, None), ("n3", 3), ("zz", 8), ("", 0))
+]
+
+_SARG_CASES = [
+    Sargs(),  # empty: matches everything
+    Sargs.conjunction([SargPredicate(0, CompareOp.EQ, 3)]),
+    Sargs.conjunction([SargPredicate(0, CompareOp.EQ, None)]),  # reject all
+    Sargs.conjunction(
+        [SargPredicate(0, CompareOp.GE, 0), SargPredicate(2, CompareOp.LT, 5)]
+    ),
+    Sargs(
+        [
+            [SargPredicate(0, CompareOp.LT, 0)],
+            [SargPredicate(2, CompareOp.GE, 8)],
+        ]
+    ),
+    Sargs.conjunction([SargPredicate(1, CompareOp.NE, "n3")]),
+    Sargs.conjunction([SargPredicate(1, CompareOp.GT, "")]),
+]
+
+
+class TestCompiledMatchers:
+    @pytest.mark.parametrize("sargs", _SARG_CASES)
+    def test_matcher_agrees_with_sargs(self, sargs):
+        datatypes = [INTEGER, varchar(12), INTEGER]
+        matcher = compile_matcher(sargs, datatypes)
+        for values in _PROBE_TUPLES:
+            expected = sargs.matches(values)
+            got = expected if matcher is None else matcher(values)
+            assert got == expected, (sargs.groups, values)
+
+    def test_vacuous_sargs_compile_to_none(self):
+        assert compile_matcher(Sargs(), [INTEGER]) is None
+
+    @pytest.mark.parametrize("op", list(CompareOp))
+    def test_factory_agrees_with_op_evaluate(self, op):
+        make = predicate_factory(1, op, type_family(INTEGER))
+        for constant in (None, -1, 0, 4):
+            matcher = make(constant)
+            for probe in (None, -1, 0, 4, 9):
+                values = ("pad", probe)
+                expected = (
+                    probe is not None
+                    and constant is not None
+                    and op.evaluate(probe, constant)
+                )
+                assert matcher(values) == expected
+
+    def test_family_mismatch_falls_back(self):
+        # A numeric constant against a VARCHAR family must still evaluate
+        # through CompareOp (the typed fast path requires matching families).
+        make = predicate_factory(0, CompareOp.LT, type_family(varchar(8)))
+        matcher = make(5)
+        assert matcher((4,)) is True
+        assert matcher((9,)) is False
+
+
+@pytest.fixture
+def loaded():
+    catalog = Catalog()
+    table = catalog.create_table(
+        "T", [("K", INTEGER), ("NAME", varchar(12)), ("G", INTEGER)]
+    )
+    engine = StorageEngine(buffer_pages=16)
+    engine.ensure_segment(table.segment_name)
+    index = catalog.create_index("T_K", "T", ["K"])
+    engine.create_index(index, table)
+    for i in range(200):
+        engine.insert(table, [index], (i, f"n{i}", i % 8))
+    return table, index, engine
+
+
+class TestBatchedScans:
+    @pytest.mark.parametrize("batch_size", [1, 7, 256])
+    def test_segment_batches_flatten_to_same_stream(self, loaded, batch_size):
+        table, __, engine = loaded
+        reference = list(engine.segment_scan(table))
+        got = list(engine.segment_scan(table, batch_size=batch_size))
+        assert got == reference
+
+    def test_segment_batch_boundaries_are_page_aligned_chunks(self, loaded):
+        table, __, engine = loaded
+        batches = list(engine.segment_scan(table, batch_size=16).batches())
+        assert sum(len(batch) for batch in batches) == 200
+        assert all(len(batch) >= 16 for batch in batches[:-1])
+
+    def test_index_scan_default_batch_matches_reference_counters(self, loaded):
+        table, index, engine = loaded
+        engine.counters.reset()
+        engine.cold_cache()
+        rows = list(engine.index_scan(index, table, low=(20,), high=(60,)))
+        counted = engine.counters.snapshot()
+        assert [values[0] for __, values in rows] == list(range(20, 61))
+        assert counted.rsi_calls == 41
+
+    def test_counters_count_consumed_tuples_lazily(self, loaded):
+        table, __, engine = loaded
+        engine.counters.reset()
+        scan = engine.segment_scan(table, batch_size=32)
+        iterator = iter(scan)
+        for __ in range(10):
+            next(iterator)
+        # Only consumed tuples cross the RSI, batching notwithstanding.
+        assert engine.counters.rsi_calls == 10

@@ -180,6 +180,90 @@ def test_joinsearch_rule_ignores_other_classes(tmp_path):
     assert by_rule(tmp_path, "joinsearch-hot-path") == []
 
 
+def test_flags_interpreter_call_in_executor_loop(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "engine/operators.py",
+        """
+        def iterate(node):
+            if isinstance(node, AlphaNode):  # dispatch outside loops: fine
+                return []
+            if isinstance(node, BetaNode):
+                return []
+
+        def _iter_filter(rows, predicate, runtime):
+            for row in rows:
+                if evaluate(predicate, row):
+                    yield row
+        """,
+    )
+    violations = by_rule(tmp_path, "executor-hot-path")
+    assert len(violations) == 1
+    assert "evaluate" in violations[0].message
+
+
+def test_flags_evalenv_and_isinstance_in_scan_loop(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "rss/scan.py",
+        """
+        def scan(pages, runtime):
+            for page in pages:
+                assert isinstance(page, Page)  # narrowing assert: exempt
+                env = EvalEnv(row=None, runtime=runtime)
+                if isinstance(page, DataPage):
+                    yield env
+        """,
+    )
+    violations = by_rule(tmp_path, "executor-hot-path")
+    assert len(violations) == 2
+    messages = " ".join(v.message for v in violations)
+    assert "EvalEnv" in messages
+    assert "isinstance" in messages
+
+
+def test_flags_isinstance_in_compiled_closure(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "engine/compile.py",
+        """
+        def _compile_like(expr):
+            if isinstance(expr, str):  # compile-time dispatch: fine
+                pattern = expr
+
+            def run(env):
+                operand = env.row
+                if isinstance(operand, str):
+                    return pattern == operand
+                return None
+
+            return run
+        """,
+    )
+    violations = by_rule(tmp_path, "executor-hot-path")
+    assert len(violations) == 1
+    assert "closure" in violations[0].message
+
+
+def test_accepts_compiled_hot_loop(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "engine/operators.py",
+        """
+        def _iter_filter(rows, program, env):
+            for row in rows:
+                env.row = row
+                if program(env) is True:
+                    yield row
+        """,
+    )
+    assert by_rule(tmp_path, "executor-hot-path") == []
+
+
 def test_accepts_exhaustive_walker(tmp_path):
     write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
     write(
