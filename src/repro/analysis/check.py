@@ -1,6 +1,6 @@
 """The ``repro check`` driver: run the static analyses over real corpora.
 
-Three sub-checks, all on by default:
+Four sub-checks, all on by default:
 
 - ``--plans`` plans every query of the EMP/DEPT/JOB workload (under every
   optimizer configuration) and a stream of generated chain/star join
@@ -10,6 +10,9 @@ Three sub-checks, all on by default:
 - ``--costs`` re-derives the TABLE 2 formulas against every catalog the
   corpus builds and audits the collected statistics.
 - ``--lint`` runs the project's ``ast``-based lint over ``src/repro``.
+- ``--storage`` audits the storage invariants (index/tuple agreement, page
+  reachability, checksums) over in-memory, durable, torn-page, and
+  crash/recover scenarios.
 
 Exit status is non-zero when any violation is found.
 """
@@ -35,6 +38,7 @@ from ..workloads.generator import (
 from .cost_audit import audit_cost_model
 from .lint import lint_repo
 from .plan_check import PlanCheckError, Violation
+from .storage_check import check_storage
 
 #: The EMP/DEPT/JOB corpus: one query per planner feature.
 EMPDEPT_QUERIES = (
@@ -244,7 +248,7 @@ def check_lint(echo: Callable[[str], None] = print) -> list[Violation]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """``repro check [--plans] [--costs] [--lint]`` — 0 when clean."""
+    """``repro check [--plans] [--costs] [--lint] [--storage]`` — 0 when clean."""
     parser = argparse.ArgumentParser(
         prog="repro check",
         description="statically verify optimizer plans, costs, and code",
@@ -259,6 +263,11 @@ def main(argv: list[str] | None = None) -> int:
         "--lint", action="store_true", help="run the project lint"
     )
     parser.add_argument(
+        "--storage",
+        action="store_true",
+        help="audit storage invariants, durability, and crash recovery",
+    )
+    parser.add_argument(
         "--queries",
         type=int,
         default=200,
@@ -268,7 +277,7 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=271828, help="corpus random seed"
     )
     args = parser.parse_args(argv)
-    run_all = not (args.plans or args.costs or args.lint)
+    run_all = not (args.plans or args.costs or args.lint or args.storage)
 
     failures = 0
     sections: list[tuple[str, Callable[[], list[Violation]]]] = []
@@ -276,6 +285,8 @@ def main(argv: list[str] | None = None) -> int:
         sections.append(("lint", lambda: check_lint()))
     if run_all or args.costs:
         sections.append(("costs", lambda: check_costs()))
+    if run_all or args.storage:
+        sections.append(("storage", lambda: check_storage()))
     if run_all or args.plans:
         sections.append(
             ("plans", lambda: check_plans(args.queries, args.seed))

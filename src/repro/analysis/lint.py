@@ -22,6 +22,11 @@ them directly on the parsed source:
   ``indexes_on``, ``index_on_column``).  This pins the hot-path overhaul
   so a future change cannot quietly reintroduce per-extension hashing of
   alias sets or repeated catalog dictionary probes.
+- **no-swallowed-exceptions** — the storage layer (``rss/``) guarantees
+  statement atomicity, which dies silently if an error is swallowed on
+  the way up: no bare ``except``, no ``except Exception`` /
+  ``BaseException`` handler that fails to re-raise, and no handler of any
+  type whose body is only ``pass``.
 - **executor-hot-path** — the execution engine compiles expressions,
   SARG matchers, and decode plans once per plan/scan open; per-tuple
   loops must run only the compiled artifacts.  Inside ``for``/``while``
@@ -104,6 +109,8 @@ def lint_repo(root: Path | None = None) -> list[Violation]:
             _check_float_eq(relative, tree, violations)
         if not relative.startswith("rss/"):
             _check_counter_mutation(relative, tree, violations)
+        else:
+            _check_swallowed_exceptions(relative, tree, violations)
         if relative == "optimizer/joins.py":
             _check_joinsearch_hot_path(relative, tree, violations)
         if relative in _EXECUTOR_HOT_PATH_MODULES:
@@ -238,6 +245,92 @@ def _check_counter_mutation(
                         " only the storage layer may count cost events",
                     )
                 )
+
+
+# ---------------------------------------------------------------------------
+# rule: the storage layer never swallows exceptions
+# ---------------------------------------------------------------------------
+
+#: Exception names so broad that catching them without re-raising hides
+#: injected faults and real corruption alike.
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether a handler body contains a ``raise`` of its own.
+
+    Nested function definitions are skipped — a ``raise`` inside a closure
+    defined in the handler does not re-raise the caught exception.
+    """
+    stack: list[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _exception_names(handler: ast.ExceptHandler) -> list[str]:
+    if handler.type is None:
+        return []
+    types = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names: list[str] = []
+    for node in types:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return names
+
+
+def _check_swallowed_exceptions(
+    relative: str, tree: ast.Module, violations: list[Violation]
+) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        where = f"{relative}:{node.lineno}"
+        if node.type is None:
+            violations.append(
+                Violation(
+                    "no-swallowed-exceptions",
+                    where,
+                    "bare except in the storage layer; name the exception "
+                    "and re-raise what you cannot handle",
+                )
+            )
+            continue
+        broad = [
+            name
+            for name in _exception_names(node)
+            if name in _BROAD_EXCEPTIONS
+        ]
+        if broad and not _handler_reraises(node):
+            violations.append(
+                Violation(
+                    "no-swallowed-exceptions",
+                    where,
+                    f"except {broad[0]} without re-raising swallows "
+                    "injected faults and corruption; handle a narrower "
+                    "type or re-raise",
+                )
+            )
+        elif all(isinstance(stmt, ast.Pass) for stmt in node.body):
+            violations.append(
+                Violation(
+                    "no-swallowed-exceptions",
+                    where,
+                    "pass-only exception handler silently drops a storage "
+                    "error",
+                )
+            )
 
 
 # ---------------------------------------------------------------------------

@@ -134,6 +134,15 @@ class Catalog:
         self._version += 1
         return index
 
+    def add_index(self, index: IndexDef) -> None:
+        """Re-register a previously dropped definition (DDL rollback)."""
+        key = index.name.upper()
+        if key in self._indexes:
+            raise CatalogError(f"index {index.name!r} already exists")
+        self._indexes[key] = index
+        self._indexes_by_table[index.table_name].append(key)
+        self._version += 1
+
     def index(self, name: str) -> IndexDef:
         """Look an index up by name; raises CatalogError when unknown."""
         try:

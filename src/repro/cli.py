@@ -185,11 +185,13 @@ class Shell:
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``.
 
-    ``python -m repro check [--plans|--costs|--lint]`` runs the static
-    verification suite and ``python -m repro bench [--quick|--compare]``
-    the optimizer micro-benchmarks instead of the shell; any other
-    arguments are read as SQL script files before the interactive prompt
-    starts.
+    ``python -m repro check [--plans|--costs|--lint|--storage]`` runs the
+    static verification suite and ``python -m repro bench
+    [--quick|--compare]`` the optimizer micro-benchmarks instead of the
+    shell.  ``--db PATH`` opens (or creates) a durable database backed by
+    ``PATH``; any other arguments are read as SQL script files before the
+    interactive prompt starts.  Fault plans in ``REPRO_FAULTS`` (e.g.
+    ``pagetable.flip@1:crash``) are armed before the first statement.
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "check":
@@ -200,7 +202,18 @@ def main(argv: list[str] | None = None) -> int:
         from .perf.bench import main as bench_main
 
         return bench_main(argv[1:])
-    shell = Shell()
+    db_path: str | None = None
+    if "--db" in argv:
+        position = argv.index("--db")
+        if position + 1 >= len(argv):
+            print("usage: --db PATH", file=sys.stderr)
+            return 2
+        db_path = argv[position + 1]
+        del argv[position : position + 2]
+    from .rss.faults import arm_from_env
+
+    arm_from_env()
+    shell = Shell(Database(path=db_path))
     print("repro — a miniature System R. \\q to quit; statements end with ;")
     for path in argv:
         with open(path, encoding="utf-8") as handle:

@@ -61,9 +61,17 @@ class Database:
         use_interesting_orders: bool = True,
         subquery_cache_mode: str = "prev",
         exec_mode: str | None = None,
+        path: str | None = None,
     ):
+        #: ``path`` opts into durability: statements commit to a
+        #: shadow-paged backing file, and re-opening the same path recovers
+        #: the last committed catalog and data.  ``None`` (the default)
+        #: keeps everything in memory, with identical cost counters.
         self.catalog = Catalog()
-        self.storage = StorageEngine(buffer_pages)
+        self.storage = StorageEngine(buffer_pages, path=path)
+        if self.storage.recovered_catalog is not None:
+            self.catalog = self.storage.recovered_catalog
+        self.storage.catalog = self.catalog
         self.w = w
         self.use_heuristic = use_heuristic
         self.use_interesting_orders = use_interesting_orders
@@ -111,6 +119,10 @@ class Database:
         self.storage.counters.reset()
         self.storage.cold_cache()
 
+    def close(self) -> None:
+        """Release the durable backing file, if one was opened."""
+        self.storage.close()
+
     # -- statement processing ---------------------------------------------------------
 
     def execute(self, sql: str) -> StatementResult:
@@ -144,7 +156,10 @@ class Database:
         if isinstance(statement, ast.DeleteStmt):
             return self._delete(statement)
         if isinstance(statement, ast.UpdateStatisticsStmt):
-            collect_statistics(self.catalog, self.storage, statement.table_name)
+            with self.storage.atomic():
+                collect_statistics(
+                    self.catalog, self.storage, statement.table_name
+                )
             return StatementResult(statement_type="UPDATE STATISTICS")
         raise ExecutionError(f"unsupported statement {statement!r}")
 
@@ -184,7 +199,8 @@ class Database:
             [(spec.name, spec.datatype) for spec in statement.columns],
             segment_name=statement.segment_name,
         )
-        self.storage.ensure_segment(table.segment_name)
+        with self.storage.atomic():
+            self.storage.ensure_segment(table.segment_name)
         return StatementResult(statement_type="CREATE TABLE")
 
     def _create_index(self, statement: ast.CreateIndexStmt) -> StatementResult:
@@ -197,32 +213,39 @@ class Database:
         )
         table = self.catalog.table(statement.table_name)
         try:
-            self.storage.create_index(index, table)
+            with self.storage.atomic():
+                self.storage.create_index(index, table)
+                if statement.clustered:
+                    self.storage.cluster_table(
+                        table, index, self.catalog.indexes_on(table.name)
+                    )
+                # "Initial relation loading and index creation initialize
+                # these statistics" — keep the habit.
+                collect_statistics(self.catalog, self.storage, table.name)
         except Exception:
             self.catalog.drop_index(index.name)
             raise
-        if statement.clustered:
-            self.storage.cluster_table(
-                table, index, self.catalog.indexes_on(table.name)
-            )
-        # "Initial relation loading and index creation initialize these
-        # statistics" — keep the habit.
-        collect_statistics(self.catalog, self.storage, table.name)
         return StatementResult(statement_type="CREATE INDEX")
 
     def _drop_table(self, statement: ast.DropTableStmt) -> StatementResult:
         table = self.catalog.table(statement.table_name)
-        for index in self.catalog.indexes_on(table.name):
-            self.storage.drop_index(index.name)
-        with self.storage.suppress_counting():
-            for tid, values in list(self.storage._raw_scan(table)):
-                self.storage.segment(table.segment_name).delete(tid)
-        self.catalog.drop_table(table.name)
+        with self.storage.atomic():
+            for index in self.catalog.indexes_on(table.name):
+                self.storage.drop_index(index.name)
+            with self.storage.suppress_counting():
+                for tid, values in list(self.storage._raw_scan(table)):
+                    self.storage.segment(table.segment_name).delete(tid)
+            self.catalog.drop_table(table.name)
         return StatementResult(statement_type="DROP TABLE")
 
     def _drop_index(self, statement: ast.DropIndexStmt) -> StatementResult:
         index = self.catalog.drop_index(statement.index_name)
-        self.storage.drop_index(index.name)
+        try:
+            with self.storage.atomic():
+                self.storage.drop_index(index.name)
+        except BaseException:
+            self.catalog.add_index(index)
+            raise
         return StatementResult(statement_type="DROP INDEX")
 
     # -- DML ----------------------------------------------------------------------------
@@ -247,17 +270,20 @@ class Database:
                 for row_exprs in statement.rows
             ]
         count = 0
-        for row in source_rows:
-            if len(row) != len(positions):
-                raise SemanticError(
-                    f"INSERT supplies {len(row)} values for "
-                    f"{len(positions)} columns"
-                )
-            values: list[object] = [None] * len(table.columns)
-            for position, value in zip(positions, row):
-                values[position] = table.columns[position].datatype.validate(value)
-            self.storage.insert(table, indexes, tuple(values))
-            count += 1
+        with self.storage.atomic():
+            for row in source_rows:
+                if len(row) != len(positions):
+                    raise SemanticError(
+                        f"INSERT supplies {len(row)} values for "
+                        f"{len(positions)} columns"
+                    )
+                values: list[object] = [None] * len(table.columns)
+                for position, value in zip(positions, row):
+                    values[position] = table.columns[position].datatype.validate(
+                        value
+                    )
+                self.storage.insert(table, indexes, tuple(values))
+                count += 1
         return StatementResult(statement_type="INSERT", affected_rows=count)
 
     def _target_rows(self, table_name: str, where: ast.Expr | None):
@@ -288,19 +314,20 @@ class Database:
         ]
         runtime = Runtime(self.storage, self.catalog, planned)
         count = 0
-        for row in rows:
-            old_values = row.values[alias]
-            env = EvalEnv(row=row, runtime=runtime)
-            new_values = list(old_values)
-            for position, bound in assignments:
-                value = evaluate(bound, env)
-                new_values[position] = table.columns[position].datatype.validate(
-                    value
+        with self.storage.atomic():
+            for row in rows:
+                old_values = row.values[alias]
+                env = EvalEnv(row=row, runtime=runtime)
+                new_values = list(old_values)
+                for position, bound in assignments:
+                    value = evaluate(bound, env)
+                    new_values[position] = table.columns[
+                        position
+                    ].datatype.validate(value)
+                self.storage.update(
+                    table, indexes, row.tids[alias], old_values, tuple(new_values)
                 )
-            self.storage.update(
-                table, indexes, row.tids[alias], old_values, tuple(new_values)
-            )
-            count += 1
+                count += 1
         return StatementResult(statement_type="UPDATE", affected_rows=count)
 
     def _delete(self, statement: ast.DeleteStmt) -> StatementResult:
@@ -309,11 +336,12 @@ class Database:
         __, rows = self._target_rows(statement.table_name, statement.where)
         alias = table.name
         count = 0
-        for row in rows:
-            self.storage.delete(
-                table, indexes, row.tids[alias], row.values[alias]
-            )
-            count += 1
+        with self.storage.atomic():
+            for row in rows:
+                self.storage.delete(
+                    table, indexes, row.tids[alias], row.values[alias]
+                )
+                count += 1
         return StatementResult(statement_type="DELETE", affected_rows=count)
 
     def _bind_dml_expr(self, expr: ast.Expr, table, alias: str) -> ast.Expr:

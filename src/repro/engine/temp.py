@@ -15,7 +15,7 @@ from typing import Iterator
 from ..datatypes import DataType
 from ..rss.page import Page
 from ..rss.storage import StorageEngine
-from ..rss.tuples import decode_tuple, encode_tuple
+from ..rss.tuples import DecodePlan, encode_tuple
 from .rows import Row
 
 #: Relation id tag used for temp records (never a real relation id).
@@ -35,6 +35,7 @@ class TempList:
         self._datatypes = [
             datatype for __, datatypes in schema for datatype in datatypes
         ]
+        self._decode_plan = DecodePlan(self._datatypes)
         self._page_ids: list[int] = []
         self._tail_page: Page | None = None
         self.row_count = 0
@@ -49,7 +50,7 @@ class TempList:
         record = encode_tuple(_TEMP_RELATION_ID, flat, self._datatypes)
         page = self._tail_page
         if page is None or not page.can_fit(len(record)):
-            page = self._storage.store.allocate_data_page()
+            page = self._storage.store.allocate_data_page(temp=True)
             self._page_ids.append(page.page_id)
             self._storage.buffer.fetch(page.page_id)
             self._tail_page = page
@@ -66,11 +67,12 @@ class TempList:
         """Sequential read-back (counted: pages + one RSI per row)."""
         buffer = self._storage.buffer
         counters = self._storage.counters
+        decode = self._decode_plan.decode
         for page_id in self._page_ids:
             page = buffer.fetch(page_id)
             assert isinstance(page, Page)
             for __, record in page.records():
-                flat = decode_tuple(record, self._datatypes)
+                flat = decode(record)
                 counters.count_rsi_call()
                 yield self._unflatten(flat)
 

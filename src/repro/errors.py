@@ -48,8 +48,68 @@ class PageFullError(StorageError):
     """A tuple does not fit in the remaining free space of a page."""
 
 
+class RecordTooLargeError(PageFullError):
+    """A record can never fit on a page, even an empty one.
+
+    Distinct from :class:`PageFullError` (this page happens to be full —
+    retry on a fresh page may succeed): no amount of retrying can place
+    this record, so callers must not loop.
+    """
+
+    def __init__(self, record_size: int, usable_size: int):
+        super().__init__(
+            f"record of {record_size} bytes exceeds the {usable_size} "
+            "usable bytes of an empty page"
+        )
+        self.record_size = record_size
+        self.usable_size = usable_size
+
+
 class TupleTooLargeError(StorageError):
     """A tuple cannot fit on any page, even an empty one."""
+
+
+class FaultInjectedError(StorageError):
+    """Default error raised by an armed fault point (testing only)."""
+
+    def __init__(self, point: str, hit: int):
+        super().__init__(f"injected fault at {point!r} (hit {hit})")
+        self.point = point
+        self.hit = hit
+
+
+class SimulatedCrash(StorageError):
+    """A fault point simulated a process crash.
+
+    When a durable backing file is attached, the exception carries a
+    byte-for-byte snapshot of the on-disk state at the instant of the
+    crash; re-opening that snapshot through recovery must restore the
+    last committed state.
+    """
+
+    def __init__(self, point: str, hit: int, snapshot: dict | None = None):
+        super().__init__(f"simulated crash at {point!r} (hit {hit})")
+        self.point = point
+        self.hit = hit
+        #: filename suffix -> file bytes at crash time (durable mode only).
+        self.snapshot = snapshot
+
+
+class TornPageError(StorageError):
+    """A page's stored checksum does not match its bytes (torn write)."""
+
+    def __init__(self, page_id: int, expected: int, actual: int):
+        super().__init__(
+            f"page {page_id}: checksum mismatch "
+            f"(stored {expected:#010x}, computed {actual:#010x})"
+        )
+        self.page_id = page_id
+        self.expected = expected
+        self.actual = actual
+
+
+class RecoveryError(StorageError):
+    """The backing file or its page table cannot be recovered."""
 
 
 class IntegrityError(ReproError):

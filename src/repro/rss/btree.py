@@ -19,6 +19,7 @@ from typing import Iterator
 from ..datatypes import DataType
 from ..errors import StorageError
 from .buffer import BufferPool
+from .faults import get_injector, register_point
 from .page import PAGE_SIZE, TupleId
 from .pagestore import PageStore
 
@@ -26,6 +27,14 @@ _NODE_OVERHEAD = 32  # header bytes reserved per node page
 _TID_SIZE = 8
 _CHILD_PTR_SIZE = 4
 _MIN_FANOUT = 4
+
+FP_BTREE_INSERT = register_point(
+    "btree.insert", "entering a B-tree entry insert"
+)
+FP_BTREE_DELETE = register_point(
+    "btree.delete", "entering a B-tree entry delete"
+)
+FP_BTREE_SPLIT = register_point("btree.split", "splitting a B-tree node")
 
 
 def orderable_key(key: tuple) -> tuple:
@@ -43,6 +52,14 @@ class _LeafNode:
         self.entries: list[tuple[tuple, tuple, TupleId]] = []
         self.next_page_id: int | None = None
 
+    def clone(self) -> "_LeafNode":
+        """Shadow copy for statement rollback (entries are immutable)."""
+        copy = _LeafNode()
+        copy.page_id = self.page_id
+        copy.entries = list(self.entries)
+        copy.next_page_id = self.next_page_id
+        return copy
+
 
 class _InternalNode:
     """An internal page: separator keys and child page ids."""
@@ -53,6 +70,14 @@ class _InternalNode:
         self.page_id = 0
         self.keys: list[tuple] = []  # orderable separator keys
         self.children: list[int] = []
+
+    def clone(self) -> "_InternalNode":
+        """Shadow copy for statement rollback."""
+        copy = _InternalNode()
+        copy.page_id = self.page_id
+        copy.keys = list(self.keys)
+        copy.children = list(self.children)
+        return copy
 
 
 class BTree:
@@ -71,6 +96,14 @@ class BTree:
     ):
         self._store = store
         self._buffer = buffer
+        self._derive_capacities(key_types)
+        root = _LeafNode()
+        root.page_id = store.allocate_node_page(root)
+        self._root_page_id = root.page_id
+        self._first_leaf_page_id = root.page_id
+        self._entry_count = 0
+
+    def _derive_capacities(self, key_types: list[DataType]) -> None:
         self.key_types = list(key_types)
         key_size = sum(datatype.max_encoded_size() for datatype in key_types)
         usable = PAGE_SIZE - _NODE_OVERHEAD
@@ -78,11 +111,47 @@ class BTree:
         self.internal_capacity = max(
             _MIN_FANOUT, usable // (key_size + _CHILD_PTR_SIZE)
         )
-        root = _LeafNode()
-        root.page_id = store.allocate_node_page(root)
-        self._root_page_id = root.page_id
-        self._first_leaf_page_id = root.page_id
-        self._entry_count = 0
+
+    @classmethod
+    def from_recovered(
+        cls,
+        store: PageStore,
+        buffer: BufferPool,
+        key_types: list[DataType],
+        root_page_id: int,
+        first_leaf_page_id: int,
+        entry_count: int,
+    ) -> "BTree":
+        """Rebind a recovered tree to its already-loaded node pages.
+
+        Unlike the constructor, no fresh root is allocated: the node pages
+        already live in the store (loaded by recovery) and this just wires
+        a ``BTree`` facade onto them.
+        """
+        tree = cls.__new__(cls)
+        tree._store = store
+        tree._buffer = buffer
+        tree._derive_capacities(key_types)
+        tree._root_page_id = root_page_id
+        tree._first_leaf_page_id = first_leaf_page_id
+        tree._entry_count = entry_count
+        return tree
+
+    # -- statement-transaction support ---------------------------------------
+
+    def state(self) -> tuple[int, int, int]:
+        """Scalar state captured by a statement-transaction snapshot."""
+        return (self._root_page_id, self._first_leaf_page_id, self._entry_count)
+
+    def restore_state(self, state: tuple[int, int, int]) -> None:
+        """Reinstall scalar state on rollback."""
+        self._root_page_id, self._first_leaf_page_id, self._entry_count = state
+
+    def free_pages(self) -> None:
+        """Release every node page (the tree is unusable afterwards)."""
+        for node in list(self._walk_nodes()):
+            self._buffer.invalidate(node.page_id)
+            self._store.free(node.page_id)
 
     # -- public properties (statistics are computed without fetch counting) --
 
@@ -128,6 +197,7 @@ class BTree:
 
     def insert(self, key: tuple, tid: TupleId) -> None:
         """Add one (key, TID) entry, splitting nodes as needed."""
+        get_injector().trip(FP_BTREE_INSERT)
         okey = orderable_key(key)
         split = self._insert_into(self._root_page_id, okey, key, tid)
         if split is not None:
@@ -141,6 +211,7 @@ class BTree:
 
     def delete(self, key: tuple, tid: TupleId) -> None:
         """Remove one (key, tid) entry; raises if it is not present."""
+        get_injector().trip(FP_BTREE_DELETE)
         okey = orderable_key(key)
         leaf = self._find_leaf_uncounted(okey)
         while leaf is not None:
@@ -149,6 +220,7 @@ class BTree:
             )
             while position < len(leaf.entries) and leaf.entries[position][0] == okey:
                 if leaf.entries[position][2] == tid:
+                    self._store.prepare_write(leaf.page_id)
                     del leaf.entries[position]
                     self._entry_count -= 1
                     return
@@ -224,6 +296,19 @@ class BTree:
         """Full index scan in key order, through the buffer pool."""
         return self.scan_range()
 
+    def entries_uncounted(self) -> Iterator[tuple[tuple, TupleId]]:
+        """(key, TID) pairs in key order, bypassing the buffer pool.
+
+        For invariant checking: touching the pool would perturb its LRU
+        state and the measured hit counts.
+        """
+        for __, key, tid in self._iter_entries_uncounted():
+            yield key, tid
+
+    def node_page_ids(self) -> list[int]:
+        """Page ids of every node currently in the tree (root included)."""
+        return [node.page_id for node in self._walk_nodes()]
+
     # -- internals -------------------------------------------------------------
 
     def _fetch_node(self, page_id: int):
@@ -245,6 +330,7 @@ class BTree:
         """Recursive insert; returns (separator, new right page) on split."""
         node = self._store.get(page_id)
         if isinstance(node, _LeafNode):
+            self._store.prepare_write(page_id)
             bisect.insort(
                 node.entries, (okey, key, tid), key=lambda entry: (entry[0], entry[2])
             )
@@ -257,6 +343,7 @@ class BTree:
         if split is None:
             return None
         separator, right_page_id = split
+        self._store.prepare_write(page_id)
         node.keys.insert(position, separator)
         node.children.insert(position + 1, right_page_id)
         if len(node.keys) <= self.internal_capacity:
@@ -264,6 +351,7 @@ class BTree:
         return self._split_internal(node)
 
     def _split_leaf(self, node: _LeafNode) -> tuple[tuple, int]:
+        get_injector().trip(FP_BTREE_SPLIT)
         middle = len(node.entries) // 2
         right = _LeafNode()
         right.entries = node.entries[middle:]
@@ -274,6 +362,7 @@ class BTree:
         return right.entries[0][0], right.page_id
 
     def _split_internal(self, node: _InternalNode) -> tuple[tuple, int]:
+        get_injector().trip(FP_BTREE_SPLIT)
         middle = len(node.keys) // 2
         separator = node.keys[middle]
         right = _InternalNode()

@@ -1,0 +1,337 @@
+"""The durable page layer: checksummed frames behind a shadow page table.
+
+This is the System R recovery design in miniature (Section 3 of the
+paper: the RSS kept every RSI call atomic against failures with shadow
+pages).  Two files back a database at ``path``:
+
+- ``<path>`` — the *frame file*: 4 KiB frames addressed by index.  A
+  logical page version occupies one or more consecutive frames.
+- ``<path>.pt`` — the *page table*: the committed mapping
+  ``page id -> (first frame, frame count, payload length, CRC-32)``
+  plus the allocator high-water marks, serialized as JSON with its own
+  checksum.
+
+Writes are **copy-on-write**: a commit writes the new version of every
+dirty page into free frames (never overwriting the committed version),
+fsyncs the frame file, then atomically *flips* the page table —
+write-new-then-fsync-then-rename — so the committed state switches from
+old to new in one rename.  A crash at any instant leaves either the old
+page table (new frames are unreferenced garbage, reclaimed on open) or
+the new one (the commit happened); never a mix.
+
+Torn writes are caught by the per-page CRC-32 recorded in the page
+table: :meth:`DiskManager.read_page` (and the full verify pass on open)
+raises :class:`~repro.errors.TornPageError` naming the page id when the
+frame bytes do not hash to the committed checksum.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import RecoveryError, TornPageError
+from .faults import get_injector, register_point
+from .page import PAGE_SIZE
+
+#: Suffix of the page-table file next to the frame file.
+PAGE_TABLE_SUFFIX = ".pt"
+
+#: Page-table format version (bump on layout changes).
+PAGE_TABLE_VERSION = 1
+
+FP_PAGE_WRITE = register_point(
+    "page.write", "writing one page's frames during commit"
+)
+FP_FSYNC = register_point("fsync", "fsyncing the frame file before the flip")
+FP_PAGETABLE_WRITE = register_point(
+    "pagetable.write", "writing the shadow page table"
+)
+FP_PAGETABLE_FLIP = register_point(
+    "pagetable.flip", "renaming the shadow page table over the committed one"
+)
+
+
+class _Entry:
+    """One committed page version: where it lives and its checksum."""
+
+    __slots__ = ("frame", "frame_count", "length", "crc")
+
+    def __init__(self, frame: int, frame_count: int, length: int, crc: int):
+        self.frame = frame
+        self.frame_count = frame_count
+        self.length = length
+        self.crc = crc
+
+    def as_list(self) -> list[int]:
+        return [self.frame, self.frame_count, self.length, self.crc]
+
+
+def _frames_needed(length: int) -> int:
+    return max(1, (length + PAGE_SIZE - 1) // PAGE_SIZE)
+
+
+class DiskManager:
+    """Owns the frame file and the committed page table for one database."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.table_path = Path(str(self.path) + PAGE_TABLE_SUFFIX)
+        self._entries: dict[int, _Entry] = {}
+        self.next_page_id = 1
+        self._frame_count = 0
+        self._free_frames: set[int] = set()
+        fresh = not self.path.exists()
+        if fresh:
+            self.path.touch()
+        self._file = open(self.path, "r+b")
+        if not self.table_path.exists():
+            if self.path.stat().st_size:
+                raise RecoveryError(
+                    f"{self.path}: frame file exists but its page table "
+                    f"{self.table_path} is missing"
+                )
+            self._flip_table()  # commit the empty table
+        else:
+            self._load_table()
+
+    # -- opening ----------------------------------------------------------
+
+    def _load_table(self) -> None:
+        try:
+            raw = json.loads(self.table_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            raise RecoveryError(
+                f"{self.table_path}: unreadable page table: {error}"
+            ) from None
+        body = raw.get("body")
+        crc = raw.get("crc")
+        if body is None or crc != zlib.crc32(
+            json.dumps(body, sort_keys=True).encode("utf-8")
+        ):
+            raise RecoveryError(
+                f"{self.table_path}: page table checksum mismatch"
+            )
+        if body.get("version") != PAGE_TABLE_VERSION:
+            raise RecoveryError(
+                f"{self.table_path}: unsupported page table version "
+                f"{body.get('version')!r}"
+            )
+        self.next_page_id = body["next_page_id"]
+        self._frame_count = body["frame_count"]
+        self._entries = {
+            int(page_id): _Entry(*fields)
+            for page_id, fields in body["pages"].items()
+        }
+        used: set[int] = set()
+        for page_id, entry in self._entries.items():
+            frames = range(entry.frame, entry.frame + entry.frame_count)
+            if entry.frame < 0 or entry.frame + entry.frame_count > self._frame_count:
+                raise RecoveryError(
+                    f"page {page_id}: frames {list(frames)} outside the file"
+                )
+            if used & set(frames):
+                raise RecoveryError(
+                    f"page {page_id}: frames {list(frames)} double-booked"
+                )
+            used.update(frames)
+        # Frames written by an uncommitted shadow (crash before the flip)
+        # are simply unreferenced — reclaiming them *is* crash recovery.
+        self._free_frames = set(range(self._frame_count)) - used
+
+    # -- reads ------------------------------------------------------------
+
+    def page_ids(self) -> list[int]:
+        """Committed page ids, ascending."""
+        return sorted(self._entries)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._entries
+
+    def read_page(self, page_id: int) -> bytes:
+        """The committed payload of a page, checksum-verified."""
+        try:
+            entry = self._entries[page_id]
+        except KeyError:
+            raise RecoveryError(f"no committed page {page_id}") from None
+        self._file.seek(entry.frame * PAGE_SIZE)
+        payload = self._file.read(entry.length)
+        actual = zlib.crc32(payload)
+        if len(payload) != entry.length or actual != entry.crc:
+            raise TornPageError(page_id, entry.crc, actual)
+        return payload
+
+    def verify(self) -> None:
+        """Checksum-verify every committed page (raises on the first tear)."""
+        for page_id in self.page_ids():
+            self.read_page(page_id)
+
+    def audit(self) -> list[str]:
+        """Soundness report: checksums, frame bookkeeping, free list.
+
+        Returns problem descriptions instead of raising, so a checker can
+        gather every defect in one pass.
+        """
+        problems: list[str] = []
+        used: set[int] = set()
+        for page_id, entry in sorted(self._entries.items()):
+            frames = set(range(entry.frame, entry.frame + entry.frame_count))
+            if entry.frame < 0 or entry.frame + entry.frame_count > self._frame_count:
+                problems.append(f"page {page_id}: frames outside the file")
+            if used & frames:
+                problems.append(f"page {page_id}: frames double-booked")
+            used |= frames
+            try:
+                self.read_page(page_id)
+            except TornPageError as error:
+                problems.append(str(error))
+        overlap = self._free_frames & used
+        if overlap:
+            problems.append(
+                f"free list overlaps committed frames: {sorted(overlap)}"
+            )
+        unaccounted = set(range(self._frame_count)) - used - self._free_frames
+        if unaccounted:
+            problems.append(
+                f"frames neither committed nor free: {sorted(unaccounted)}"
+            )
+        return problems
+
+    # -- commit (shadow write + atomic flip) -------------------------------
+
+    def commit(
+        self,
+        dirty: dict[int, bytes],
+        freed: Iterable[int],
+        next_page_id: int,
+    ) -> None:
+        """Atomically replace pages: all of ``dirty`` lands, or none of it.
+
+        New versions go to free frames (copy-on-write), the frame file is
+        fsynced, and the page table is flipped by write-then-fsync-then-
+        rename.  On any failure before the flip the committed state is
+        untouched and the staged frames are returned to the free list.
+        """
+        injector = get_injector()
+        staged: dict[int, _Entry] = {}
+        staged_frames: list[int] = []
+        old_frame_count = self._frame_count
+        try:
+            for page_id, payload in sorted(dirty.items()):
+                injector.trip(FP_PAGE_WRITE)
+                count = _frames_needed(len(payload))
+                frame = self._allocate_frames(count)
+                staged_frames.extend(range(frame, frame + count))
+                self._file.seek(frame * PAGE_SIZE)
+                self._file.write(payload)
+                padding = count * PAGE_SIZE - len(payload)
+                if padding:
+                    self._file.write(b"\0" * padding)
+                staged[page_id] = _Entry(
+                    frame, count, len(payload), zlib.crc32(payload)
+                )
+            self._file.flush()
+            injector.trip(FP_FSYNC)
+            os.fsync(self._file.fileno())
+            new_entries = dict(self._entries)
+            for page_id in freed:
+                new_entries.pop(page_id, None)
+            new_entries.update(staged)
+            self.next_page_id = max(self.next_page_id, next_page_id)
+            injector.trip(FP_PAGETABLE_WRITE)
+            self._flip_table(new_entries)
+        except BaseException:
+            # The committed table still points at the old versions; the
+            # staged frames are garbage and return to the free list.
+            self._free_frames.update(staged_frames)
+            self._frame_count = max(self._frame_count, old_frame_count)
+            raise
+        # Flip done: reclaim the frames of superseded and freed versions.
+        for page_id, old_entry in list(self._entries.items()):
+            new_entry = new_entries.get(page_id)
+            if new_entry is not old_entry:
+                self._free_frames.update(
+                    range(old_entry.frame, old_entry.frame + old_entry.frame_count)
+                )
+        self._entries = new_entries
+
+    def _allocate_frames(self, count: int) -> int:
+        """First frame of a free run of ``count`` consecutive frames."""
+        if count == 1 and self._free_frames:
+            return self._free_frames.pop()
+        if count > 1:
+            ordered = sorted(self._free_frames)
+            run_start, run_length = None, 0
+            for frame in ordered:
+                if run_start is not None and frame == run_start + run_length:
+                    run_length += 1
+                else:
+                    run_start, run_length = frame, 1
+                if run_length == count:
+                    for taken in range(run_start, run_start + count):
+                        self._free_frames.discard(taken)
+                    return run_start
+        start = self._frame_count
+        self._frame_count += count
+        return start
+
+    def _flip_table(self, entries: dict[int, _Entry] | None = None) -> None:
+        if entries is None:
+            entries = self._entries
+        body = {
+            "version": PAGE_TABLE_VERSION,
+            "next_page_id": self.next_page_id,
+            "frame_count": self._frame_count,
+            "pages": {
+                str(page_id): entry.as_list()
+                for page_id, entry in sorted(entries.items())
+            },
+        }
+        payload = json.dumps(
+            {
+                "body": body,
+                "crc": zlib.crc32(
+                    json.dumps(body, sort_keys=True).encode("utf-8")
+                ),
+            },
+            sort_keys=True,
+        )
+        shadow = Path(str(self.table_path) + ".shadow")
+        with open(shadow, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        get_injector().trip(FP_PAGETABLE_FLIP)
+        os.replace(shadow, self.table_path)
+
+    # -- crash snapshots ----------------------------------------------------
+
+    def snapshot(self) -> dict[str, bytes]:
+        """Byte-for-byte copy of the on-disk state, as a crash would see it.
+
+        The frame file is flushed to the OS first (a crashed process loses
+        its user-space buffers but not what the kernel already has), then
+        both files are read back.
+        """
+        if not self._file.closed:
+            self._file.flush()
+        files: dict[str, bytes] = {"": self.path.read_bytes()}
+        if self.table_path.exists():
+            files[PAGE_TABLE_SUFFIX] = self.table_path.read_bytes()
+        return files
+
+    @staticmethod
+    def restore(snapshot: dict[str, bytes], path: str | Path) -> Path:
+        """Materialize a crash snapshot at ``path`` for re-opening."""
+        path = Path(path)
+        for suffix, data in snapshot.items():
+            Path(str(path) + suffix).write_bytes(data)
+        return path
+
+    def close(self) -> None:
+        """Close the frame file handle (committed state stays on disk)."""
+        if not self._file.closed:
+            self._file.close()

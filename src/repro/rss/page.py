@@ -19,13 +19,18 @@ from __future__ import annotations
 import struct
 from typing import Iterator, NamedTuple
 
-from ..errors import PageFullError, StorageError
+from ..errors import PageFullError, RecordTooLargeError, StorageError
 
 PAGE_SIZE = 4096
 _HEADER = struct.Struct(">HH")
 _SLOT = struct.Struct(">HH")
 _HEADER_SIZE = _HEADER.size
 _SLOT_SIZE = _SLOT.size
+
+#: Largest record an *empty* page can hold (header plus one slot removed).
+#: Anything bigger can never be placed, no matter how many fresh pages a
+#: caller retries on.
+USABLE_PAGE_BYTES = PAGE_SIZE - _HEADER_SIZE - _SLOT_SIZE
 
 
 class TupleId(NamedTuple):
@@ -129,7 +134,14 @@ class Page:
     # -- record operations --------------------------------------------------
 
     def insert(self, record: bytes) -> int:
-        """Store a record, returning the slot number it was placed in."""
+        """Store a record, returning the slot number it was placed in.
+
+        Raises :class:`RecordTooLargeError` when the record could not fit
+        even on an empty page (so retrying on a fresh page is futile) and
+        :class:`PageFullError` when only *this* page lacks the space.
+        """
+        if len(record) > USABLE_PAGE_BYTES:
+            raise RecordTooLargeError(len(record), USABLE_PAGE_BYTES)
         slot = self._find_empty_slot()
         needed = len(record) + (0 if slot is not None else _SLOT_SIZE)
         if self.free_space() < needed:
@@ -191,3 +203,9 @@ class Page:
     def is_empty(self) -> bool:
         """True when nothing is stored here."""
         return self.occupied_slots() == 0
+
+    def clone(self) -> "Page":
+        """An independent copy (shadow version for statement rollback)."""
+        copy = Page(self.page_id, bytearray(self.data))
+        copy.dirty = self.dirty
+        return copy

@@ -5,12 +5,36 @@ B-tree node pages are structured objects (see :mod:`repro.rss.btree`) that
 occupy the same page-id space, so the buffer pool accounts for index page
 fetches and data page fetches uniformly — exactly the two page populations
 the paper's cost formulas distinguish (``NINDX`` vs ``TCARD``).
+
+The store is also the unit of **statement atomicity**.  Between
+:meth:`PageStore.begin` and :meth:`commit`/:meth:`rollback`, the first
+mutation of any page saves a pristine copy (shadow versions, System R
+style): rollback restores those copies and discards pages allocated inside
+the transaction, so a statement that fails half-way leaves no trace.  When
+a :class:`~repro.rss.disk.DiskManager` is attached, commit serializes every
+page the transaction touched and flips the durable page table atomically;
+without one, commit is free — the fault-free in-memory path does exactly
+the same page operations it always did.
+
+Pages allocated with ``temp=True`` (sort runs, temporary lists) are scratch:
+they participate in neither undo nor durability.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..errors import StorageError
+from .faults import get_injector, register_point
 from .page import Page
+
+if TYPE_CHECKING:
+    from .disk import DiskManager
+
+FP_PAGE_ALLOC = register_point("page.alloc", "allocating a fresh page id")
+FP_PAGE_MUTATE = register_point(
+    "page.mutate", "first in-transaction mutation of a page (shadow copy)"
+)
 
 
 class PageStore:
@@ -20,23 +44,47 @@ class PageStore:
     is what makes page fetches countable; the store itself never counts.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, disk: "DiskManager | None" = None):
         self._pages: dict[int, object] = {}
         self._next_id = 1
+        self._temp_ids: set[int] = set()
+        self.disk = disk
+        if disk is not None:
+            self._next_id = max(self._next_id, disk.next_page_id)
+        self._in_tx = False
+        self._tx_undo: dict[int, object] = {}
+        self._tx_allocated: list[int] = []
+        self._tx_freed: dict[int, object] = {}
 
-    def allocate_data_page(self) -> Page:
-        """Create and register a fresh empty data page."""
+    # -- allocation ---------------------------------------------------------
+
+    def allocate_data_page(self, temp: bool = False) -> Page:
+        """Create and register a fresh empty data page.
+
+        ``temp`` marks scratch pages (temporary lists, sort runs) that are
+        excluded from transactions and never written to the backing file.
+        """
+        get_injector().trip(FP_PAGE_ALLOC)
         page = Page(self._next_id)
-        self._pages[self._next_id] = page
-        self._next_id += 1
+        self._register(page.page_id, page, temp)
         return page
 
     def allocate_node_page(self, node: object) -> int:
         """Register a B-tree node as a page; returns its page id."""
+        get_injector().trip(FP_PAGE_ALLOC)
         page_id = self._next_id
-        self._pages[page_id] = node
-        self._next_id += 1
+        self._register(page_id, node, temp=False)
         return page_id
+
+    def _register(self, page_id: int, obj: object, temp: bool) -> None:
+        self._pages[page_id] = obj
+        self._next_id = page_id + 1
+        if temp:
+            self._temp_ids.add(page_id)
+        elif self._in_tx:
+            self._tx_allocated.append(page_id)
+
+    # -- access -------------------------------------------------------------
 
     def get(self, page_id: int) -> object:
         """The page object for an id; raises on unknown pages."""
@@ -47,10 +95,127 @@ class PageStore:
 
     def free(self, page_id: int) -> None:
         """Release a page id (idempotent)."""
-        self._pages.pop(page_id, None)
+        obj = self._pages.pop(page_id, None)
+        temp = page_id in self._temp_ids
+        self._temp_ids.discard(page_id)
+        if obj is not None and self._in_tx and not temp:
+            self._tx_freed.setdefault(page_id, obj)
+
+    def is_temp(self, page_id: int) -> bool:
+        """Whether a page id is scratch (excluded from durability)."""
+        return page_id in self._temp_ids
+
+    def page_ids(self) -> list[int]:
+        """Every allocated page id, ascending (for invariant checks)."""
+        return sorted(self._pages)
 
     def __contains__(self, page_id: int) -> bool:
         return page_id in self._pages
 
     def __len__(self) -> int:
         return len(self._pages)
+
+    # -- statement transactions ---------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether a statement transaction is open."""
+        return self._in_tx
+
+    def begin(self) -> None:
+        """Open a statement transaction (no copies are taken up front)."""
+        if self._in_tx:
+            raise StorageError("statement transaction already open")
+        self._in_tx = True
+        self._tx_undo = {}
+        self._tx_allocated = []
+        self._tx_freed = {}
+
+    def prepare_write(self, page_id: int) -> None:
+        """Declare an imminent mutation of a page.
+
+        Inside a transaction, the first mutation of each page shadow-copies
+        its current state for rollback; outside one, this is a no-op flag
+        check, so mutators call it unconditionally.
+        """
+        if not self._in_tx or page_id in self._tx_undo:
+            return
+        if page_id in self._temp_ids:
+            return
+        obj = self._pages.get(page_id)
+        if obj is None:
+            return
+        get_injector().trip(FP_PAGE_MUTATE)
+        clone = getattr(obj, "clone", None)
+        if clone is None:
+            raise StorageError(
+                f"page {page_id} object {type(obj).__name__} is not clonable"
+            )
+        self._tx_undo[page_id] = clone()
+
+    def rollback(self, buffer: object = None) -> None:
+        """Discard every effect since :meth:`begin`.
+
+        Pages allocated inside the transaction disappear (and are dropped
+        from ``buffer`` when one is given), freed pages reappear, and
+        mutated pages revert to their shadow copies.
+        """
+        if not self._in_tx:
+            raise StorageError("no statement transaction to roll back")
+        allocated = set(self._tx_allocated)
+        for page_id in allocated:
+            self._pages.pop(page_id, None)
+            if buffer is not None:
+                buffer.invalidate(page_id)
+        for page_id, obj in self._tx_freed.items():
+            if page_id not in allocated:
+                self._pages[page_id] = obj
+        for page_id, pristine in self._tx_undo.items():
+            if page_id not in allocated:
+                self._pages[page_id] = pristine
+        self._end_tx()
+
+    def commit(self, meta_blob: bytes | None = None) -> None:
+        """Make every effect since :meth:`begin` final.
+
+        With a backing file attached, every touched non-temp page is
+        serialized and written copy-on-write, then the page table flips
+        atomically; ``meta_blob`` (the metadata page payload) rides in the
+        same commit.  On failure the transaction stays open so the caller
+        can roll back — the durable state is untouched either way.
+        """
+        if not self._in_tx:
+            raise StorageError("no statement transaction to commit")
+        if self.disk is not None:
+            from .recovery import META_PAGE_ID, serialize_page
+
+            dirty: dict[int, bytes] = {}
+            for page_id in sorted(set(self._tx_undo) | set(self._tx_allocated)):
+                obj = self._pages.get(page_id)
+                if obj is None or page_id in self._temp_ids:
+                    continue
+                dirty[page_id] = serialize_page(obj)
+            if meta_blob is not None:
+                dirty[META_PAGE_ID] = meta_blob
+            freed = [
+                page_id
+                for page_id in self._tx_freed
+                if page_id not in self._pages
+            ]
+            self.disk.commit(dirty, freed, self._next_id)
+        self._end_tx()
+
+    def _end_tx(self) -> None:
+        self._in_tx = False
+        self._tx_undo = {}
+        self._tx_allocated = []
+        self._tx_freed = {}
+
+    # -- recovery ------------------------------------------------------------
+
+    def adopt(self, pages: dict[int, object], next_page_id: int) -> None:
+        """Install recovered page contents (only valid on an empty store)."""
+        if self._pages:
+            raise StorageError("cannot adopt pages into a non-empty store")
+        self._pages = dict(pages)
+        self._next_id = max(next_page_id, max(self._pages, default=0) + 1)

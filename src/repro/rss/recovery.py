@@ -1,0 +1,185 @@
+"""Recovery: (de)serializing pages and rebuilding a store from disk.
+
+The durable layer (:mod:`repro.rss.disk`) stores opaque checksummed
+payloads; this module defines what those payloads *are*:
+
+=========  ==============================================================
+tag byte   payload
+=========  ==============================================================
+``P``      a slotted data page — its raw 4096 bytes
+``L``      a B-tree leaf — pickled ``(entries, next_page_id)`` where
+           entries are ``(key, (page_id, slot))`` pairs in key order
+``I``      a B-tree internal node — pickled ``(separator okeys, children)``
+``M``      the metadata page (page id 0): pickled catalog, segment page
+           lists, and index descriptors — everything needed to rebuild
+           the logical structures over the raw pages
+=========  ==============================================================
+
+:func:`recover` reads a committed backing file back into the in-memory
+shapes the rest of the RSS operates on.  Recovery is deliberately dumb:
+the page table names exactly the committed state, so "recovering" is
+loading it — uncommitted shadow frames were never referenced and are
+reclaimed by the disk layer's free-frame sweep.  This mirrors Section 3
+of the paper, where shadow pages make every RSI call atomic against
+failures without log replay for statement-level recovery.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import RecoveryError
+from .btree import _InternalNode, _LeafNode, orderable_key
+from .page import PAGE_SIZE, Page, TupleId
+
+if TYPE_CHECKING:
+    from ..catalog.catalog import Catalog
+    from .disk import DiskManager
+
+#: Reserved page id of the metadata page (real pages start at 1).
+META_PAGE_ID = 0
+
+_TAG_PAGE = b"P"
+_TAG_LEAF = b"L"
+_TAG_INTERNAL = b"I"
+_TAG_META = b"M"
+
+
+# ---------------------------------------------------------------------------
+# page serialization
+# ---------------------------------------------------------------------------
+
+
+def serialize_page(obj: object) -> bytes:
+    """Encode any page-id-space object into a durable payload."""
+    if isinstance(obj, Page):
+        return _TAG_PAGE + bytes(obj.data)
+    if isinstance(obj, _LeafNode):
+        entries = [(key, tuple(tid)) for __, key, tid in obj.entries]
+        return _TAG_LEAF + pickle.dumps(
+            (entries, obj.next_page_id), protocol=pickle.HIGHEST_PROTOCOL
+        )
+    if isinstance(obj, _InternalNode):
+        return _TAG_INTERNAL + pickle.dumps(
+            (obj.keys, obj.children), protocol=pickle.HIGHEST_PROTOCOL
+        )
+    raise RecoveryError(f"cannot serialize page object {type(obj).__name__}")
+
+
+def deserialize_page(page_id: int, payload: bytes) -> object:
+    """Decode a durable payload back into its in-memory page object."""
+    tag, body = payload[:1], payload[1:]
+    if tag == _TAG_PAGE:
+        if len(body) != PAGE_SIZE:
+            raise RecoveryError(
+                f"page {page_id}: data payload is {len(body)} bytes, "
+                f"expected {PAGE_SIZE}"
+            )
+        return Page(page_id, bytearray(body))
+    if tag == _TAG_LEAF:
+        entries, next_page_id = pickle.loads(body)
+        leaf = _LeafNode()
+        leaf.page_id = page_id
+        leaf.next_page_id = next_page_id
+        leaf.entries = [
+            (orderable_key(key), key, TupleId(*tid)) for key, tid in entries
+        ]
+        return leaf
+    if tag == _TAG_INTERNAL:
+        keys, children = pickle.loads(body)
+        node = _InternalNode()
+        node.page_id = page_id
+        node.keys = list(keys)
+        node.children = list(children)
+        return node
+    raise RecoveryError(f"page {page_id}: unknown payload tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# the metadata page
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IndexMeta:
+    """Durable descriptor of one physical B-tree."""
+
+    name: str
+    root_page_id: int
+    first_leaf_page_id: int
+    entry_count: int
+    key_types: list  # list[DataType]
+
+
+@dataclass
+class StoreMeta:
+    """Everything on the metadata page besides raw page contents."""
+
+    catalog: "Catalog | None" = None
+    segments: list[tuple[str, list[int]]] = field(default_factory=list)
+    indexes: list[IndexMeta] = field(default_factory=list)
+
+
+def serialize_meta(meta: StoreMeta) -> bytes:
+    """Encode the metadata page payload."""
+    return _TAG_META + pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def deserialize_meta(payload: bytes) -> StoreMeta:
+    """Decode the metadata page payload."""
+    if payload[:1] != _TAG_META:
+        raise RecoveryError(
+            f"metadata page has tag {payload[:1]!r}, expected {_TAG_META!r}"
+        )
+    meta = pickle.loads(payload[1:])
+    if not isinstance(meta, StoreMeta):
+        raise RecoveryError("metadata page does not hold a StoreMeta")
+    return meta
+
+
+# ---------------------------------------------------------------------------
+# recovery proper
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RecoveredState:
+    """A committed backing file, loaded back into memory."""
+
+    pages: dict[int, object]
+    next_page_id: int
+    meta: StoreMeta
+
+
+def recover(disk: "DiskManager") -> RecoveredState:
+    """Load the committed state of a backing file.
+
+    Every committed page is checksum-verified as it is read (torn pages
+    raise :class:`~repro.errors.TornPageError` naming the page), and the
+    metadata page is decoded into segment/index/catalog descriptors.
+    """
+    pages: dict[int, object] = {}
+    meta: StoreMeta | None = None
+    for page_id in disk.page_ids():
+        payload = disk.read_page(page_id)
+        if page_id == META_PAGE_ID:
+            meta = deserialize_meta(payload)
+        else:
+            pages[page_id] = deserialize_page(page_id, payload)
+    if meta is None:
+        meta = StoreMeta()
+    for __, page_ids in meta.segments:
+        for page_id in page_ids:
+            if page_id not in pages:
+                raise RecoveryError(
+                    f"segment references missing page {page_id}"
+                )
+    for index_meta in meta.indexes:
+        if index_meta.root_page_id not in pages:
+            raise RecoveryError(
+                f"index {index_meta.name!r} references missing root page "
+                f"{index_meta.root_page_id}"
+            )
+    return RecoveredState(pages, disk.next_page_id, meta)

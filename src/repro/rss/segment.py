@@ -14,11 +14,22 @@ from typing import Iterator
 
 from ..errors import StorageError, TupleTooLargeError
 from .buffer import BufferPool
+from .faults import get_injector, register_point
 from .page import PAGE_SIZE, Page, TupleId
 from .pagestore import PageStore
 
 # Largest record we can ever place: an empty page minus header and one slot.
 MAX_RECORD_SIZE = PAGE_SIZE - 4 - 4
+
+FP_SEGMENT_INSERT = register_point(
+    "segment.insert", "entering a segment record insert"
+)
+FP_SEGMENT_DELETE = register_point(
+    "segment.delete", "entering a segment record delete"
+)
+FP_SEGMENT_UPDATE = register_point(
+    "segment.update", "entering a segment record update"
+)
 
 
 class Segment:
@@ -45,9 +56,11 @@ class Segment:
             raise TupleTooLargeError(
                 f"record of {len(record)} bytes exceeds page capacity"
             )
+        get_injector().trip(FP_SEGMENT_INSERT)
         if self.page_ids:
             page = self._fetch(self.page_ids[-1])
             if page.can_fit(len(record)):
+                self._store.prepare_write(page.page_id)
                 slot = page.insert(record)
                 return TupleId(page.page_id, slot)
         if not append_only:
@@ -56,6 +69,7 @@ class Segment:
                 candidate = self._store.get(page_id)
                 if isinstance(candidate, Page) and candidate.can_fit(len(record)):
                     page = self._fetch(page_id)
+                    self._store.prepare_write(page.page_id)
                     slot = page.insert(record)
                     return TupleId(page.page_id, slot)
         page = self._store.allocate_data_page()
@@ -70,11 +84,16 @@ class Segment:
 
     def delete(self, tid: TupleId) -> None:
         """Free the slot at a TID."""
-        self._fetch(tid.page_id).delete(tid.slot)
+        get_injector().trip(FP_SEGMENT_DELETE)
+        page = self._fetch(tid.page_id)
+        self._store.prepare_write(tid.page_id)
+        page.delete(tid.slot)
 
     def update(self, tid: TupleId, record: bytes) -> TupleId:
         """Overwrite in place when possible, else move (new TID)."""
+        get_injector().trip(FP_SEGMENT_UPDATE)
         page = self._fetch(tid.page_id)
+        self._store.prepare_write(tid.page_id)
         if page.update(tid.slot, record):
             return tid
         page.delete(tid.slot)

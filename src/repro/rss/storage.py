@@ -6,6 +6,16 @@ definitions (:class:`~repro.catalog.schema.TableDef`,
 :class:`~repro.catalog.schema.IndexDef`) live in the catalog; this engine
 maps them to their physical counterparts and keeps indexes consistent with
 the data under INSERT / UPDATE / DELETE.
+
+Every mutating entry point runs inside a **statement micro-transaction**
+(:meth:`StorageEngine.atomic`): either all of its page, segment, and index
+effects land, or none of them do.  A mid-statement exception — including
+one injected through :mod:`repro.rss.faults` — rolls the shadow versions
+back, so segment/index consistency holds unconditionally.  With a durable
+backing file (``path=...``), commit additionally serializes the touched
+pages copy-on-write and flips the on-disk page table atomically (see
+:mod:`repro.rss.disk`); re-opening the path recovers the last committed
+state.
 """
 
 from __future__ import annotations
@@ -15,10 +25,12 @@ from typing import Callable
 
 from ..catalog.schema import IndexDef, TableDef
 from ..datatypes import DataType
-from ..errors import CatalogError, IntegrityError, StorageError
+from ..errors import CatalogError, IntegrityError, SimulatedCrash, StorageError
 from .btree import BTree
 from .buffer import DEFAULT_BUFFER_PAGES, BufferPool
 from .counters import CostCounters
+from .disk import DiskManager
+from .faults import get_injector
 from .page import TupleId
 from .pagestore import PageStore
 from .sargs import ConjunctiveSargs, Sargs
@@ -30,12 +42,153 @@ from .tuples import DecodePlan, encode_tuple
 class StorageEngine:
     """Physical storage for a database instance."""
 
-    def __init__(self, buffer_pages: int = DEFAULT_BUFFER_PAGES):
+    def __init__(
+        self,
+        buffer_pages: int = DEFAULT_BUFFER_PAGES,
+        path: str | None = None,
+    ):
         self.counters = CostCounters()
-        self.store = PageStore()
+        disk = DiskManager(path) if path is not None else None
+        self.store = PageStore(disk)
         self.buffer = BufferPool(self.store, self.counters, buffer_pages)
         self._segments: dict[str, Segment] = {}
         self._indexes: dict[str, BTree] = {}
+        #: Catalog to persist on the metadata page (set by ``Database``).
+        self.catalog: object | None = None
+        #: Catalog recovered from the backing file, if any.
+        self.recovered_catalog: object | None = None
+        self._in_tx = False
+        self._crashed = False
+        if disk is not None:
+            get_injector().attach_disk(disk)
+            if disk.page_ids():
+                self._recover(disk)
+
+    def _recover(self, disk: DiskManager) -> None:
+        from .recovery import recover
+
+        state = recover(disk)
+        self.store.adopt(state.pages, state.next_page_id)
+        for name, page_ids in state.meta.segments:
+            segment = Segment(name, self.store, self.buffer)
+            segment.page_ids = list(page_ids)
+            self._segments[name] = segment
+        for index_meta in state.meta.indexes:
+            self._indexes[index_meta.name] = BTree.from_recovered(
+                self.store,
+                self.buffer,
+                index_meta.key_types,
+                index_meta.root_page_id,
+                index_meta.first_leaf_page_id,
+                index_meta.entry_count,
+            )
+        self.recovered_catalog = state.meta.catalog
+
+    def close(self) -> None:
+        """Release the backing file handle, if any."""
+        disk = self.store.disk
+        if disk is not None:
+            disk.close()
+            injector = get_injector()
+            if injector._disk is disk:
+                injector.attach_disk(None)
+
+    # -- statement micro-transactions -----------------------------------------
+
+    @contextmanager
+    def atomic(self):
+        """Scope one statement: commit all of its effects, or none.
+
+        Re-entrant — a nested ``atomic`` joins the enclosing statement.  On
+        any exception the page store's shadow copies are restored, pages
+        allocated by the statement vanish, and segment/index metadata
+        reverts, leaving the store exactly as before the statement.  A
+        :class:`SimulatedCrash` skips rollback (the "process" is gone); the
+        durable state was snapshotted by the fault injector at raise time.
+        """
+        if self._in_tx:
+            yield
+            return
+        if self._crashed:
+            raise StorageError(
+                "storage engine crashed (simulated); re-open it from disk"
+            )
+        self._in_tx = True
+        meta = self._snapshot_meta()
+        self.store.begin()
+        try:
+            yield
+        except SimulatedCrash:
+            self._crashed = True
+            raise
+        except BaseException:
+            self.store.rollback(self.buffer)
+            self._restore_meta(meta)
+            raise
+        else:
+            try:
+                blob = (
+                    self._meta_blob() if self.store.disk is not None else None
+                )
+                self.store.commit(blob)
+            except SimulatedCrash:
+                self._crashed = True
+                raise
+            except BaseException:
+                self.store.rollback(self.buffer)
+                self._restore_meta(meta)
+                raise
+        finally:
+            self._in_tx = False
+
+    def _snapshot_meta(self):
+        """Cheap logical snapshot: segment page lists and B-tree scalars."""
+        return (
+            {
+                name: list(segment.page_ids)
+                for name, segment in self._segments.items()
+            },
+            {
+                name: (btree, btree.state())
+                for name, btree in self._indexes.items()
+            },
+        )
+
+    def _restore_meta(self, snapshot) -> None:
+        segment_pages, btrees = snapshot
+        self._segments = {
+            name: segment
+            for name, segment in self._segments.items()
+            if name in segment_pages
+        }
+        for name, page_ids in segment_pages.items():
+            if name in self._segments:
+                self._segments[name].page_ids = page_ids
+        self._indexes = {}
+        for name, (btree, state) in btrees.items():
+            btree.restore_state(state)
+            self._indexes[name] = btree
+
+    def _meta_blob(self) -> bytes:
+        from .recovery import IndexMeta, StoreMeta, serialize_meta
+
+        return serialize_meta(
+            StoreMeta(
+                catalog=self.catalog,
+                segments=[
+                    (name, list(segment.page_ids))
+                    for name, segment in self._segments.items()
+                ],
+                indexes=[
+                    IndexMeta(
+                        name,
+                        *btree.state(),
+                        key_types=list(btree.key_types),
+                    )
+                    for name, btree in self._indexes.items()
+                ],
+            )
+        )
 
     # -- segments -------------------------------------------------------------
 
@@ -66,20 +219,24 @@ class StorageEngine:
         self, table: TableDef, indexes: list[IndexDef], values: tuple
     ) -> TupleId:
         """Insert a validated tuple and maintain every index on the table."""
-        self._check_unique(table, indexes, values, exclude_tid=None)
-        record = encode_tuple(table.relation_id, values, self._datatypes(table))
-        tid = self.segment(table.segment_name).insert(record)
-        for index in indexes:
-            self.btree(index.name).insert(index.key_of(values), tid)
-        return tid
+        with self.atomic():
+            self._check_unique(table, indexes, values, exclude_tid=None)
+            record = encode_tuple(
+                table.relation_id, values, self._datatypes(table)
+            )
+            tid = self.segment(table.segment_name).insert(record)
+            for index in indexes:
+                self.btree(index.name).insert(index.key_of(values), tid)
+            return tid
 
     def delete(
         self, table: TableDef, indexes: list[IndexDef], tid: TupleId, values: tuple
     ) -> None:
         """Remove a tuple and its index entries."""
-        self.segment(table.segment_name).delete(tid)
-        for index in indexes:
-            self.btree(index.name).delete(index.key_of(values), tid)
+        with self.atomic():
+            self.segment(table.segment_name).delete(tid)
+            for index in indexes:
+                self.btree(index.name).delete(index.key_of(values), tid)
 
     def update(
         self,
@@ -90,19 +247,20 @@ class StorageEngine:
         new_values: tuple,
     ) -> TupleId:
         """Rewrite a tuple; the TID changes only if the record had to move."""
-        self._check_unique(table, indexes, new_values, exclude_tid=tid)
-        record = encode_tuple(
-            table.relation_id, new_values, self._datatypes(table)
-        )
-        new_tid = self.segment(table.segment_name).update(tid, record)
-        for index in indexes:
-            old_key = index.key_of(old_values)
-            new_key = index.key_of(new_values)
-            if old_key != new_key or new_tid != tid:
-                btree = self.btree(index.name)
-                btree.delete(old_key, tid)
-                btree.insert(new_key, new_tid)
-        return new_tid
+        with self.atomic():
+            self._check_unique(table, indexes, new_values, exclude_tid=tid)
+            record = encode_tuple(
+                table.relation_id, new_values, self._datatypes(table)
+            )
+            new_tid = self.segment(table.segment_name).update(tid, record)
+            for index in indexes:
+                old_key = index.key_of(old_values)
+                new_key = index.key_of(new_values)
+                if old_key != new_key or new_tid != tid:
+                    btree = self.btree(index.name)
+                    btree.delete(old_key, tid)
+                    btree.insert(new_key, new_tid)
+            return new_tid
 
     def read_values(self, table: TableDef, tid: TupleId) -> tuple:
         """Decode the tuple at a TID into column values."""
@@ -121,26 +279,34 @@ class StorageEngine:
         """
         if index.name in self._indexes:
             raise CatalogError(f"index {index.name!r} already exists")
-        key_types = [
-            table.column(name).datatype for name in index.column_names
-        ]
-        btree = BTree(self.store, self.buffer, key_types)
-        self._indexes[index.name] = btree
-        with self.suppress_counting():
-            for tid, values in self._raw_scan(table):
-                key = index.key_of(values)
-                if index.unique and None not in key and btree.contains_key(key):
-                    del self._indexes[index.name]
-                    raise IntegrityError(
-                        f"duplicate key {key!r} while building unique index "
-                        f"{index.name!r}"
-                    )
-                btree.insert(key, tid)
-        return btree
+        with self.atomic():
+            key_types = [
+                table.column(name).datatype for name in index.column_names
+            ]
+            btree = BTree(self.store, self.buffer, key_types)
+            self._indexes[index.name] = btree
+            with self.suppress_counting():
+                for tid, values in self._raw_scan(table):
+                    key = index.key_of(values)
+                    if (
+                        index.unique
+                        and None not in key
+                        and btree.contains_key(key)
+                    ):
+                        del self._indexes[index.name]
+                        raise IntegrityError(
+                            f"duplicate key {key!r} while building unique "
+                            f"index {index.name!r}"
+                        )
+                    btree.insert(key, tid)
+            return btree
 
     def drop_index(self, name: str) -> None:
-        """Forget an index's physical B-tree."""
-        self._indexes.pop(name, None)
+        """Forget an index's physical B-tree and release its node pages."""
+        with self.atomic():
+            btree = self._indexes.pop(name, None)
+            if btree is not None:
+                btree.free_pages()
 
     def btree(self, index_name: str) -> BTree:
         """The physical B-tree behind an index name."""
@@ -162,7 +328,7 @@ class StorageEngine:
         """
         from .btree import orderable_key
 
-        with self.suppress_counting():
+        with self.atomic(), self.suppress_counting():
             rows = [values for __, values in self._raw_scan(table)]
             rows.sort(key=lambda values: orderable_key(cluster_index.key_of(values)))
             segment = self.segment(table.segment_name)
@@ -170,6 +336,9 @@ class StorageEngine:
                 segment.delete(tid)
             segment.release_empty_pages()
             for index in all_indexes:
+                old = self._indexes.pop(index.name, None)
+                if old is not None:
+                    old.free_pages()
                 key_types = [
                     table.column(name).datatype for name in index.column_names
                 ]

@@ -1,0 +1,175 @@
+"""The durable page layer: CoW frames, atomic flips, torn-page detection."""
+
+import json
+import zlib
+
+import pytest
+
+from repro.errors import RecoveryError, StorageError, TornPageError
+from repro.rss.disk import PAGE_TABLE_SUFFIX, DiskManager
+from repro.rss.faults import FaultPlan, fault_plan, get_injector
+from repro.rss.page import PAGE_SIZE
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    get_injector().disarm()
+
+
+def open_disk(tmp_path, name="db.pages"):
+    return DiskManager(tmp_path / name)
+
+
+class TestPersistence:
+    def test_commit_then_reopen_roundtrip(self, tmp_path):
+        disk = open_disk(tmp_path)
+        disk.commit({1: b"alpha", 2: b"b" * PAGE_SIZE}, [], next_page_id=3)
+        disk.close()
+        again = open_disk(tmp_path)
+        assert again.page_ids() == [1, 2]
+        assert again.read_page(1) == b"alpha"
+        assert again.read_page(2) == b"b" * PAGE_SIZE
+        assert again.next_page_id == 3
+        again.close()
+
+    def test_multi_frame_pages(self, tmp_path):
+        disk = open_disk(tmp_path)
+        big = bytes(range(256)) * 64  # 16 KiB -> 4 frames
+        disk.commit({7: big}, [], next_page_id=8)
+        disk.close()
+        again = open_disk(tmp_path)
+        assert again.read_page(7) == big
+        again.close()
+
+    def test_free_then_commit_removes_page(self, tmp_path):
+        disk = open_disk(tmp_path)
+        disk.commit({1: b"x", 2: b"y"}, [], next_page_id=3)
+        disk.commit({}, [1], next_page_id=3)
+        disk.close()
+        again = open_disk(tmp_path)
+        assert again.page_ids() == [2]
+        with pytest.raises(RecoveryError):
+            again.read_page(1)
+        again.close()
+
+    def test_cow_reuses_freed_frames(self, tmp_path):
+        """Rewriting a page over and over cannot grow the file unboundedly:
+        after the flip, superseded frames return to the free list."""
+        disk = open_disk(tmp_path)
+        for round_number in range(20):
+            disk.commit({1: f"v{round_number}".encode()}, [], next_page_id=2)
+        # one live frame plus at most one superseded frame in flight
+        assert disk._frame_count <= 2
+        assert disk.read_page(1) == b"v19"
+        disk.close()
+
+    def test_audit_clean_after_workload(self, tmp_path):
+        disk = open_disk(tmp_path)
+        disk.commit({1: b"a", 2: b"b", 3: b"c"}, [], next_page_id=4)
+        disk.commit({2: b"B" * 5000}, [3], next_page_id=4)
+        assert disk.audit() == []
+        disk.close()
+
+
+class TestTornPages:
+    def test_flipped_bytes_detected_and_named(self, tmp_path):
+        disk = open_disk(tmp_path)
+        disk.commit({5: b"payload" * 100}, [], next_page_id=6)
+        disk.close()
+        frame_file = tmp_path / "db.pages"
+        data = bytearray(frame_file.read_bytes())
+        data[10] ^= 0xFF
+        frame_file.write_bytes(bytes(data))
+        again = open_disk(tmp_path)
+        with pytest.raises(TornPageError) as excinfo:
+            again.read_page(5)
+        assert excinfo.value.page_id == 5
+        assert "page 5" in str(excinfo.value)
+        assert any("checksum" in problem for problem in again.audit())
+        again.close()
+
+    def test_corrupt_page_table_refused(self, tmp_path):
+        disk = open_disk(tmp_path)
+        disk.commit({1: b"x"}, [], next_page_id=2)
+        disk.close()
+        table_file = tmp_path / ("db.pages" + PAGE_TABLE_SUFFIX)
+        raw = json.loads(table_file.read_text())
+        raw["body"]["next_page_id"] = 999  # body no longer matches crc
+        table_file.write_text(json.dumps(raw))
+        with pytest.raises(RecoveryError, match="checksum"):
+            open_disk(tmp_path)
+
+    def test_missing_page_table_refused(self, tmp_path):
+        disk = open_disk(tmp_path)
+        disk.commit({1: b"x"}, [], next_page_id=2)
+        disk.close()
+        (tmp_path / ("db.pages" + PAGE_TABLE_SUFFIX)).unlink()
+        with pytest.raises(RecoveryError, match="page table"):
+            open_disk(tmp_path)
+
+    def test_double_booked_frames_refused(self, tmp_path):
+        disk = open_disk(tmp_path)
+        disk.commit({1: b"x", 2: b"y"}, [], next_page_id=3)
+        disk.close()
+        table_file = tmp_path / ("db.pages" + PAGE_TABLE_SUFFIX)
+        raw = json.loads(table_file.read_text())
+        pages = raw["body"]["pages"]
+        pages["2"][0] = pages["1"][0]  # point page 2 at page 1's frame
+        raw["crc"] = zlib.crc32(
+            json.dumps(raw["body"], sort_keys=True).encode()
+        )
+        table_file.write_text(json.dumps(raw))
+        with pytest.raises(RecoveryError, match="double-booked"):
+            open_disk(tmp_path)
+
+
+class TestAtomicCommit:
+    def test_failed_commit_leaves_committed_state(self, tmp_path):
+        disk = open_disk(tmp_path)
+        disk.commit({1: b"committed"}, [], next_page_id=2)
+        with fault_plan(FaultPlan("fsync", hit=1)):
+            with pytest.raises(StorageError):
+                disk.commit({1: b"doomed"}, [], next_page_id=2)
+        assert disk.read_page(1) == b"committed"
+        disk.close()
+        again = open_disk(tmp_path)
+        assert again.read_page(1) == b"committed"
+        again.close()
+
+    def test_staged_frames_recycled_after_failure(self, tmp_path):
+        disk = open_disk(tmp_path)
+        disk.commit({1: b"v0"}, [], next_page_id=2)
+        frames_before = disk._frame_count
+        for _ in range(10):
+            with fault_plan(FaultPlan("pagetable.write", hit=1)):
+                with pytest.raises(StorageError):
+                    disk.commit({1: b"vX"}, [], next_page_id=2)
+        disk.commit({1: b"v1"}, [], next_page_id=2)
+        # staged frames from the failures were returned to the free list,
+        # so the file grew by at most one frame
+        assert disk._frame_count <= frames_before + 1
+        assert disk.read_page(1) == b"v1"
+        disk.close()
+
+    def test_crash_before_flip_recovers_old_state(self, tmp_path):
+        disk = open_disk(tmp_path)
+        get_injector().attach_disk(disk)
+        disk.commit({1: b"old"}, [], next_page_id=2)
+        with fault_plan(FaultPlan("pagetable.flip", hit=1, action="crash")):
+            with pytest.raises(StorageError) as excinfo:
+                disk.commit({1: b"new"}, [], next_page_id=2)
+        snapshot = excinfo.value.snapshot
+        disk.close()
+        restored = DiskManager.restore(snapshot, tmp_path / "crashed.pages")
+        survivor = DiskManager(restored)
+        # the shadow frames were written but never referenced: recovery
+        # reclaims them and the committed state is the old one
+        assert survivor.read_page(1) == b"old"
+        assert survivor.audit() == []
+        survivor.close()
+
+    def test_frame_file_without_table_refused(self, tmp_path):
+        (tmp_path / "db.pages").write_bytes(b"\0" * PAGE_SIZE)
+        with pytest.raises(RecoveryError, match="missing"):
+            open_disk(tmp_path)

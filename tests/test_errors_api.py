@@ -6,15 +6,20 @@ import repro
 from repro.errors import (
     CatalogError,
     ExecutionError,
+    FaultInjectedError,
     IntegrityError,
     LexerError,
     PageFullError,
     ParseError,
     PlannerError,
+    RecordTooLargeError,
+    RecoveryError,
     ReproError,
     SemanticError,
+    SimulatedCrash,
     SqlError,
     StorageError,
+    TornPageError,
     TupleTooLargeError,
 )
 
@@ -25,14 +30,19 @@ class TestHierarchy:
         [
             CatalogError,
             ExecutionError,
+            FaultInjectedError,
             IntegrityError,
             LexerError,
             PageFullError,
             ParseError,
             PlannerError,
+            RecordTooLargeError,
+            RecoveryError,
             SemanticError,
+            SimulatedCrash,
             SqlError,
             StorageError,
+            TornPageError,
             TupleTooLargeError,
         ],
     )
@@ -47,6 +57,22 @@ class TestHierarchy:
     def test_storage_errors_grouped(self):
         assert issubclass(PageFullError, StorageError)
         assert issubclass(TupleTooLargeError, StorageError)
+        assert issubclass(RecordTooLargeError, PageFullError)
+        assert issubclass(FaultInjectedError, StorageError)
+        assert issubclass(SimulatedCrash, StorageError)
+        assert issubclass(TornPageError, StorageError)
+        assert issubclass(RecoveryError, StorageError)
+
+    def test_record_too_large_carries_sizes(self):
+        error = RecordTooLargeError(9000, 4088)
+        assert error.record_size == 9000
+        assert error.usable_size == 4088
+        assert "9000" in str(error) and "4088" in str(error)
+
+    def test_torn_page_names_the_page(self):
+        error = TornPageError(42, 0x1234, 0x5678)
+        assert error.page_id == 42
+        assert "42" in str(error)
 
     def test_lexer_error_position(self):
         error = LexerError("bad char", 17)

@@ -279,3 +279,91 @@ def test_accepts_exhaustive_walker(tmp_path):
     )
     violations = by_rule(tmp_path, "walker-not-exhaustive")
     assert not any("engine/operators.py" in v.where for v in violations)
+
+def test_flags_bare_except_in_rss(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "rss/sloppy.py",
+        """
+        def read(page):
+            try:
+                return page.decode()
+            except:
+                return None
+        """,
+    )
+    violations = by_rule(tmp_path, "no-swallowed-exceptions")
+    assert len(violations) == 1
+    assert "rss/sloppy.py" in violations[0].where
+
+
+def test_flags_broad_except_without_reraise(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "rss/sloppy.py",
+        """
+        def read(page):
+            try:
+                return page.decode()
+            except Exception as error:
+                log(error)
+                return None
+        """,
+    )
+    violations = by_rule(tmp_path, "no-swallowed-exceptions")
+    assert len(violations) == 1
+    assert "Exception" in violations[0].message
+
+
+def test_flags_pass_only_handler(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "rss/sloppy.py",
+        """
+        def close(handle):
+            try:
+                handle.close()
+            except OSError:
+                pass
+        """,
+    )
+    violations = by_rule(tmp_path, "no-swallowed-exceptions")
+    assert len(violations) == 1
+
+
+def test_accepts_broad_except_that_reraises(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "rss/careful.py",
+        """
+        def commit(store):
+            try:
+                store.flip()
+            except BaseException:
+                store.undo()
+                raise
+            except Exception as error:
+                raise StorageError(str(error)) from error
+        """,
+    )
+    assert by_rule(tmp_path, "no-swallowed-exceptions") == []
+
+
+def test_swallow_rule_only_applies_to_rss(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "engine/elsewhere.py",
+        """
+        def read(page):
+            try:
+                return page.decode()
+            except Exception:
+                return None
+        """,
+    )
+    assert by_rule(tmp_path, "no-swallowed-exceptions") == []

@@ -1,0 +1,180 @@
+"""Statement atomicity: a failed statement leaves no trace.
+
+The seed's storage engine could diverge: an exception raised between the
+segment insert and the B-tree maintenance (the second of two index inserts,
+say) left the tuple stored but half-indexed.  Every mutating statement now
+runs in a micro-transaction, so these tests drive faults into every layer
+and assert the store afterwards is *exactly* the pre-statement store.
+"""
+
+import pytest
+
+from repro.analysis.storage_check import logical_dump, verify_storage
+from repro.database import Database
+from repro.errors import FaultInjectedError, IntegrityError, StorageError
+from repro.rss.faults import FaultPlan, fault_plan, get_injector
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    get_injector().disarm()
+
+
+def two_index_db() -> Database:
+    db = Database()
+    db.execute("CREATE TABLE T (A INTEGER, B INTEGER, C VARCHAR(12))")
+    db.execute("CREATE INDEX TA ON T (A)")
+    db.execute("CREATE INDEX TB ON T (B)")
+    for i in range(12):
+        db.execute(f"INSERT INTO T VALUES ({i}, {i * 10}, 'ROW{i}')")
+    return db
+
+
+class TestIndexDivergenceRegression:
+    def test_failed_second_index_insert_rolls_back_everything(self):
+        """The regression from the ISSUE: segment and first index must not
+        keep the row when the second index insert dies."""
+        db = two_index_db()
+        before = logical_dump(db)
+        # hit 2 = the second B-tree touched by the statement (index TB)
+        with fault_plan(FaultPlan("btree.insert", hit=2)):
+            with pytest.raises(FaultInjectedError):
+                db.execute("INSERT INTO T VALUES (99, 990, 'DOOMED')")
+        assert logical_dump(db) == before
+        assert verify_storage(db) == []
+        # neither index knows the key
+        assert db.execute("SELECT C FROM T WHERE A = 99").rows == []
+        assert db.execute("SELECT C FROM T WHERE B = 990").rows == []
+
+    def test_store_retries_cleanly_after_rollback(self):
+        db = two_index_db()
+        with fault_plan(FaultPlan("btree.insert", hit=2)):
+            with pytest.raises(FaultInjectedError):
+                db.execute("INSERT INTO T VALUES (99, 990, 'DOOMED')")
+        db.execute("INSERT INTO T VALUES (99, 990, 'RETRIED')")
+        assert db.execute("SELECT C FROM T WHERE A = 99").rows == [("RETRIED",)]
+        assert verify_storage(db) == []
+
+
+class TestStatementRollback:
+    @pytest.mark.parametrize(
+        "point", ["segment.insert", "btree.insert", "page.mutate"]
+    )
+    def test_insert_rolls_back_at_any_layer(self, point):
+        db = two_index_db()
+        before = logical_dump(db)
+        with fault_plan(FaultPlan(point, hit=1)):
+            with pytest.raises(StorageError):
+                db.execute("INSERT INTO T VALUES (77, 770, 'NOPE')")
+        assert logical_dump(db) == before
+        assert verify_storage(db) == []
+
+    def test_failed_page_allocation_rolls_back(self):
+        """Fill the last page so the insert must allocate — and fail there."""
+        db = Database()
+        db.execute("CREATE TABLE BIG (A INTEGER, PAD VARCHAR(3000))")
+        db.execute("CREATE INDEX BIGA ON BIG (A)")
+        db.execute(f"INSERT INTO BIG VALUES (1, '{'X' * 3000}')")
+        before = logical_dump(db)
+        pages_before = len(db.storage.store)
+        with fault_plan(FaultPlan("page.alloc", hit=1)):
+            with pytest.raises(FaultInjectedError):
+                db.execute(f"INSERT INTO BIG VALUES (2, '{'Y' * 3000}')")
+        assert logical_dump(db) == before
+        assert len(db.storage.store) == pages_before
+        assert verify_storage(db) == []
+
+    @pytest.mark.parametrize("point", ["segment.update", "btree.delete"])
+    def test_update_rolls_back(self, point):
+        db = two_index_db()
+        before = logical_dump(db)
+        with fault_plan(FaultPlan(point, hit=1)):
+            with pytest.raises(StorageError):
+                db.execute("UPDATE T SET B = B + 1000 WHERE A < 6")
+        assert logical_dump(db) == before
+        assert verify_storage(db) == []
+
+    def test_multi_row_statement_is_all_or_nothing(self):
+        """A fault on the 3rd row of a 5-row INSERT undoes rows 1-2 too."""
+        db = two_index_db()
+        before = logical_dump(db)
+        with fault_plan(FaultPlan("segment.insert", hit=3)):
+            with pytest.raises(FaultInjectedError):
+                db.execute(
+                    "INSERT INTO T VALUES (50, 1, 'A'), (51, 2, 'B'), "
+                    "(52, 3, 'C'), (53, 4, 'D'), (54, 5, 'E')"
+                )
+        assert logical_dump(db) == before
+        assert verify_storage(db) == []
+
+    def test_delete_rolls_back_midway(self):
+        db = two_index_db()
+        before = logical_dump(db)
+        with fault_plan(FaultPlan("btree.delete", hit=5)):
+            with pytest.raises(FaultInjectedError):
+                db.execute("DELETE FROM T WHERE A < 8")
+        assert logical_dump(db) == before
+        assert verify_storage(db) == []
+
+    def test_integrity_error_is_atomic_too(self):
+        """A unique violation after earlier rows landed undoes those rows."""
+        db = Database()
+        db.execute("CREATE TABLE U (A INTEGER)")
+        db.execute("CREATE UNIQUE INDEX UA ON U (A)")
+        db.execute("INSERT INTO U VALUES (5)")
+        before = logical_dump(db)
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO U VALUES (1), (2), (5)")
+        assert logical_dump(db) == before
+        assert verify_storage(db) == []
+
+
+class TestDdlRollback:
+    def test_failed_index_build_leaves_no_orphan_pages(self):
+        db = two_index_db()
+        pages_before = len(db.storage.store)
+        with fault_plan(FaultPlan("btree.insert", hit=5)):
+            with pytest.raises(FaultInjectedError):
+                db.execute("CREATE INDEX TC ON T (C)")
+        assert len(db.storage.store) == pages_before
+        assert verify_storage(db) == []
+        # the catalog was cleaned up, so the name is reusable
+        db.execute("CREATE INDEX TC ON T (C)")
+        assert verify_storage(db) == []
+
+    def test_drop_index_releases_its_node_pages(self):
+        db = two_index_db()
+        pages_before = len(db.storage.store)
+        db.execute("DROP INDEX TB")
+        assert len(db.storage.store) < pages_before
+        assert verify_storage(db) == []
+        assert db.execute("SELECT C FROM T WHERE A = 3").rows == [("ROW3",)]
+
+    def test_failed_clustering_restores_old_layout(self):
+        db = two_index_db()
+        before = logical_dump(db)
+        with fault_plan(FaultPlan("btree.split", hit=1)):
+            # force splits during the clustered rebuild with a wide key
+            db.execute("CREATE TABLE W (K VARCHAR(500), V INTEGER)")
+            for i in range(9):
+                db.execute(f"INSERT INTO W VALUES ('{'K' * 400}{i}', {i})")
+            with pytest.raises(FaultInjectedError):
+                db.execute("CREATE INDEX WK ON W (K) CLUSTER")
+        assert logical_dump(db)["T"] == before["T"]
+        assert verify_storage(db) == []
+        assert db.execute("SELECT COUNT(*) FROM W").scalar() == 9
+
+    def test_crashed_engine_refuses_further_statements(self):
+        import os
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            db = Database(path=os.path.join(tmp, "db.pages"))
+            db.execute("CREATE TABLE T (A INTEGER)")
+            with fault_plan(FaultPlan("fsync", hit=1, action="crash")):
+                with pytest.raises(StorageError):
+                    db.execute("INSERT INTO T VALUES (1)")
+            with pytest.raises(StorageError, match="crashed"):
+                db.execute("INSERT INTO T VALUES (2)")
+            db.close()

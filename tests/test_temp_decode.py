@@ -1,0 +1,100 @@
+"""Temp lists decode through DecodePlan — differentially checked.
+
+Satellite of the storage PR: :class:`~repro.engine.temp.TempList` scans
+now decode records with the compiled :class:`DecodePlan` instead of the
+interpretive ``decode_tuple``.  The differential tests pin the two paths
+to identical results, and the durability tests pin the other contract:
+temp pages are scratch — they never reach the backing file.
+"""
+
+from repro.database import Database
+from repro.datatypes import INTEGER, varchar
+from repro.engine.rows import Row
+from repro.engine.temp import TempList
+from repro.rss.tuples import DecodePlan, decode_tuple, encode_tuple
+
+
+class TestDecodeDifferential:
+    SCHEMA = [
+        ("E", [INTEGER, varchar(12), INTEGER]),
+        ("D", [varchar(8), INTEGER]),
+    ]
+
+    def rows(self):
+        return [
+            Row(values={"E": (i, f"NAME{i}", i % 3), "D": (f"DEPT{i % 2}", i)})
+            for i in range(25)
+        ] + [
+            # NULLs and a missing alias (padded with NULLs)
+            Row(values={"E": (99, None, None), "D": (None, 7)}),
+            Row(values={"E": (100, "ONLY-E", 1)}),
+        ]
+
+    def test_scan_matches_decode_tuple_reference(self):
+        """DecodePlan in the scan and decode_tuple agree on every record."""
+        db = Database()
+        temp = TempList(db.storage, self.SCHEMA)
+        temp.build(self.rows())
+
+        datatypes = [
+            datatype for __, datatypes in self.SCHEMA for datatype in datatypes
+        ]
+        reference = []
+        for page_id in temp._page_ids:
+            page = db.storage.store.get(page_id)
+            for __, record in page.records():
+                reference.append(decode_tuple(record, datatypes))
+
+        scanned = [
+            tuple(
+                value
+                for alias, __ in self.SCHEMA
+                for value in row.values[alias]
+            )
+            for row in temp.scan()
+        ]
+        assert scanned == reference
+        assert len(scanned) == 27
+        temp.drop()
+
+    def test_plan_equals_reference_on_raw_records(self):
+        datatypes = [INTEGER, varchar(6), INTEGER, varchar(3)]
+        plan = DecodePlan(datatypes)
+        for values in [
+            (1, "ABC", 2, "XY"),
+            (None, None, None, None),
+            (0, "", -5, "Z"),
+            (2**31 - 1, "SIXSIX", None, ""),
+        ]:
+            record = encode_tuple(17, values, datatypes)
+            assert plan.decode(record) == decode_tuple(record, datatypes)
+
+
+class TestTempPagesStayOffDisk:
+    def test_sort_query_leaves_backing_file_unchanged(self, tmp_path):
+        """ORDER BY materializes temp lists; none of it is durable state."""
+        db = Database(path=str(tmp_path / "db.pages"))
+        db.execute("CREATE TABLE T (A INTEGER, B VARCHAR(10))")
+        for i in range(40):
+            db.execute(f"INSERT INTO T VALUES ({40 - i}, 'R{i}')")
+        durable_before = db.storage.store.disk.page_ids()
+
+        result = db.execute("SELECT A FROM T ORDER BY A")
+        assert [row[0] for row in result.rows] == list(range(1, 41))
+        assert db.storage.store.disk.page_ids() == durable_before
+        db.close()
+
+        # and a reopen sees only the relation, not sort scratch
+        again = Database(path=str(tmp_path / "db.pages"))
+        assert again.execute("SELECT COUNT(*) FROM T").scalar() == 40
+        again.close()
+
+    def test_temp_pages_not_tracked_by_transactions(self):
+        db = Database()
+        db.execute("CREATE TABLE T (A INTEGER)")
+        temp = TempList(db.storage, [("T", [INTEGER])])
+        with db.storage.atomic():
+            temp.build([Row(values={"T": (i,)}) for i in range(5)])
+        # rollback machinery never saw the temp pages: they are all live
+        assert list(temp.scan())
+        temp.drop()
