@@ -1,6 +1,6 @@
 """The ``repro check`` driver: run the static analyses over real corpora.
 
-Four sub-checks, all on by default:
+Five sub-checks, all on by default:
 
 - ``--plans`` plans every query of the EMP/DEPT/JOB workload (under every
   optimizer configuration) and a stream of generated chain/star join
@@ -13,6 +13,11 @@ Four sub-checks, all on by default:
 - ``--storage`` audits the storage invariants (index/tuple agreement, page
   reachability, checksums) over in-memory, durable, torn-page, and
   crash/recover scenarios.
+- ``--fusion`` executes the workload corpus under the fused pipeline
+  engine and the compiled reference engine on identically-built
+  databases, asserting the *ordered* row sequences, cost counters, and
+  subquery evaluation cadence are bit-identical — fused chains must
+  preserve every declared output order, not just row sets.
 
 Exit status is non-zero when any violation is found.
 """
@@ -242,6 +247,94 @@ def check_lint(echo: Callable[[str], None] = print) -> list[Violation]:
     return violations
 
 
+def _audit_fused_query(
+    db: Database, sql: str, violations: list[Violation]
+) -> int:
+    """Execute ``sql`` fused and compiled; compare order, counters, cadence.
+
+    Both executions start from a cold buffer on the *same* database, so
+    any divergence in page fetches, buffer hits, or RSI calls is the
+    fused engine's fault, not warm-cache luck.  Row lists are compared as
+    ordered sequences: a fused chain that reorders rows — even for a
+    query with no ORDER BY — is a bug, because fusion must be invisible.
+    Returns the number of fused chains the plan compiled to.
+    """
+    from ..engine.executor import Executor
+    from ..engine.fuse import describe_chains
+
+    planned = db.plan(sql)
+    runs = {}
+    for mode in ("compiled", "fused"):
+        db.storage.cold_cache()
+        executor = Executor(db.storage, db.catalog, exec_mode=mode)
+        before = db.storage.counters.snapshot()
+        result = executor.execute(planned)
+        after = db.storage.counters.snapshot()
+        runtime = executor.last_runtime
+        runs[mode] = (
+            result.rows,
+            (
+                after.page_fetches - before.page_fetches,
+                after.rsi_calls - before.rsi_calls,
+                after.buffer_hits - before.buffer_hits,
+            ),
+            dict(runtime.evaluation_counts) if runtime else {},
+        )
+    ref_rows, ref_counters, ref_evals = runs["compiled"]
+    rows, counters, evals = runs["fused"]
+    where = f"fusion [query: {sql}]"
+    if rows != ref_rows:
+        violations.append(
+            Violation(
+                "fusion-row-order",
+                where,
+                "fused row sequence differs from the compiled reference "
+                f"({len(rows)} vs {len(ref_rows)} rows)",
+            )
+        )
+    if counters != ref_counters:
+        violations.append(
+            Violation(
+                "fusion-counters",
+                where,
+                "cost counters diverged: fused "
+                f"(fetches, rsi, hits)={counters} vs compiled {ref_counters}",
+            )
+        )
+    if evals != ref_evals:
+        violations.append(
+            Violation(
+                "fusion-subquery-cadence",
+                where,
+                f"subquery evaluation counts diverged: fused {evals} "
+                f"vs compiled {ref_evals}",
+            )
+        )
+    return len(describe_chains(planned.root))
+
+
+def check_fusion(
+    queries: int = 40, seed: int = 662607, echo: Callable[[str], None] = print
+) -> list[Violation]:
+    """Differential audit of the fused engine against the compiled one."""
+    violations: list[Violation] = []
+    executed = 0
+    chains = 0
+    for db in empdept_databases():
+        for sql in EMPDEPT_QUERIES:
+            chains += _audit_fused_query(db, sql, violations)
+            executed += 1
+    echo(f"  empdept: {executed} queries executed fused vs compiled")
+    generated = 0
+    for db, batch in generated_batches(queries, seed):
+        for sql in batch:
+            chains += _audit_fused_query(db, sql, violations)
+            generated += 1
+    echo(f"  generated: {generated} queries executed fused vs compiled")
+    echo(f"  {chains} fused chains audited for order and counter fidelity")
+    return violations
+
+
 # ---------------------------------------------------------------------------
 # CLI entry point
 # ---------------------------------------------------------------------------
@@ -268,6 +361,11 @@ def main(argv: list[str] | None = None) -> int:
         help="audit storage invariants, durability, and crash recovery",
     )
     parser.add_argument(
+        "--fusion",
+        action="store_true",
+        help="differentially execute the corpus fused vs compiled",
+    )
+    parser.add_argument(
         "--queries",
         type=int,
         default=200,
@@ -277,7 +375,9 @@ def main(argv: list[str] | None = None) -> int:
         "--seed", type=int, default=271828, help="corpus random seed"
     )
     args = parser.parse_args(argv)
-    run_all = not (args.plans or args.costs or args.lint or args.storage)
+    run_all = not (
+        args.plans or args.costs or args.lint or args.storage or args.fusion
+    )
 
     failures = 0
     sections: list[tuple[str, Callable[[], list[Violation]]]] = []
@@ -287,6 +387,8 @@ def main(argv: list[str] | None = None) -> int:
         sections.append(("costs", lambda: check_costs()))
     if run_all or args.storage:
         sections.append(("storage", lambda: check_storage()))
+    if run_all or args.fusion:
+        sections.append(("fusion", lambda: check_fusion(seed=args.seed)))
     if run_all or args.plans:
         sections.append(
             ("plans", lambda: check_plans(args.queries, args.seed))

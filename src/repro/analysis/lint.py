@@ -30,13 +30,18 @@ them directly on the parsed source:
 - **executor-hot-path** — the execution engine compiles expressions,
   SARG matchers, and decode plans once per plan/scan open; per-tuple
   loops must run only the compiled artifacts.  Inside ``for``/``while``
-  bodies of ``engine/operators.py`` and ``rss/scan.py`` there may be no
-  call to ``evaluate`` / ``predicate_holds`` / ``decode_tuple``, no
-  ``EvalEnv`` construction, and no ``isinstance`` dispatch (``assert``
-  statements are exempt — they exist for type narrowing).  The closures
-  built by :mod:`repro.engine.compile` are themselves per-row code, so
-  nested functions there may not call ``isinstance`` or build ``EvalEnv``
-  either (canonical values use ``type(x) is ...`` checks instead).
+  bodies of ``engine/operators.py``, ``engine/fuse.py``, and
+  ``rss/scan.py`` there may be no call to ``evaluate`` /
+  ``predicate_holds`` / ``decode_tuple``, no ``EvalEnv`` construction,
+  and no ``isinstance`` dispatch (``assert`` statements are exempt —
+  they exist for type narrowing).  Fused drivers additionally may not
+  hand off to a per-tuple generator (``iterate`` or any ``_iter_*``
+  operator) from inside a loop: a chain either fuses a stage into the
+  driver's batch loop or breaks at a declared pipeline breaker.  The
+  closures built by :mod:`repro.engine.compile` are themselves per-row
+  code, so nested functions there may not call ``isinstance`` or build
+  ``EvalEnv`` either (canonical values use ``type(x) is ...`` checks
+  instead).
 
 The subclass list is discovered by parsing ``optimizer/plan.py``, never
 hard-coded, so the lint stays correct as the plan algebra grows.
@@ -78,6 +83,7 @@ _COUNTER_FIELDS = frozenset({"page_fetches", "rsi_calls", "buffer_hits"})
 #: Each must dispatch on every PlanNode subclass.
 _PLAN_WALKERS = (
     ("engine/operators.py", "iterate"),
+    ("engine/fuse.py", "_build_fused"),
     ("optimizer/explain.py", "plan_summary"),
     ("analysis/plan_check.py", "_walk"),
     ("analysis/cost_audit.py", "_audit_node"),
@@ -392,10 +398,17 @@ def _check_joinsearch_hot_path(
 # ---------------------------------------------------------------------------
 
 #: Modules whose ``for``/``while`` bodies are per-tuple hot paths.
-_EXECUTOR_HOT_PATH_MODULES = frozenset({"engine/operators.py", "rss/scan.py"})
+_EXECUTOR_HOT_PATH_MODULES = frozenset(
+    {"engine/operators.py", "engine/fuse.py", "rss/scan.py"}
+)
 
 #: Interpreter entry points that must only run at compile/open time.
 _HOT_PATH_BANNED_CALLS = frozenset({"evaluate", "predicate_holds", "decode_tuple"})
+
+#: Per-tuple generator entry points a fused driver loop must never call:
+#: fusion exists to eliminate the per-tuple frame hand-off, so a chain
+#: either inlines a stage or breaks at a declared pipeline breaker.
+_FUSED_HANDOFF_CALLS = frozenset({"iterate", "fused_rows"})
 
 
 def _walk_skipping_asserts(node: ast.AST):
@@ -464,6 +477,20 @@ def _check_executor_hot_path(
                             f"{relative}:{node.lineno}",
                             "isinstance dispatch inside a per-tuple loop; "
                             "resolve the variant at compile/open time",
+                        )
+                    )
+                elif relative == "engine/fuse.py" and name is not None and (
+                    name in _FUSED_HANDOFF_CALLS or name.startswith("_iter_")
+                ):
+                    flagged.add(node.lineno)
+                    violations.append(
+                        Violation(
+                            "executor-hot-path",
+                            f"{relative}:{node.lineno}",
+                            f"per-tuple generator hand-off {name!r} inside "
+                            "a fused driver loop; fuse the stage into the "
+                            "batch loop or break the chain at a pipeline "
+                            "breaker",
                         )
                     )
 

@@ -76,8 +76,9 @@ class Database:
         self.use_heuristic = use_heuristic
         self.use_interesting_orders = use_interesting_orders
         self.subquery_cache_mode = subquery_cache_mode
-        #: "compiled" / "interp" / None (None reads REPRO_EXEC, default
-        #: compiled) — chooses closure programs vs the reference interpreter.
+        #: "fused" / "compiled" / "interp" / None (None reads REPRO_EXEC,
+        #: default fused) — chooses fused per-batch pipelines, per-operator
+        #: closure programs, or the reference interpreter.
         self.exec_mode = exec_mode
         #: Override for the planner's §6 correlation-ordering decision;
         #: None derives it from the cache mode.

@@ -49,14 +49,16 @@ class QueryResult:
 
 
 def resolve_exec_mode(exec_mode: str | None = None) -> str:
-    """The execution mode: ``"compiled"`` (default) or ``"interp"``.
+    """The execution mode: ``"fused"`` (default), ``"compiled"``, or
+    ``"interp"``.
 
     ``None`` falls back to the ``REPRO_EXEC`` environment variable, letting
-    any entry point A/B the compiled engine against the reference
-    interpreter without code changes.
+    any entry point A/B the fused pipeline engine against the
+    generator-per-operator compiled engine and the reference interpreter
+    without code changes.
     """
-    mode = exec_mode or os.environ.get("REPRO_EXEC", "compiled")
-    if mode not in ("compiled", "interp"):
+    mode = exec_mode or os.environ.get("REPRO_EXEC", "fused")
+    if mode not in ("fused", "compiled", "interp"):
         raise ValueError(f"bad exec mode {mode!r}")
     return mode
 
@@ -74,7 +76,9 @@ class Runtime:
     ):
         if subquery_cache_mode not in ("prev", "none", "memo"):
             raise ValueError(f"bad subquery_cache_mode {subquery_cache_mode!r}")
-        self.interpret = resolve_exec_mode(exec_mode) == "interp"
+        mode = resolve_exec_mode(exec_mode)
+        self.interpret = mode == "interp"
+        self.fused = mode == "fused"
         self.storage = storage
         self.catalog = catalog
         self.planned = planned
@@ -155,6 +159,13 @@ class Runtime:
             self.evaluation_counts.get(block.block_id, 0) + 1
         )
         ctx = _context_for(self, planned)
+        if ctx.fused:
+            from .fuse import output_tuples
+
+            return [
+                values[0]
+                for values in output_tuples(planned.root, ctx, outer=env)
+            ]
         return [
             row.values[OUTPUT_ALIAS][0]
             for row in iterate(planned.root, ctx, outer=env)
@@ -188,6 +199,7 @@ def _context_for(runtime: Runtime, planned: PlannedStatement) -> ExecContext:
         runtime=runtime,
         schemas=schemas,
         interpret=getattr(runtime, "interpret", False),
+        fused=getattr(runtime, "fused", False),
     )
 
 
@@ -215,10 +227,15 @@ class Executor:
         )
         self.last_runtime = runtime
         ctx = _context_for(runtime, planned)
-        rows = [
-            row.values[OUTPUT_ALIAS]
-            for row in iterate(planned.root, ctx, outer=None)
-        ]
+        if ctx.fused:
+            from .fuse import output_tuples
+
+            rows = list(output_tuples(planned.root, ctx))
+        else:
+            rows = [
+                row.values[OUTPUT_ALIAS]
+                for row in iterate(planned.root, ctx, outer=None)
+            ]
         return QueryResult(columns=list(planned.output_names), rows=rows)
 
     def execute_rows(self, planned: PlannedStatement):

@@ -1,0 +1,900 @@
+"""Pipeline fusion: one compiled per-batch driver per fusible chain.
+
+The generator-per-operator engine in :mod:`repro.engine.operators` pays a
+Python frame hand-off for every tuple crossing every operator — the exact
+tuple-at-a-time tax the paper's W·RSICARD term models.  This module walks
+a physical plan once, identifies maximal fusible chains
+(``Scan→Filter*→Project``), and compiles each into a **single driver
+closure** that rides the page-aligned ``batches()`` interface of
+:mod:`repro.rss.scan`: one loop consumes a whole batch, evaluating the
+residual, filter, and projection closures inline with zero intermediate
+generators.
+
+Pipeline breakers terminate chains and couple them batch-at-a-time:
+
+- **Sort** materializes its input (the fused chain below is consumed
+  whole) and re-emits the ordered output in batches.
+- **Aggregate** folds a group-ordered batch stream through the shared
+  streaming-aggregation core.
+- **Merge join** consumes its outer side as fused batches but pulls its
+  inner side tuple-at-a-time: the inner may be abandoned early, and
+  batch-granular RSI accounting would charge tuples the reference engine
+  never pulled (see :func:`_lazy_rows`).
+- **Nested-loop join** re-opens its inner scan per outer row, with the
+  inner's batch loop inlined into the driver.
+- **Subquery-effect barriers** need no special casing: subquery-bearing
+  factors are never reordered by :mod:`repro.engine.compile`, and fused
+  drivers reuse the *same* compiled conjunction closures as the reference
+  operators, so the per-row evaluation cadence (3VL short-circuiting,
+  subquery cache hits, cost-counter footprint) is identical by
+  construction.
+
+Counter fidelity: ``batches()`` does no RSI accounting; drivers charge
+``CostCounters.count_rsi_call(len(batch))`` before a batch is processed.
+Totals match the tuple-at-a-time path exactly because every batched
+stream here is fully consumed — the only partial consumer in the engine
+(the merge-join inner) stays on the per-tuple path.
+
+Drivers are compiled once per plan node and cached on
+``PlanNode.compiled`` (keys ``"fused"`` and ``"fused_out"``); they
+capture only compiled programs and plan constants, never an execution
+context, so a cached plan re-executes with fresh runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from itertools import chain, islice
+from operator import itemgetter
+from typing import Callable, Iterator
+
+from ..errors import ExecutionError
+from ..optimizer.bound import BoundColumn
+from ..optimizer.plan import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    MergeJoinNode,
+    NestedLoopJoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+from .evaluator import EvalEnv
+from .operators import (
+    ExecContext,
+    _AggState,
+    _build_aggregate,
+    _build_filter,
+    _build_merge,
+    _build_nested_loop,
+    _build_project,
+    _build_scan,
+    _program,
+    aggregate_rows,
+    iterate,
+    merge_join_rows,
+    open_scan,
+    sort_rows,
+)
+from .rows import AGGREGATE_ALIAS, OUTPUT_ALIAS, Row
+
+#: Rows per re-emitted batch downstream of a pipeline breaker.
+BREAKER_BATCH_SIZE = 1024
+
+#: A compiled batch driver: executes one plan subtree against a context,
+#: yielding lists of composite rows.
+BatchDriver = Callable[[ExecContext, "EvalEnv | None"], Iterator[list[Row]]]
+
+
+# ---------------------------------------------------------------------------
+# public entry points
+# ---------------------------------------------------------------------------
+
+
+def fused_batches(
+    node: PlanNode, ctx: ExecContext, outer: EvalEnv | None = None
+) -> Iterator[list[Row]]:
+    """Execute a plan subtree through its fused per-batch drivers."""
+    return _fused_program(node, ctx)(ctx, outer)
+
+
+def fused_rows(
+    node: PlanNode, ctx: ExecContext, outer: EvalEnv | None = None
+) -> Iterator[Row]:
+    """Row stream over :func:`fused_batches`.
+
+    Laziness is batch-granular: pulling one row surfaces (and charges RSI
+    for) the whole batch it arrived in.  Every consumer reached through
+    :func:`repro.engine.operators.iterate` — statement execution, DML row
+    collection, subquery materialization — consumes its stream fully, so
+    the totals are identical to tuple-at-a-time iteration.  Partial
+    consumers needing an exact per-tuple trace (the merge-join inner) use
+    :func:`_lazy_rows` instead.
+    """
+    return chain.from_iterable(fused_batches(node, ctx, outer))
+
+
+def output_tuples(
+    node: PlanNode, ctx: ExecContext, outer: EvalEnv | None = None
+) -> Iterator[tuple]:
+    """Bare ``__out__`` tuples of a plan whose consumer reads only them.
+
+    The top-level executor and subquery materialization never look at a
+    projected row's alias tuples or TIDs, so their chains skip composite
+    ``Row`` construction entirely and emit output tuples straight from
+    decoded storage tuples.
+    """
+    return chain.from_iterable(_output_program(node, ctx)(ctx, outer))
+
+
+def describe_chains(node: PlanNode) -> list[str]:
+    """One line per fused pipeline stage of a plan (for ``repro check``)."""
+    chains: list[str] = []
+    _collect_chains(node, chains)
+    return chains
+
+
+# ---------------------------------------------------------------------------
+# driver compilation
+# ---------------------------------------------------------------------------
+
+
+def _fused_program(node: PlanNode, ctx: ExecContext) -> BatchDriver:
+    cache = node.compiled
+    if "fused" not in cache:
+        cache["fused"] = _build_fused(node, ctx)
+    return cache["fused"]
+
+
+def _build_fused(node: PlanNode, ctx: ExecContext) -> BatchDriver:
+    """Compile one plan subtree into its batch driver.
+
+    Dispatches on every plan node type (enforced by the
+    ``walker-not-exhaustive`` lint rule): chain heads collapse through
+    :func:`_collapse`, breakers get coupling drivers.
+    """
+    if isinstance(node, (ProjectNode, FilterNode, ScanNode)):
+        project, filters, bottom = _collapse(node)
+        if isinstance(bottom, ScanNode):
+            return _scan_chain_driver(bottom, filters, project, ctx)
+        preds = [_program(f, ctx, _build_filter) for f in filters]
+        fns = None if project is None else _program(project, ctx, _build_project)
+        source = _fused_program(bottom, ctx)
+        return _row_chain_driver(source, preds, fns)
+    if isinstance(node, NestedLoopJoinNode):
+        return _nested_loop_driver(node, ctx)
+    if isinstance(node, MergeJoinNode):
+        return _merge_join_driver(node, ctx)
+    if isinstance(node, SortNode):
+        return _sort_driver(node, ctx)
+    if isinstance(node, AggregateNode):
+        return _aggregate_driver(node, ctx)
+    if isinstance(node, DistinctNode):
+        return _distinct_driver(node, ctx)
+    raise ExecutionError(f"no fused driver for plan node {type(node).__name__}")
+
+
+def _collapse(
+    node: PlanNode,
+) -> tuple[ProjectNode | None, list[FilterNode], PlanNode]:
+    """Split ``Project?→Filter*→X`` into its fusible stages.
+
+    Filters are returned bottom-up — the order the reference operators
+    evaluate them in, which subquery-bearing factors must keep.
+    """
+    project: ProjectNode | None = None
+    if isinstance(node, ProjectNode):
+        project = node
+        node = node.child
+    filters: list[FilterNode] = []
+    while isinstance(node, FilterNode):
+        filters.append(node)
+        node = node.child
+    filters.reverse()
+    return project, filters, node
+
+
+def _combine(preds) -> Callable[[EvalEnv], bool] | None:
+    """One short-circuiting closure over a cascade of conjunction programs."""
+    fns = tuple(fn for fn in preds if fn is not None)
+    if not fns:
+        return None
+    if len(fns) == 1:
+        return fns[0]
+
+    def conj(env: EvalEnv, _fns=fns) -> bool:
+        for fn in _fns:
+            if not fn(env):
+                return False
+        return True
+
+    return conj
+
+
+def _columns_getter(exprs, alias: str) -> Callable[[tuple], tuple] | None:
+    """An ``itemgetter`` building the output tuple straight from one scan's
+    decoded values — only when every projected expression is a plain column
+    of that scan, so no compiled closure could observe a difference."""
+    positions = []
+    for expr in exprs:
+        if type(expr) is not BoundColumn or expr.alias != alias:
+            return None
+        positions.append(expr.position)
+    if not positions:
+        return None
+    if len(positions) == 1:
+        get = itemgetter(positions[0])
+
+        def single(values: tuple, _get=get) -> tuple:
+            return (_get(values),)
+
+        return single
+    return itemgetter(*positions)
+
+
+def _rebatch(rows: Iterator[Row], size: int = BREAKER_BATCH_SIZE):
+    """Chunk a row stream back into batches downstream of a breaker."""
+    rows = iter(rows)
+    while True:
+        batch = list(islice(rows, size))
+        if not batch:
+            return
+        yield batch
+
+
+# ---------------------------------------------------------------------------
+# fused chains over a scan
+# ---------------------------------------------------------------------------
+
+
+def _scan_chain_driver(
+    scan_node: ScanNode,
+    filters: list[FilterNode],
+    project: ProjectNode | None,
+    ctx: ExecContext,
+) -> BatchDriver:
+    """The core fusion: ``Scan→Filter*→Project?`` as one per-batch loop.
+
+    RSI is charged batch-at-a-time *before* residual evaluation — the same
+    point in the stream the per-tuple path charges each tuple, so fully
+    consumed chains land on identical totals.
+    """
+    program = _program(scan_node, ctx, _build_scan)
+    alias = scan_node.alias
+    preds = [program.residual]
+    preds.extend(_program(f, ctx, _build_filter) for f in filters)
+    test = _combine(preds)
+    fns = None if project is None else _program(project, ctx, _build_project)
+
+    if test is None and fns is None:
+
+        def rows_driver(ctx: ExecContext, outer: EvalEnv | None):
+            scan = open_scan(scan_node, program, ctx, outer)
+            if scan is None:
+                return
+            count_rsi = ctx.storage.counters.count_rsi_call
+            for batch in scan.batches():
+                count_rsi(len(batch))
+                yield [
+                    Row(values={alias: values}, tids={alias: tid})
+                    for tid, values in batch
+                ]
+
+        return rows_driver
+
+    if fns is None:
+
+        def filter_driver(ctx: ExecContext, outer: EvalEnv | None):
+            scan = open_scan(scan_node, program, ctx, outer)
+            if scan is None:
+                return
+            count_rsi = ctx.storage.counters.count_rsi_call
+            env = ctx.env(Row(), outer)
+            for batch in scan.batches():
+                count_rsi(len(batch))
+                out = []
+                append = out.append
+                for tid, values in batch:
+                    row = Row(values={alias: values}, tids={alias: tid})
+                    env.row = row
+                    if test(env):
+                        append(row)
+                if out:
+                    yield out
+
+        return filter_driver
+
+    if test is None:
+
+        def project_driver(ctx: ExecContext, outer: EvalEnv | None):
+            scan = open_scan(scan_node, program, ctx, outer)
+            if scan is None:
+                return
+            count_rsi = ctx.storage.counters.count_rsi_call
+            env = ctx.env(Row(), outer)
+            for batch in scan.batches():
+                count_rsi(len(batch))
+                out = []
+                append = out.append
+                for tid, values in batch:
+                    tids = {alias: tid}
+                    env.row = Row(values={alias: values}, tids=tids)
+                    append(
+                        Row(
+                            values={
+                                alias: values,
+                                OUTPUT_ALIAS: tuple([fn(env) for fn in fns]),
+                            },
+                            tids=tids,
+                        )
+                    )
+                yield out
+
+        return project_driver
+
+    def chain_driver(ctx: ExecContext, outer: EvalEnv | None):
+        scan = open_scan(scan_node, program, ctx, outer)
+        if scan is None:
+            return
+        count_rsi = ctx.storage.counters.count_rsi_call
+        env = ctx.env(Row(), outer)
+        for batch in scan.batches():
+            count_rsi(len(batch))
+            out = []
+            append = out.append
+            for tid, values in batch:
+                tids = {alias: tid}
+                env.row = Row(values={alias: values}, tids=tids)
+                if test(env):
+                    append(
+                        Row(
+                            values={
+                                alias: values,
+                                OUTPUT_ALIAS: tuple([fn(env) for fn in fns]),
+                            },
+                            tids=tids,
+                        )
+                    )
+            if out:
+                yield out
+
+    return chain_driver
+
+
+def _row_chain_driver(
+    source: BatchDriver, preds, fns
+) -> BatchDriver:
+    """``Filter*→Project?`` applied over a breaker's batch stream in one
+    loop per batch (no per-operator generators)."""
+    test = _combine(preds)
+    if test is None and fns is None:
+        return source
+
+    if fns is None:
+
+        def filter_driver(ctx: ExecContext, outer: EvalEnv | None):
+            env = ctx.env(Row(), outer)
+            for batch in source(ctx, outer):
+                out = []
+                append = out.append
+                for row in batch:
+                    env.row = row
+                    if test(env):
+                        append(row)
+                if out:
+                    yield out
+
+        return filter_driver
+
+    if test is None:
+
+        def project_driver(ctx: ExecContext, outer: EvalEnv | None):
+            env = ctx.env(Row(), outer)
+            for batch in source(ctx, outer):
+                out = []
+                append = out.append
+                for row in batch:
+                    env.row = row
+                    output = tuple([fn(env) for fn in fns])
+                    append(
+                        Row(
+                            values={**row.values, OUTPUT_ALIAS: output},
+                            tids=row.tids,
+                        )
+                    )
+                yield out
+
+        return project_driver
+
+    def chain_driver(ctx: ExecContext, outer: EvalEnv | None):
+        env = ctx.env(Row(), outer)
+        for batch in source(ctx, outer):
+            out = []
+            append = out.append
+            for row in batch:
+                env.row = row
+                if test(env):
+                    output = tuple([fn(env) for fn in fns])
+                    append(
+                        Row(
+                            values={**row.values, OUTPUT_ALIAS: output},
+                            tids=row.tids,
+                        )
+                    )
+            if out:
+                yield out
+
+    return chain_driver
+
+
+# ---------------------------------------------------------------------------
+# breakers
+# ---------------------------------------------------------------------------
+
+
+def _nested_loop_driver(node: NestedLoopJoinNode, ctx: ExecContext) -> BatchDriver:
+    """Nested loops with the inner scan's batch loop inlined.
+
+    Per outer row the inner access re-opens (probe SARGs and index bounds
+    re-evaluate against the outer row) and is always fully consumed, so
+    batch-at-a-time RSI charging is exact.
+    """
+    residual = _program(node, ctx, _build_nested_loop)
+    inner = node.inner
+    inner_program = _program(inner, ctx, _build_scan)
+    inner_alias = inner.alias
+    inner_test = inner_program.residual
+    outer_source = _fused_program(node.outer, ctx)
+
+    def driver(ctx: ExecContext, outer: EvalEnv | None):
+        count_rsi = ctx.storage.counters.count_rsi_call
+        # One probe environment re-points at each outer row in turn; the
+        # inner residual environment chains through it for correlation.
+        probe_env = ctx.env(Row(), outer)
+        inner_env = ctx.env(Row(), probe_env)
+        join_env = ctx.env(Row(), outer)
+        # Pages of the inner relation decode once across all probes of
+        # this statement; fetches and counters are probe-exact (the cache
+        # dies with the driver call, before any tuple can change).
+        decode_cache: dict = {}
+        for outer_batch in outer_source(ctx, outer):
+            out = []
+            append = out.append
+            for outer_row in outer_batch:
+                probe_env.row = outer_row
+                scan = open_scan(
+                    inner, inner_program, ctx, probe_env, decode_cache
+                )
+                if scan is None:
+                    continue
+                outer_values = outer_row.values
+                outer_tids = outer_row.tids
+                for batch in scan.batches():
+                    count_rsi(len(batch))
+                    for tid, values in batch:
+                        if inner_test is not None:
+                            inner_env.row = Row(
+                                values={inner_alias: values},
+                                tids={inner_alias: tid},
+                            )
+                            if not inner_test(inner_env):
+                                continue
+                        merged = Row(
+                            values={**outer_values, inner_alias: values},
+                            tids={**outer_tids, inner_alias: tid},
+                        )
+                        if residual is not None:
+                            join_env.row = merged
+                            if not residual(join_env):
+                                continue
+                        append(merged)
+            if out:
+                yield out
+
+    return driver
+
+
+def _merge_join_driver(node: MergeJoinNode, ctx: ExecContext) -> BatchDriver:
+    """Merge join over a fused outer and a tuple-at-a-time inner.
+
+    The outer side is always exhausted, so it fuses; the inner may be
+    abandoned mid-stream, so it must stay on the exact per-tuple path
+    (:func:`_lazy_rows`) to keep RSI and page-fetch traces identical.
+    """
+    program = _program(node, ctx, _build_merge)
+    outer_source = _fused_program(node.outer, ctx)
+
+    def driver(ctx: ExecContext, outer: EvalEnv | None):
+        joined = merge_join_rows(
+            program,
+            ctx.storage.counters.count_rsi_call,
+            ctx.env(Row(), outer),
+            chain.from_iterable(outer_source(ctx, outer)),
+            _lazy_rows(node.inner, ctx, outer),
+        )
+        yield from _rebatch(joined)
+
+    return driver
+
+
+def _lazy_rows(
+    node: PlanNode, ctx: ExecContext, outer: EvalEnv | None
+) -> Iterator[Row]:
+    """A genuinely tuple-at-a-time stream for partially-consumed inputs.
+
+    A sort's *input* is fully consumed by the sorter even when the sorted
+    output is abandoned, so sorts fuse their input and stay lazy on
+    output (run pages are read back only as rows are pulled).  Everything
+    else rides the per-tuple reference operators — for a bare scan that
+    is already a single compiled loop, so nothing is lost.
+    """
+    if isinstance(node, SortNode):
+        return sort_rows(
+            node, ctx, chain.from_iterable(fused_batches(node.child, ctx, outer))
+        )
+    return iterate(node, replace(ctx, fused=False), outer)
+
+
+def _sort_driver(node: SortNode, ctx: ExecContext) -> BatchDriver:
+    source = _fused_program(node.child, ctx)
+
+    def driver(ctx: ExecContext, outer: EvalEnv | None):
+        ordered = sort_rows(
+            node, ctx, chain.from_iterable(source(ctx, outer))
+        )
+        yield from _rebatch(ordered)
+
+    return driver
+
+
+def _aggregate_driver(node: AggregateNode, ctx: ExecContext) -> BatchDriver:
+    program = _program(node, ctx, _build_aggregate)
+    fast = _scan_aggregate_driver(node, ctx)
+    if fast is not None:
+        return fast
+    source = _fused_program(node.child, ctx)
+
+    def driver(ctx: ExecContext, outer: EvalEnv | None):
+        grouped = aggregate_rows(
+            node, program, ctx, outer, chain.from_iterable(source(ctx, outer))
+        )
+        yield from _rebatch(grouped)
+
+    return driver
+
+
+def _scan_aggregate_driver(
+    node: AggregateNode, ctx: ExecContext
+) -> BatchDriver | None:
+    """``Scan→Aggregate`` folded in one loop over decoded storage tuples.
+
+    When the input is a bare scan (group order from an index) and every
+    grouping key and aggregate argument is a plain column of that scan,
+    the per-tuple fold indexes the decoded values tuple directly — no
+    composite ``Row``, no environment, no compiled-closure calls below
+    the group boundary.  One representative ``Row`` per *group* survives
+    for HAVING and downstream projection, exactly as the reference
+    streaming aggregation builds it.
+    """
+    project, filters, bottom = _collapse(node.child)
+    if project is not None or filters or not isinstance(bottom, ScanNode):
+        return None
+    scan_node = bottom
+    scan_program = _program(scan_node, ctx, _build_scan)
+    if scan_program.residual is not None:
+        return None
+    alias = scan_node.alias
+    for column in node.group_by:
+        if column.alias != alias:
+            return None
+    arg_positions: list[int | None] = []
+    for call in node.aggregates:
+        if call.argument is None:
+            arg_positions.append(None)
+        elif (
+            type(call.argument) is BoundColumn
+            and call.argument.alias == alias
+        ):
+            arg_positions.append(call.argument.position)
+        else:
+            return None
+    positions = tuple(arg_positions)
+    key_positions = tuple(column.position for column in node.group_by)
+    aggregates = tuple(node.aggregates)
+    program = _program(node, ctx, _build_aggregate)
+    having = program.having
+    grouped = bool(node.group_by)
+
+    def driver(ctx: ExecContext, outer: EvalEnv | None):
+        having_env = None if having is None else ctx.env(Row(), outer)
+
+        def emit(representative: Row, states) -> Row | None:
+            results = tuple([state.result() for state in states])
+            out = representative.with_alias(AGGREGATE_ALIAS, results)
+            if having is not None:
+                having_env.row = out
+                if having(having_env) is not True:
+                    return None
+            return out
+
+        scan = open_scan(scan_node, scan_program, ctx, outer)
+        emitted: list[Row] = []
+        current_key: object = None
+        representative: Row | None = None
+        states: list = []
+        saw_rows = False
+        if scan is not None:
+            count_rsi = ctx.storage.counters.count_rsi_call
+            for batch in scan.batches():
+                count_rsi(len(batch))
+                for tid, values in batch:
+                    key = tuple([values[p] for p in key_positions])
+                    if not saw_rows or key != current_key:
+                        if representative is not None:
+                            out = emit(representative, states)
+                            if out is not None:
+                                emitted.append(out)
+                        current_key = key
+                        representative = Row(
+                            values={alias: values}, tids={alias: tid}
+                        )
+                        states = [_AggState(call) for call in aggregates]
+                    saw_rows = True
+                    for state, position in zip(states, positions):
+                        state.add(
+                            None if position is None else values[position]
+                        )
+        if representative is not None:
+            out = emit(representative, states)
+            if out is not None:
+                emitted.append(out)
+        elif not saw_rows and not grouped:
+            # Aggregates over an empty input still produce one row.
+            out = emit(Row(), [_AggState(call) for call in aggregates])
+            if out is not None:
+                emitted.append(out)
+        if emitted:
+            yield emitted
+
+    return driver
+
+
+def _distinct_driver(node: DistinctNode, ctx: ExecContext) -> BatchDriver:
+    source = _fused_program(node.child, ctx)
+
+    def driver(ctx: ExecContext, outer: EvalEnv | None):
+        seen: set[tuple] = set()
+        add = seen.add
+        for batch in source(ctx, outer):
+            out = []
+            append = out.append
+            for row in batch:
+                key = row.values[OUTPUT_ALIAS]
+                if key not in seen:
+                    add(key)
+                    append(row)
+            if out:
+                yield out
+
+    return driver
+
+
+# ---------------------------------------------------------------------------
+# output-tuple fast path
+# ---------------------------------------------------------------------------
+
+
+def _output_program(node: PlanNode, ctx: ExecContext) -> BatchDriver:
+    cache = node.compiled
+    if "fused_out" not in cache:
+        cache["fused_out"] = _build_output(node, ctx)
+    return cache["fused_out"]
+
+
+def _build_output(node: PlanNode, ctx: ExecContext) -> BatchDriver:
+    """A driver yielding batches of bare output tuples (no ``Row``s)."""
+    if isinstance(node, DistinctNode):
+        source = _output_program(node.child, ctx)
+
+        def distinct_driver(ctx: ExecContext, outer: EvalEnv | None):
+            seen: set[tuple] = set()
+            add = seen.add
+            for batch in source(ctx, outer):
+                out = []
+                append = out.append
+                for item in batch:
+                    if item not in seen:
+                        add(item)
+                        append(item)
+                if out:
+                    yield out
+
+        return distinct_driver
+    if isinstance(node, ProjectNode):
+        project, filters, bottom = _collapse(node)
+        assert project is not None
+        if isinstance(bottom, ScanNode):
+            return _scan_output_driver(bottom, filters, project, ctx)
+        preds = [_program(f, ctx, _build_filter) for f in filters]
+        return _row_output_driver(
+            _fused_program(bottom, ctx), preds, project, ctx
+        )
+
+    # No projection at the root (defensive): read the materialized alias.
+    source = _fused_program(node, ctx)
+
+    def alias_driver(ctx: ExecContext, outer: EvalEnv | None):
+        for batch in source(ctx, outer):
+            yield [row.values[OUTPUT_ALIAS] for row in batch]
+
+    return alias_driver
+
+
+def _scan_output_driver(
+    scan_node: ScanNode,
+    filters: list[FilterNode],
+    project: ProjectNode,
+    ctx: ExecContext,
+) -> BatchDriver:
+    """``Scan→Filter*→Project`` emitting output tuples directly.
+
+    When the whole select list is plain columns of the scanned relation
+    the projection collapses to a single :func:`operator.itemgetter` over
+    the decoded storage tuple — no environment, no ``Row``, no closure
+    calls per column.
+    """
+    program = _program(scan_node, ctx, _build_scan)
+    alias = scan_node.alias
+    preds = [program.residual]
+    preds.extend(_program(f, ctx, _build_filter) for f in filters)
+    test = _combine(preds)
+    fns = _program(project, ctx, _build_project)
+    fast = _columns_getter(project.exprs, alias)
+
+    if test is None and fast is not None:
+
+        def direct_driver(ctx: ExecContext, outer: EvalEnv | None):
+            scan = open_scan(scan_node, program, ctx, outer)
+            if scan is None:
+                return
+            count_rsi = ctx.storage.counters.count_rsi_call
+            for batch in scan.batches():
+                count_rsi(len(batch))
+                yield [fast(values) for __, values in batch]
+
+        return direct_driver
+
+    if test is None:
+
+        def project_driver(ctx: ExecContext, outer: EvalEnv | None):
+            scan = open_scan(scan_node, program, ctx, outer)
+            if scan is None:
+                return
+            count_rsi = ctx.storage.counters.count_rsi_call
+            env = ctx.env(Row(), outer)
+            for batch in scan.batches():
+                count_rsi(len(batch))
+                out = []
+                append = out.append
+                for __, values in batch:
+                    env.row = Row(values={alias: values})
+                    append(tuple([fn(env) for fn in fns]))
+                yield out
+
+        return project_driver
+
+    if fast is not None:
+
+        def filtered_direct_driver(ctx: ExecContext, outer: EvalEnv | None):
+            scan = open_scan(scan_node, program, ctx, outer)
+            if scan is None:
+                return
+            count_rsi = ctx.storage.counters.count_rsi_call
+            env = ctx.env(Row(), outer)
+            for batch in scan.batches():
+                count_rsi(len(batch))
+                out = []
+                append = out.append
+                for __, values in batch:
+                    env.row = Row(values={alias: values})
+                    if test(env):
+                        append(fast(values))
+                if out:
+                    yield out
+
+        return filtered_direct_driver
+
+    def chain_driver(ctx: ExecContext, outer: EvalEnv | None):
+        scan = open_scan(scan_node, program, ctx, outer)
+        if scan is None:
+            return
+        count_rsi = ctx.storage.counters.count_rsi_call
+        env = ctx.env(Row(), outer)
+        for batch in scan.batches():
+            count_rsi(len(batch))
+            out = []
+            append = out.append
+            for __, values in batch:
+                env.row = Row(values={alias: values})
+                if test(env):
+                    append(tuple([fn(env) for fn in fns]))
+            if out:
+                yield out
+
+    return chain_driver
+
+
+def _row_output_driver(
+    source: BatchDriver, preds, project: ProjectNode, ctx: ExecContext
+) -> BatchDriver:
+    """``Filter*→Project`` over a breaker's batches, emitting bare tuples."""
+    test = _combine(preds)
+    fns = _program(project, ctx, _build_project)
+
+    if test is None:
+
+        def project_driver(ctx: ExecContext, outer: EvalEnv | None):
+            env = ctx.env(Row(), outer)
+            for batch in source(ctx, outer):
+                out = []
+                append = out.append
+                for row in batch:
+                    env.row = row
+                    append(tuple([fn(env) for fn in fns]))
+                yield out
+
+        return project_driver
+
+    def chain_driver(ctx: ExecContext, outer: EvalEnv | None):
+        env = ctx.env(Row(), outer)
+        for batch in source(ctx, outer):
+            out = []
+            append = out.append
+            for row in batch:
+                env.row = row
+                if test(env):
+                    append(tuple([fn(env) for fn in fns]))
+            if out:
+                yield out
+
+    return chain_driver
+
+
+# ---------------------------------------------------------------------------
+# plan inspection (repro check --fusion)
+# ---------------------------------------------------------------------------
+
+
+def _collect_chains(node: PlanNode, chains: list[str]) -> None:
+    if isinstance(node, (ProjectNode, FilterNode, ScanNode)):
+        project, filters, bottom = _collapse(node)
+        label_parts: list[str] = []
+        if project is not None:
+            label_parts.append("project")
+        if filters:
+            label_parts.append(f"filter x{len(filters)}")
+        if isinstance(bottom, ScanNode):
+            suffix = " +residual" if bottom.residual else ""
+            label_parts.append(f"scan {bottom.alias}{suffix}")
+            chains.append(" <- ".join(label_parts))
+            return
+        if label_parts:
+            chains.append(" <- ".join(label_parts) + " <- [breaker batches]")
+        _collect_chains(bottom, chains)
+        return
+    if isinstance(node, MergeJoinNode):
+        chains.append("merge join (fused outer, tuple-at-a-time inner)")
+        _collect_chains(node.outer, chains)
+        if isinstance(node.inner, SortNode):
+            _collect_chains(node.inner.child, chains)
+        return
+    if isinstance(node, NestedLoopJoinNode):
+        chains.append(
+            f"nested-loop join (inlined inner scan {node.inner.alias})"
+        )
+        _collect_chains(node.outer, chains)
+        return
+    for child in node.children():
+        _collect_chains(child, chains)

@@ -61,6 +61,9 @@ class ExecContext:
     #: When set, compiled programs are thin wrappers over the reference
     #: interpreter — identical operators, interpreted expressions.
     interpret: bool = False
+    #: When set, plans execute through the fused per-batch drivers of
+    #: :mod:`repro.engine.fuse` instead of one generator per operator.
+    fused: bool = False
 
     @property
     def storage(self):
@@ -75,7 +78,17 @@ class ExecContext:
 def iterate(
     node: PlanNode, ctx: ExecContext, outer: EvalEnv | None = None
 ) -> Iterator[Row]:
-    """Execute a plan node, yielding composite rows."""
+    """Execute a plan node, yielding composite rows.
+
+    In fused mode the whole subtree is handed to the pipeline compiler,
+    which drives maximal Scan→Filter→Project chains as single per-batch
+    closures; the generator-per-operator dispatch below is the
+    ``compiled``/``interp`` reference path.
+    """
+    if ctx.fused:
+        from .fuse import fused_rows
+
+        return fused_rows(node, ctx, outer)
     if isinstance(node, ScanNode):
         return _iter_scan(node, ctx, outer)
     if isinstance(node, FilterNode):
@@ -173,10 +186,21 @@ def _build_scan(node: ScanNode, ctx: ExecContext) -> _ScanProgram:
     )
 
 
-def _iter_scan(
-    node: ScanNode, ctx: ExecContext, outer: EvalEnv | None
-) -> Iterator[Row]:
-    program: _ScanProgram = _program(node, ctx, _build_scan)
+def open_scan(
+    node: ScanNode,
+    program: _ScanProgram,
+    ctx: ExecContext,
+    outer: EvalEnv | None,
+    decode_cache: dict | None = None,
+):
+    """Open the node's RSS scan: evaluate SARG values and index bounds
+    against the enclosing environment chain, compile the matcher, and
+    return the scan — or ``None`` when a NULL bound can never match.
+
+    ``decode_cache`` (fused nested-loop probes only) is shared across
+    repeated opens of the same node so unchanged pages decode once; page
+    fetches and counters are unaffected (see :mod:`repro.rss.scan`).
+    """
     value_env = ctx.env(Row(), outer)
     matcher = None
     if program.sarg_parts:
@@ -192,29 +216,41 @@ def _iter_scan(
     if not program.low_fns and not program.high_fns and not isinstance(
         node.access, IndexAccess
     ):
-        scan = storage.segment_scan(
-            node.table, matcher=matcher, decode_plan=program.decode_plan
-        )
-    else:
-        access = node.access
-        assert isinstance(access, IndexAccess)
-        low = tuple(fn(value_env) for fn in program.low_fns)
-        high = tuple(fn(value_env) for fn in program.high_fns)
-        if any(value is None for value in low) or any(
-            value is None for value in high
-        ):
-            return  # a NULL bound can never be satisfied
-        scan = storage.index_scan(
-            access.index,
+        return storage.segment_scan(
             node.table,
-            low=low or None,
-            high=high or None,
-            low_inclusive=access.low_inclusive,
-            high_inclusive=access.high_inclusive,
             matcher=matcher,
             decode_plan=program.decode_plan,
+            decode_cache=decode_cache,
         )
-    count_rsi = storage.counters.count_rsi_call
+    access = node.access
+    assert isinstance(access, IndexAccess)
+    low = tuple(fn(value_env) for fn in program.low_fns)
+    high = tuple(fn(value_env) for fn in program.high_fns)
+    if any(value is None for value in low) or any(
+        value is None for value in high
+    ):
+        return None  # a NULL bound can never be satisfied
+    return storage.index_scan(
+        access.index,
+        node.table,
+        low=low or None,
+        high=high or None,
+        low_inclusive=access.low_inclusive,
+        high_inclusive=access.high_inclusive,
+        matcher=matcher,
+        decode_plan=program.decode_plan,
+        decode_cache=decode_cache,
+    )
+
+
+def _iter_scan(
+    node: ScanNode, ctx: ExecContext, outer: EvalEnv | None
+) -> Iterator[Row]:
+    program: _ScanProgram = _program(node, ctx, _build_scan)
+    scan = open_scan(node, program, ctx, outer)
+    if scan is None:
+        return
+    count_rsi = ctx.storage.counters.count_rsi_call
     alias = node.alias
     residual = program.residual
     if residual is None:
@@ -313,29 +349,45 @@ _EMPTY_MARKER = object()
 def _iter_merge_join(
     node: MergeJoinNode, ctx: ExecContext, outer: EvalEnv | None
 ) -> Iterator[Row]:
+    program: _MergeProgram = _program(node, ctx, _build_merge)
+    return merge_join_rows(
+        program,
+        ctx.storage.counters.count_rsi_call,
+        ctx.env(Row(), outer),
+        iterate(node.outer, ctx, outer),
+        iterate(node.inner, ctx, outer),
+    )
+
+
+def merge_join_rows(
+    program: _MergeProgram,
+    count_rsi: Callable[[], None],
+    env: EvalEnv,
+    outer_rows: Iterator[Row],
+    inner_rows: Iterator[Row],
+) -> Iterator[Row]:
     """Synchronized merging scans with join-group rewind.
 
     The inner's current group is buffered; when consecutive outer tuples
     carry the same join value the group is replayed, and each replayed
     tuple is counted as an RSI call — that re-retrieval is exactly what the
-    cost formulas charge for.
+    cost formulas charge for.  The outer input is always fully consumed;
+    the inner is pulled tuple-at-a-time and may be abandoned early, so
+    callers must hand in a genuinely lazy inner iterator.
     """
-    program: _MergeProgram = _program(node, ctx, _build_merge)
-    count_rsi = ctx.storage.counters.count_rsi_call
     inner_key = program.inner_get
     outer_get = program.outer_get
     key_eq = program.key_eq
     key_ge = program.key_ge
     residual = program.residual
-    env = ctx.env(Row(), outer)
 
-    inner_iter = iterate(node.inner, ctx, outer)
+    inner_iter = iter(inner_rows)
     inner_current = next(inner_iter, None)
     group: list[Row] = []
     group_key: object = _EMPTY_MARKER
     group_served_once = False
 
-    for outer_row in iterate(node.outer, ctx, outer):
+    for outer_row in outer_rows:
         outer_key = outer_get(outer_row)
         if outer_key is None:
             continue  # NULL join keys never match
@@ -388,16 +440,20 @@ def _sort_rows(rows: list[Row], keys) -> list[Row]:
     return ordered
 
 
-def _iter_sort(
-    node: SortNode, ctx: ExecContext, outer: EvalEnv | None
+def sort_rows(
+    node: SortNode, ctx: ExecContext, child_rows: Iterator[Row]
 ) -> Iterator[Row]:
     """Sort into a temporary list, spilling to multi-pass runs when the
-    input exceeds a buffer-pool-sized workspace (§5: "several passes")."""
+    input exceeds a buffer-pool-sized workspace (§5: "several passes").
+
+    The input stream is always fully consumed; the sorted output is lazy
+    (run pages are read back only as rows are pulled), so partial
+    consumers see the same page-fetch pattern on every path.
+    """
     from ..rss.tuples import max_record_size
     from ..sorting import workspace_rows
     from .external_sort import ExternalSorter
 
-    child_rows = iterate(node.child, ctx, outer)
     aliases = sorted(_local_aliases(node.child))
     materializable = aliases and all(alias in ctx.schemas for alias in aliases)
     has_aggregate = any(
@@ -405,8 +461,7 @@ def _iter_sort(
     )
     if not materializable or has_aggregate:
         # Post-aggregation (pseudo-alias) sorts stay in memory.
-        yield from _sort_rows(list(child_rows), node.keys)
-        return
+        return iter(_sort_rows(list(child_rows), node.keys))
     schema = [(alias, ctx.schemas[alias]) for alias in aliases]
     row_bytes = sum(
         max_record_size(datatypes) for __, datatypes in schema
@@ -417,7 +472,13 @@ def _iter_sort(
         node.keys,
         memory_rows=workspace_rows(ctx.storage.buffer.capacity, row_bytes),
     )
-    yield from sorter.sort(child_rows)
+    return sorter.sort(child_rows)
+
+
+def _iter_sort(
+    node: SortNode, ctx: ExecContext, outer: EvalEnv | None
+) -> Iterator[Row]:
+    return sort_rows(node, ctx, iterate(node.child, ctx, outer))
 
 
 # ---------------------------------------------------------------------------
@@ -503,8 +564,20 @@ def _build_aggregate(node: AggregateNode, ctx: ExecContext) -> _AggregateProgram
 def _iter_aggregate(
     node: AggregateNode, ctx: ExecContext, outer: EvalEnv | None
 ) -> Iterator[Row]:
-    """Streaming aggregation over input ordered on the grouping columns."""
     program: _AggregateProgram = _program(node, ctx, _build_aggregate)
+    return aggregate_rows(
+        node, program, ctx, outer, iterate(node.child, ctx, outer)
+    )
+
+
+def aggregate_rows(
+    node: AggregateNode,
+    program: _AggregateProgram,
+    ctx: ExecContext,
+    outer: EvalEnv | None,
+    child_rows: Iterator[Row],
+) -> Iterator[Row]:
+    """Streaming aggregation over input ordered on the grouping columns."""
     key_getters = program.key_getters
     arg_fns = program.arg_fns
     having = program.having
@@ -524,7 +597,7 @@ def _iter_aggregate(
     representative: Row | None = None
     states: list[_AggState] = []
     saw_rows = False
-    for row in iterate(node.child, ctx, outer):
+    for row in child_rows:
         saw_rows = True
         key = tuple([getter(row) for getter in key_getters])
         if current_key is _EMPTY_MARKER or key != current_key:

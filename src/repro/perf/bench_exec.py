@@ -28,9 +28,11 @@ the "before" report:
 from __future__ import annotations
 
 import argparse
+import cProfile
 import hashlib
 import json
 import math
+import pstats
 import random
 import statistics
 import sys
@@ -167,9 +169,60 @@ def _checksum(rows: list[tuple]) -> str:
     return digest.hexdigest()[:16]
 
 
-def run_case(case: ExecCase, repeats: int) -> dict:
+#: Pipeline stages profiled executions are attributed to, by module path
+#: fragment (first match wins).
+PROFILE_STAGES = (
+    ("engine/fuse.py", "fused drivers"),
+    ("engine/operators.py", "operators"),
+    ("engine/compile.py", "compiled exprs"),
+    ("engine/evaluator.py", "interpreter"),
+    ("engine/external_sort.py", "sort"),
+    ("engine/temp.py", "temp lists"),
+    ("rss/scan.py", "rss scan"),
+    ("rss/sargs.py", "sargs"),
+    ("rss/tuples.py", "decode"),
+    ("rss/btree.py", "btree"),
+    ("rss/", "storage"),
+    ("engine/", "engine other"),
+)
+
+
+def _profile_stages(execute: Callable[[], object]) -> dict[str, float]:
+    """Per-pipeline-stage self-time (ms) of one profiled execution."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    execute()
+    profiler.disable()
+    stages: dict[str, float] = {}
+    for (filename, __, ___), (____, _____, tottime, ______, _______) in (
+        pstats.Stats(profiler).stats.items()  # type: ignore[attr-defined]
+    ):
+        normalized = filename.replace("\\", "/")
+        if "/repro/" not in normalized:
+            continue
+        fragment = normalized.split("/repro/", 1)[1]
+        for prefix, stage in PROFILE_STAGES:
+            if fragment.startswith(prefix):
+                break
+        else:
+            stage = "other"
+        stages[stage] = stages.get(stage, 0.0) + tottime * 1000.0
+    return {
+        stage: round(ms, 3)
+        for stage, ms in sorted(stages.items(), key=lambda kv: -kv[1])
+    }
+
+
+def run_case(
+    case: ExecCase,
+    repeats: int,
+    mode: str | None = None,
+    profile: bool = False,
+) -> dict:
     """Benchmark one case: build and plan once, execute ``repeats`` times."""
     db = case.build()
+    if mode is not None:
+        db.exec_mode = mode
     statement = parse_statement(case.sql)
     assert isinstance(statement, ast.SelectQuery)
     planned = db.plan_query(statement)
@@ -195,7 +248,7 @@ def run_case(case: ExecCase, repeats: int) -> dict:
         executor.execute(planned)
         times.append(time.perf_counter() - started)
 
-    return {
+    entry = {
         "name": case.name,
         "repeats": repeats,
         "mean_ms": round(statistics.fmean(times) * 1000.0, 4),
@@ -204,18 +257,33 @@ def run_case(case: ExecCase, repeats: int) -> dict:
         "checksum": _checksum(result.rows),
         **counters,
     }
+    if profile:
+        storage.cold_cache()
+        entry["stages"] = _profile_stages(
+            lambda: db.executor().execute(planned)
+        )
+    return entry
 
 
 def run_bench(
     cases: list[ExecCase],
     repeats: int | None = None,
     quick: bool = False,
+    mode: str | None = None,
+    profile: bool = False,
     echo: Callable[[str], None] = print,
 ) -> dict:
     """Run the matrix and return the JSON-ready report."""
+    from repro.engine.executor import resolve_exec_mode
+
     queries: list[dict] = []
     for case in cases:
-        entry = run_case(case, repeats=repeats or (3 if quick else 7))
+        entry = run_case(
+            case,
+            repeats=repeats or (3 if quick else 7),
+            mode=mode,
+            profile=profile,
+        )
         queries.append(entry)
         echo(
             f"  {entry['name']:<16s} mean {entry['mean_ms']:9.2f} ms  "
@@ -223,10 +291,14 @@ def run_bench(
             f"fetches {entry['page_fetches']:>6d}  "
             f"rsi {entry['rsi_calls']:>8d}"
         )
+        if profile:
+            for stage, ms in list(entry.get("stages", {}).items())[:6]:
+                echo(f"      {stage:<16s} {ms:9.2f} ms")
     return {
         "version": REPORT_VERSION,
         "kind": "executor",
         "quick": quick,
+        "mode": resolve_exec_mode(mode),
         "queries": queries,
         "summary": {
             "total_mean_ms": round(sum(q["mean_ms"] for q in queries), 4),
@@ -308,7 +380,8 @@ def compare_reports(
 
 
 def main(argv: list[str] | None = None) -> int:
-    """``repro bench --exec [--quick] [--compare OLD] [--output PATH]``."""
+    """``repro bench --exec [--quick] [--mode M] [--compare OLD] [--gate X]
+    [--profile] [--output PATH]``."""
     parser = argparse.ArgumentParser(
         prog="repro bench --exec",
         description="benchmark end-to-end query execution",
@@ -317,6 +390,12 @@ def main(argv: list[str] | None = None) -> int:
         "--quick",
         action="store_true",
         help="small matrix for CI smoke runs",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("fused", "compiled", "interp"),
+        default=None,
+        help="execution mode to benchmark (default: REPRO_EXEC or fused)",
     )
     parser.add_argument(
         "--output",
@@ -329,6 +408,20 @@ def main(argv: list[str] | None = None) -> int:
         help="report speedups/counter fidelity against an earlier report",
     )
     parser.add_argument(
+        "--gate",
+        type=float,
+        metavar="MIN_GEOMEAN",
+        default=None,
+        help="with --compare: fail unless the geomean speedup over the old "
+        "report reaches this value (e.g. 0.9 = tolerate 10%% slowdown)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute one cProfile'd execution per query to pipeline "
+        "stages (scan/decode/fused drivers/sort/...)",
+    )
+    parser.add_argument(
         "--repeats",
         type=int,
         default=None,
@@ -338,7 +431,13 @@ def main(argv: list[str] | None = None) -> int:
 
     cases = default_cases(quick=args.quick)
     print(f"repro bench --exec: {len(cases)} quer{'y' if len(cases) == 1 else 'ies'}")
-    report = run_bench(cases, repeats=args.repeats, quick=args.quick)
+    report = run_bench(
+        cases,
+        repeats=args.repeats,
+        quick=args.quick,
+        mode=args.mode,
+        profile=args.profile,
+    )
     output = Path(args.output)
     output.write_text(
         json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
@@ -346,6 +445,14 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {output}")
     if args.compare:
         old = load_report(args.compare)
+        if old.get("quick", False) != args.quick:
+            print(
+                f"error: {args.compare} is a "
+                f"{'quick' if old.get('quick') else 'full'}-matrix report; "
+                "compare like against like (database sizes differ)",
+                file=sys.stderr,
+            )
+            return 2
         print(f"compare against {args.compare}:")
         comparison = compare_reports(old, report)
         report["comparison"] = comparison
@@ -354,6 +461,13 @@ def main(argv: list[str] | None = None) -> int:
             encoding="utf-8",
         )
         if comparison["counter_mismatches"]:
+            return 1
+        if args.gate is not None and comparison["geomean_speedup"] < args.gate:
+            print(
+                f"PERF GATE FAILED: geomean speedup "
+                f"{comparison['geomean_speedup']:.3f}x < {args.gate:.3f}x",
+                file=sys.stderr,
+            )
             return 1
     return 0
 

@@ -35,6 +35,16 @@ the right multiplier for the W term of the cost formulas.  SARGs evaluate
 through a matcher closure compiled once per scan open (see
 :func:`repro.rss.sargs.compile_matcher`), and records decode through a
 per-relation :class:`~repro.rss.tuples.DecodePlan`.
+
+A consumer that re-opens the *same* scan many times against unchanged
+pages — the fused nested-loop driver probing its inner relation once per
+outer row — may pass a ``decode_cache`` dict shared across opens.  Pages
+are still fetched through the buffer pool in exactly the same sequence
+(``page_fetches`` and ``buffer_hits`` stay bit-identical), but record
+extraction and decoding run once per page (or once per index entry)
+instead of once per probe; only the per-open SARG matcher re-evaluates.
+The cache must not outlive the statement that created it: any tuple
+mutation invalidates it.
 """
 
 from __future__ import annotations
@@ -80,6 +90,7 @@ class SegmentScan:
         matcher: Callable[[tuple], bool] | None = None,
         decode_plan: DecodePlan | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        decode_cache: dict[int, Batch] | None = None,
     ):
         self._segment = segment
         self._relation_id = relation_id
@@ -88,6 +99,11 @@ class SegmentScan:
         self._matcher = _resolve_matcher(sargs, matcher, datatypes)
         self._plan = decode_plan or DecodePlan(datatypes)
         self._batch_size = batch_size
+        self._decode_cache = decode_cache
+        #: The segment's page list frozen at open: the scan's view of the
+        #: segment, immune to pages appended or freed while it runs, and
+        #: copied once per open rather than once per ``batches()`` call.
+        self._page_ids: tuple[int, ...] = tuple(segment.page_ids)
 
     def batches(self) -> Iterator[Batch]:
         """Page-aligned batches of matching tuples, with no RSI accounting."""
@@ -96,10 +112,34 @@ class SegmentScan:
         relation_id = self._relation_id
         batch_size = self._batch_size
         fetch = self._buffer.fetch
-        for page_id in list(self._segment.page_ids):
+        cache = self._decode_cache
+        if cache is not None:
+            for page_id in self._page_ids:
+                page = fetch(page_id)  # counter-faithful even on cache hits
+                assert isinstance(page, Page)
+                rows = cache.get(page_id)
+                if rows is None:
+                    rows = [
+                        (TupleId(page_id, slot), decode(record))
+                        for slot, record in page.records()
+                        if record_relation_id(record) == relation_id
+                    ]
+                    cache[page_id] = rows
+                batch: Batch = []
+                for item in rows:
+                    if matcher is not None and not matcher(item[1]):
+                        continue
+                    batch.append(item)
+                    if len(batch) >= batch_size:
+                        yield batch
+                        batch = []
+                if batch:
+                    yield batch
+            return
+        for page_id in self._page_ids:
             page = fetch(page_id)
             assert isinstance(page, Page)
-            batch: Batch = []
+            batch = []
             for slot, record in page.records():
                 if record_relation_id(record) != relation_id:
                     continue
@@ -153,6 +193,7 @@ class IndexScan:
         matcher: Callable[[tuple], bool] | None = None,
         decode_plan: DecodePlan | None = None,
         batch_size: int = 1,
+        decode_cache: dict[TupleId, tuple] | None = None,
     ):
         self._index = index
         self._segment = segment
@@ -166,6 +207,7 @@ class IndexScan:
         self._matcher = _resolve_matcher(sargs, matcher, datatypes)
         self._plan = decode_plan or DecodePlan(datatypes)
         self._batch_size = batch_size
+        self._decode_cache = decode_cache
 
     def batches(self) -> Iterator[Batch]:
         """Batches of matching tuples in key order, with no RSI accounting."""
@@ -173,14 +215,21 @@ class IndexScan:
         matcher = self._matcher
         batch_size = self._batch_size
         fetch = self._buffer.fetch
+        cache = self._decode_cache
         entries = self._index.scan_range(
             self._low, self._high, self._low_inclusive, self._high_inclusive
         )
         batch: Batch = []
         for __, tid in entries:
-            page = fetch(tid.page_id)
+            page = fetch(tid.page_id)  # counter-faithful even on cache hits
             assert isinstance(page, Page)
-            values = decode(page.read(tid.slot))
+            if cache is None:
+                values = decode(page.read(tid.slot))
+            else:
+                values = cache.get(tid)
+                if values is None:
+                    values = decode(page.read(tid.slot))
+                    cache[tid] = values
             if matcher is not None and not matcher(values):
                 continue
             batch.append((tid, values))

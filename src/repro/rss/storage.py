@@ -361,6 +361,7 @@ class StorageEngine:
         matcher: Callable[[tuple], bool] | None = None,
         decode_plan: DecodePlan | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        decode_cache: dict | None = None,
     ) -> SegmentScan:
         """An RSI segment scan over one relation."""
         return SegmentScan(
@@ -373,6 +374,7 @@ class StorageEngine:
             matcher=matcher,
             decode_plan=decode_plan,
             batch_size=batch_size,
+            decode_cache=decode_cache,
         )
 
     def index_scan(
@@ -387,6 +389,7 @@ class StorageEngine:
         matcher: Callable[[tuple], bool] | None = None,
         decode_plan: DecodePlan | None = None,
         batch_size: int = 1,
+        decode_cache: dict | None = None,
     ) -> IndexScan:
         """An RSI index scan with optional key bounds and SARGs."""
         return IndexScan(
@@ -404,6 +407,7 @@ class StorageEngine:
             matcher=matcher,
             decode_plan=decode_plan,
             batch_size=batch_size,
+            decode_cache=decode_cache,
         )
 
     # -- measurement helpers -------------------------------------------------------

@@ -367,3 +367,85 @@ def test_swallow_rule_only_applies_to_rss(tmp_path):
         """,
     )
     assert by_rule(tmp_path, "no-swallowed-exceptions") == []
+
+
+def test_flags_generator_handoff_in_fused_loop(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "engine/fuse.py",
+        """
+        def _chain_driver(batches, node, ctx):
+            for batch in batches:
+                for row in iterate(node, ctx):
+                    yield row
+        """,
+    )
+    violations = by_rule(tmp_path, "executor-hot-path")
+    assert len(violations) == 1
+    assert "hand-off" in violations[0].message
+    assert "iterate" in violations[0].message
+
+
+def test_flags_iter_operator_handoff_in_fused_loop(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "engine/fuse.py",
+        """
+        def _sort_driver(node, ctx, batches):
+            for batch in batches:
+                rows = _iter_sort(node, ctx)
+                yield rows
+        """,
+    )
+    violations = by_rule(tmp_path, "executor-hot-path")
+    assert len(violations) == 1
+    assert "_iter_sort" in violations[0].message
+
+
+def test_accepts_handoff_outside_fused_loops(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "engine/fuse.py",
+        """
+        def _lazy_rows(node, ctx):
+            return iterate(node, ctx)
+        """,
+    )
+    assert by_rule(tmp_path, "executor-hot-path") == []
+
+
+def test_handoff_rule_only_applies_to_fuse_module(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "engine/other.py",
+        """
+        def drain(nodes, ctx):
+            for node in nodes:
+                yield list(iterate(node, ctx))
+        """,
+    )
+    assert by_rule(tmp_path, "executor-hot-path") == []
+
+
+def test_fused_build_is_a_registered_walker(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "engine/fuse.py",
+        """
+        def _build_fused(node, ctx):
+            if isinstance(node, AlphaNode):
+                return []
+        """,
+    )
+    violations = by_rule(tmp_path, "walker-not-exhaustive")
+    missing = [
+        v
+        for v in violations
+        if "engine/fuse.py" in v.where and "BetaNode" in v.message
+    ]
+    assert len(missing) == 1

@@ -105,3 +105,130 @@ class TestIndexScanBounds:
         assert len(names) == 200  # U's tuple invisible to T's scan
         xs = [values[0] for __, values in engine.segment_scan(other)]
         assert xs == [999]
+
+
+class TestBatchingEdgeCases:
+    def test_empty_segment_yields_no_batches(self):
+        catalog = Catalog()
+        table = catalog.create_table("E", [("K", INTEGER)])
+        engine = StorageEngine(buffer_pages=8)
+        engine.ensure_segment(table.segment_name)
+        assert list(engine.segment_scan(table).batches()) == []
+
+    def test_batch_size_one_preserves_order(self, loaded):
+        __, table, ___, engine = loaded
+        batches = list(engine.segment_scan(table, batch_size=1).batches())
+        assert all(len(batch) == 1 for batch in batches)
+        keys = [values[0] for batch in batches for __, values in batch]
+        assert keys == list(range(200))
+
+    def test_segment_batches_never_span_pages(self, loaded):
+        __, table, ___, engine = loaded
+        batches = list(engine.segment_scan(table, batch_size=10_000).batches())
+        for batch in batches:
+            assert len({tid.page_id for tid, __ in batch}) == 1
+        assert sum(len(batch) for batch in batches) == 200
+
+    def test_fully_filtered_scan_yields_no_empty_batches(self, loaded):
+        __, table, ___, engine = loaded
+        scan = engine.segment_scan(table, matcher=lambda values: False)
+        assert list(scan.batches()) == []
+
+    def test_index_scan_flushes_final_partial_batch(self, loaded):
+        __, table, index, engine = loaded
+        scan = engine.index_scan(
+            index, table, low=(0,), high=(6,), batch_size=3
+        )
+        sizes = [len(batch) for batch in scan.batches()]
+        assert sizes == [3, 3, 1]
+
+
+class TestScanViewFrozenAtOpen:
+    def test_pages_snapshot_once_per_open(self, loaded):
+        """The page list is copied at open, not per ``batches()`` call,
+        and appends after the open are invisible to the running scan."""
+        catalog, table, index, engine = loaded
+        scan = engine.segment_scan(table)
+        pages_at_open = scan._page_ids
+        assert isinstance(pages_at_open, tuple)
+        assert sum(len(b) for b in scan.batches()) == 200
+        for i in range(200, 800):
+            engine.insert(table, [index], (i, f"n{i}", i % 8))
+        # The open scan still walks exactly the frozen page list...
+        assert scan._page_ids is pages_at_open
+        seen_pages = {
+            tid.page_id for b in scan.batches() for tid, __ in b
+        }
+        assert seen_pages <= set(pages_at_open)
+        # ...while a fresh open sees the appended pages.
+        fresh = engine.segment_scan(table)
+        assert len(fresh._page_ids) > len(pages_at_open)
+        assert sum(len(b) for b in fresh.batches()) == 800
+
+
+class TestDecodeCache:
+    def test_segment_cache_reuse_is_invisible(self, loaded):
+        __, table, ___, engine = loaded
+        cache: dict = {}
+        warm = [
+            item
+            for b in engine.segment_scan(table, decode_cache=cache).batches()
+            for item in b
+        ]
+        assert cache  # populated on the first pass
+        engine.counters.reset()
+        engine.cold_cache()
+        cached = [
+            item
+            for b in engine.segment_scan(table, decode_cache=cache).batches()
+            for item in b
+        ]
+        cached_fetches = engine.counters.page_fetches
+        engine.counters.reset()
+        engine.cold_cache()
+        plain = [
+            item for b in engine.segment_scan(table).batches() for item in b
+        ]
+        assert cached == plain == warm
+        # The fetch trace is identical: the cache skips decoding only.
+        assert cached_fetches == engine.counters.page_fetches
+
+    def test_segment_cache_respects_per_open_matcher(self, loaded):
+        __, table, ___, engine = loaded
+        cache: dict = {}
+        # Warm the cache with an unfiltered pass, then scan with SARGs.
+        list(engine.segment_scan(table, decode_cache=cache).batches())
+        sargs = Sargs.conjunction([SargPredicate(2, CompareOp.EQ, 3)])
+        filtered = [
+            values[0]
+            for b in engine.segment_scan(
+                table, sargs, decode_cache=cache
+            ).batches()
+            for __, values in b
+        ]
+        reference = [
+            values[0]
+            for b in engine.segment_scan(table, sargs).batches()
+            for __, values in b
+        ]
+        assert filtered == reference
+        assert filtered == [k for k in range(200) if k % 8 == 3]
+
+    def test_index_cache_reuse_is_invisible(self, loaded):
+        __, table, index, engine = loaded
+        cache: dict = {}
+        warm = list(
+            engine.index_scan(
+                index, table, low=(10,), high=(30,), decode_cache=cache
+            ).batches()
+        )
+        assert cache
+        again = list(
+            engine.index_scan(
+                index, table, low=(10,), high=(30,), decode_cache=cache
+            ).batches()
+        )
+        plain = list(
+            engine.index_scan(index, table, low=(10,), high=(30,)).batches()
+        )
+        assert again == plain == warm
