@@ -545,40 +545,3 @@ def audit_search_stats(stats) -> list[Violation]:
                 )
             )
     return violations
-
-
-def audit_block_cardinality(
-    estimator: SelectivityEstimator,
-    block: BoundQueryBlock,
-    factors: list[BooleanFactor],
-) -> list[Violation]:
-    """QCARD-level invariants for one bound block (used by tests/corpus)."""
-    violations: list[Violation] = []
-    qcard = estimator.block_qcard(block, factors)
-    out = estimator.block_output_cardinality(block, factors)
-    if qcard < 0.0 or not math.isfinite(qcard):
-        violations.append(
-            Violation(
-                "negative-estimate",
-                f"block #{block.block_id}",
-                f"QCARD is {qcard!r}",
-            )
-        )
-    if block.group_by and not _leq(out, qcard):
-        violations.append(
-            Violation(
-                "groups-exceed-input",
-                f"block #{block.block_id}",
-                f"estimated groups {out:.3f} exceed QCARD {qcard:.3f}",
-            )
-        )
-    if not block.is_aggregate and not _close(out, qcard):
-        violations.append(
-            Violation(
-                "cardinality-mismatch",
-                f"block #{block.block_id}",
-                f"output cardinality {out:.3f} != QCARD {qcard:.3f} for a "
-                "non-aggregate block",
-            )
-        )
-    return violations

@@ -1,0 +1,255 @@
+"""Per-function effect signatures, propagated through the call graph.
+
+Every function in the package gets a signature drawn from six atoms:
+
+- ``pure`` — none of the below (the empty signature);
+- ``reads-global`` — reads a module-level *mutable* value;
+- ``writes-global`` — rebinds or mutates a module-level value;
+- ``mutates-param`` — assigns or mutates through a parameter;
+- ``mutates-self`` — assigns or mutates an instance attribute outside
+  ``__init__`` (construction is not an effect: nobody shares the object
+  yet);
+- ``io`` — touches the world (files, environment, stdout, clocks).
+
+Direct effects come straight from the AST via the mutation records of
+:class:`~repro.analysis.dataflow.ProgramGraph`.  Transitive effects
+propagate caller-ward to a fixed point: calling a global-writer makes you
+a global-writer, calling an IO function makes you IO.  ``mutates-param``
+and ``mutates-self`` propagate only where the receiver demonstrably flows
+through the call — ``self`` method calls within a class — because
+propagating them blindly through every call edge would mark the whole
+program self-mutating.
+
+The signatures are the raw material for
+:mod:`repro.analysis.concurrency`: a function whose transitive signature
+is pure (or read-only) is safe to run on many workers as-is; everything
+else appears in the shared-mutable-state report with the specific state
+it touches.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .dataflow import FunctionInfo, ProgramGraph
+
+#: Effect atoms in severity order (report ordering only).
+EFFECT_ORDER = (
+    "io",
+    "writes-global",
+    "mutates-self",
+    "mutates-param",
+    "reads-global",
+)
+
+#: Builtin calls that are IO by definition.
+_IO_CALLS = frozenset({"open", "print", "input", "breakpoint"})
+
+#: Modules whose attribute calls are IO (``os.rename``, ``time.sleep``...).
+_IO_MODULES = frozenset({"os", "sys", "shutil", "time", "tempfile"})
+
+#: Method names that are IO on any receiver (file handles, paths).
+_IO_METHODS = frozenset(
+    {
+        "fsync",
+        "flush",
+        "write_text",
+        "read_text",
+        "write_bytes",
+        "read_bytes",
+        "unlink",
+        "rename",
+        "mkdir",
+        "rmdir",
+        "perf_counter",
+    }
+)
+
+
+@dataclass
+class EffectSignature:
+    """Inferred effects of one function."""
+
+    qualname: str
+    direct: set[str] = field(default_factory=set)
+    #: direct ∪ effects inherited from callees.
+    transitive: set[str] = field(default_factory=set)
+    #: (effect, "module:line detail") evidence for the direct effects.
+    sites: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def is_pure(self) -> bool:
+        """No effects, even transitively."""
+        return not self.transitive
+
+    def describe(self) -> str:
+        """``pure`` or the sorted effect atoms, transitive ones marked."""
+        if self.is_pure:
+            return "pure"
+        parts = []
+        for effect in EFFECT_ORDER:
+            if effect in self.direct:
+                parts.append(effect)
+            elif effect in self.transitive:
+                parts.append(f"{effect}*")
+        return " ".join(parts)
+
+
+def infer_effects(graph: ProgramGraph) -> dict[str, EffectSignature]:
+    """Effect signatures for every function in the graph, propagated."""
+    signatures = {
+        qualname: _direct_effects(graph, func)
+        for qualname, func in graph.functions.items()
+    }
+    _propagate(graph, signatures)
+    return signatures
+
+
+# ---------------------------------------------------------------------------
+# direct effects
+# ---------------------------------------------------------------------------
+
+
+def _direct_effects(graph: ProgramGraph, func: FunctionInfo) -> EffectSignature:
+    signature = EffectSignature(qualname=func.qualname)
+    module = graph.modules[func.module]
+    in_init = func.name in ("__init__", "__post_init__")
+
+    for mutation in graph.mutations.get(func.qualname, ()):
+        where = f"{func.module}:{mutation.lineno}"
+        if mutation.kind in ("global", "global-attr"):
+            signature.direct.add("writes-global")
+            signature.sites.append(
+                ("writes-global", f"{where} ({mutation.target})")
+            )
+        elif mutation.kind == "self-attr":
+            if not in_init:
+                signature.direct.add("mutates-self")
+                signature.sites.append(
+                    ("mutates-self", f"{where} (.{mutation.target})")
+                )
+        elif mutation.kind == "param-attr":
+            signature.direct.add("mutates-param")
+            signature.sites.append(
+                (
+                    "mutates-param",
+                    f"{where} ({mutation.detail}.{mutation.target})",
+                )
+            )
+        elif mutation.kind == "unknown-attr":
+            # Mutation through a value of unknown origin: conservatively a
+            # parameter-style effect (the object came from *somewhere*).
+            signature.direct.add("mutates-param")
+            signature.sites.append(
+                ("mutates-param", f"{where} (?.{mutation.target})")
+            )
+
+    assert func.node is not None
+    shadowed = set(func.params)
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            var = module.globals.get(node.id)
+            if (
+                var is not None
+                and var.kind in ("container", "instance")
+                and node.id not in shadowed
+            ):
+                signature.direct.add("reads-global")
+                signature.sites.append(
+                    ("reads-global", f"{func.module}:{node.lineno} ({node.id})")
+                )
+        elif isinstance(node, ast.Call):
+            io_site = _io_call(node)
+            if io_site:
+                signature.direct.add("io")
+                signature.sites.append(
+                    ("io", f"{func.module}:{node.lineno} ({io_site})")
+                )
+    return signature
+
+
+def _io_call(node: ast.Call) -> str | None:
+    callee = node.func
+    if isinstance(callee, ast.Name) and callee.id in _IO_CALLS:
+        return callee.id
+    if isinstance(callee, ast.Attribute):
+        if (
+            isinstance(callee.value, ast.Name)
+            and callee.value.id in _IO_MODULES
+        ):
+            return f"{callee.value.id}.{callee.attr}"
+        if callee.attr in _IO_METHODS:
+            return f".{callee.attr}"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# propagation
+# ---------------------------------------------------------------------------
+
+#: Effects that flow through every call edge.
+_VIRAL = frozenset({"reads-global", "writes-global", "io"})
+
+
+def _propagate(
+    graph: ProgramGraph, signatures: dict[str, EffectSignature]
+) -> None:
+    for signature in signatures.values():
+        signature.transitive = set(signature.direct)
+    changed = True
+    while changed:
+        changed = False
+        for qualname, signature in signatures.items():
+            caller = graph.functions[qualname]
+            for callee_name in graph.calls.get(qualname, ()):
+                callee_signature = signatures.get(callee_name)
+                if callee_signature is None:
+                    continue
+                inherited = callee_signature.transitive & _VIRAL
+                callee = graph.functions[callee_name]
+                # `self.helper()` within one class: the helper's self
+                # mutation is the caller's self mutation.
+                if (
+                    "mutates-self" in callee_signature.transitive
+                    and caller.klass is not None
+                    and caller.klass == callee.klass
+                    and caller.module == callee.module
+                    and callee.name not in ("__init__", "__post_init__")
+                ):
+                    inherited = inherited | {"mutates-self"}
+                if not inherited <= signature.transitive:
+                    signature.transitive |= inherited
+                    changed = True
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+
+def effects_summary(
+    signatures: dict[str, EffectSignature],
+) -> dict[str, int]:
+    """Counts per effect atom plus ``pure``/``total`` (for the report)."""
+    summary = {effect: 0 for effect in EFFECT_ORDER}
+    summary["pure"] = 0
+    for signature in signatures.values():
+        if signature.is_pure:
+            summary["pure"] += 1
+        for effect in signature.transitive:
+            summary[effect] += 1
+    summary["total"] = len(signatures)
+    return summary
+
+
+def impure_functions(
+    signatures: dict[str, EffectSignature], effects: Iterable[str]
+) -> list[EffectSignature]:
+    """Signatures whose transitive effects intersect ``effects``, sorted."""
+    wanted = set(effects)
+    return sorted(
+        (s for s in signatures.values() if s.transitive & wanted),
+        key=lambda s: s.qualname,
+    )

@@ -30,7 +30,8 @@ them directly on the parsed source:
 - **executor-hot-path** — the execution engine compiles expressions,
   SARG matchers, and decode plans once per plan/scan open; per-tuple
   loops must run only the compiled artifacts.  Inside ``for``/``while``
-  bodies of ``engine/operators.py``, ``engine/fuse.py``, and
+  bodies of ``engine/operators.py``, ``engine/fuse.py``,
+  ``engine/temp.py``, ``engine/external_sort.py``, and
   ``rss/scan.py`` there may be no call to ``evaluate`` /
   ``predicate_holds`` / ``decode_tuple``, no ``EvalEnv`` construction,
   and no ``isinstance`` dispatch (``assert`` statements are exempt —
@@ -399,7 +400,13 @@ def _check_joinsearch_hot_path(
 
 #: Modules whose ``for``/``while`` bodies are per-tuple hot paths.
 _EXECUTOR_HOT_PATH_MODULES = frozenset(
-    {"engine/operators.py", "engine/fuse.py", "rss/scan.py"}
+    {
+        "engine/operators.py",
+        "engine/fuse.py",
+        "engine/temp.py",
+        "engine/external_sort.py",
+        "rss/scan.py",
+    }
 )
 
 #: Interpreter entry points that must only run at compile/open time.

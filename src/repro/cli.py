@@ -185,7 +185,8 @@ class Shell:
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``.
 
-    ``python -m repro check [--plans|--costs|--lint|--storage]`` runs the
+    ``python -m repro check [--plans|--costs|--lint|--storage|--fusion|
+    --effects|--concurrency|--dead-code]`` runs the
     static verification suite and ``python -m repro bench
     [--quick|--compare]`` the optimizer micro-benchmarks instead of the
     shell.  ``--db PATH`` opens (or creates) a durable database backed by

@@ -74,13 +74,6 @@ class Compiled:
     static_type: str | None = None
 
 
-def has_subquery(expr: ast.Expr) -> bool:
-    """Whether evaluating the expression can touch storage (Section 6)."""
-    for node in ast.walk_expr(expr):
-        if isinstance(node, (BoundSubquery, ast.InSubquery)):
-            return True
-    return False
-
 
 def _const(value: object) -> Compiled:
     def fn(env: EvalEnv, _v: object = value) -> object:

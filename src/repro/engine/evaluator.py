@@ -24,7 +24,7 @@ from .rows import AGGREGATE_ALIAS, Row
 
 
 @dataclass
-class EvalEnv:
+class EvalEnv:  # concurrency: statement-scoped
     """A row plus the chain of enclosing rows and the runtime services."""
 
     row: Row
@@ -181,24 +181,25 @@ def _in_subquery(expr: ast.InSubquery, env: EvalEnv) -> bool | None:
     return None if saw_null else False
 
 
-_LIKE_CACHE: dict[str, re.Pattern[str]] = {}
-
-
 def like_regex(like_pattern: str) -> re.Pattern[str]:
-    """The compiled regex for a LIKE pattern (``%`` → ``.*``, ``_`` → ``.``)."""
-    pattern = _LIKE_CACHE.get(like_pattern)
-    if pattern is None:
-        regex_parts: list[str] = []
-        for char in like_pattern:
-            if char == "%":
-                regex_parts.append(".*")
-            elif char == "_":
-                regex_parts.append(".")
-            else:
-                regex_parts.append(re.escape(char))
-        pattern = re.compile("^" + "".join(regex_parts) + "$", re.DOTALL)
-        _LIKE_CACHE[like_pattern] = pattern
-    return pattern
+    """The compiled regex for a LIKE pattern (``%`` → ``.*``, ``_`` → ``.``).
+
+    Pure on purpose: an earlier module-level memo dict here was flagged by
+    ``repro check --concurrency`` (rule ``unguarded-parallel-state``) —
+    it was written from inside plan compilation, which the parallel PRs
+    put on worker threads.  The compiled path already calls this once per
+    plan (``engine/compile.py``), and the interpreter path rides
+    ``re.compile``'s internal cache, so the memo bought nothing.
+    """
+    regex_parts: list[str] = []
+    for char in like_pattern:
+        if char == "%":
+            regex_parts.append(".*")
+        elif char == "_":
+            regex_parts.append(".")
+        else:
+            regex_parts.append(re.escape(char))
+    return re.compile("^" + "".join(regex_parts) + "$", re.DOTALL)
 
 
 def _like(expr: ast.Like, env: EvalEnv) -> bool | None:

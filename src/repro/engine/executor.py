@@ -63,7 +63,7 @@ def resolve_exec_mode(exec_mode: str | None = None) -> str:
     return mode
 
 
-class Runtime:
+class Runtime:  # concurrency: statement-scoped
     """Cross-block execution services for one statement."""
 
     def __init__(
@@ -203,7 +203,7 @@ def _context_for(runtime: Runtime, planned: PlannedStatement) -> ExecContext:
     )
 
 
-class Executor:
+class Executor:  # concurrency: statement-scoped
     """Runs planned statements against a storage engine."""
 
     def __init__(

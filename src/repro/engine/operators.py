@@ -486,7 +486,7 @@ def _iter_sort(
 # ---------------------------------------------------------------------------
 
 
-class _AggState:
+class _AggState:  # concurrency: statement-scoped
     """Accumulator for one aggregate call within one group."""
 
     def __init__(self, call: ast.FuncCall):

@@ -22,7 +22,7 @@ Submodules:
 - :mod:`repro.optimizer.explain` — plan and search-tree rendering.
 """
 
-from .binder import Binder, bind_query
+from .binder import Binder
 from .bound import BoundColumn, BoundQueryBlock, BoundSubquery
 from .cost import Cost, CostModel, DEFAULT_W
 from .planner import Optimizer, PlannedStatement
@@ -59,5 +59,4 @@ __all__ = [
     "ScanNode",
     "SegmentAccess",
     "SortNode",
-    "bind_query",
 ]

@@ -57,7 +57,7 @@ class _Scope:
         )
 
 
-class Binder:
+class Binder:  # concurrency: statement-scoped
     """Binds SELECT statements against a catalog."""
 
     def __init__(self, catalog: Catalog):
@@ -313,7 +313,7 @@ class Binder:
                 )
 
 
-class _BlockState:
+class _BlockState:  # concurrency: statement-scoped
     """Mutable accumulation while binding one block."""
 
     def __init__(self, block_id: int):
@@ -376,7 +376,3 @@ def _plain_columns(expr: ast.Expr, block_id: int):
         if isinstance(node, BoundColumn) and node.block_id == block_id:
             yield node
 
-
-def bind_query(catalog: Catalog, query: ast.SelectQuery) -> BoundQueryBlock:
-    """Convenience: bind a single SELECT statement."""
-    return Binder(catalog).bind(query)

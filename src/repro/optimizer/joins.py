@@ -108,7 +108,7 @@ class SearchStats:
         )
 
 
-class JoinSearch:
+class JoinSearch:  # concurrency: statement-scoped
     """One DP search over a bound query block's FROM list."""
 
     def __init__(
@@ -224,10 +224,6 @@ class JoinSearch:
     def aliases_of(self, mask: int) -> frozenset[str]:
         """The alias names a bitmask subset key denotes."""
         return self.stats.aliases_of(mask)
-
-    def subset_masks(self) -> list[int]:
-        """Every solved subset's mask, smallest subsets first."""
-        return [mask for masks in self._masks_by_size for mask in masks]
 
     def solutions_for(
         self, aliases: Iterable[str] | int

@@ -52,15 +52,6 @@ class BufferPool:
         """Drop a page from the pool (after it is freed)."""
         self._resident.pop(page_id, None)
 
-    def invalidate_many(self, page_ids) -> None:
-        """Drop several pages at once (statement rollback, index drops)."""
-        for page_id in page_ids:
-            self._resident.pop(page_id, None)
-
     def clear(self) -> None:
         """Empty the pool — a "cold cache" for reproducible measurements."""
         self._resident.clear()
-
-    def resident_pages(self) -> int:
-        """How many pages are currently buffered."""
-        return len(self._resident)

@@ -39,9 +39,17 @@ class CostCounters:
         """An immutable copy of the current counter values."""
         return CounterSnapshot(self.page_fetches, self.rsi_calls, self.buffer_hits)
 
-    def weighted_cost(self, w: float) -> float:
-        """Measured cost under the paper's formula with weighting factor W."""
-        return self.page_fetches + w * self.rsi_calls
+    def restore(self, saved: "CounterSnapshot") -> None:
+        """Rewind the counters to a previously-taken snapshot.
+
+        Lifecycle writes (reset/restore) live here, next to the fields:
+        every mutation *outside* this class must be an increment so
+        per-worker counter copies stay mergeable by summation
+        (``repro check --concurrency``, rule ``counter-not-mergeable``).
+        """
+        self.page_fetches = saved.page_fetches
+        self.rsi_calls = saved.rsi_calls
+        self.buffer_hits = saved.buffer_hits
 
 
 @dataclass(frozen=True)
@@ -60,6 +68,7 @@ class CounterSnapshot:
             counters.buffer_hits - self.buffer_hits,
         )
 
+    # repro: keep — the paper's COST = PAGE FETCHES + W * RSI CALLS formula
     def weighted_cost(self, w: float) -> float:
         """Measured cost under the paper's formula for a given W."""
         return self.page_fetches + w * self.rsi_calls

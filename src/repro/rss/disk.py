@@ -164,11 +164,6 @@ class DiskManager:
             raise TornPageError(page_id, entry.crc, actual)
         return payload
 
-    def verify(self) -> None:
-        """Checksum-verify every committed page (raises on the first tear)."""
-        for page_id in self.page_ids():
-            self.read_page(page_id)
-
     def audit(self) -> list[str]:
         """Soundness report: checksums, frame bookkeeping, free list.
 

@@ -419,9 +419,7 @@ class StorageEngine:
         try:
             yield
         finally:
-            self.counters.page_fetches = saved.page_fetches
-            self.counters.rsi_calls = saved.rsi_calls
-            self.counters.buffer_hits = saved.buffer_hits
+            self.counters.restore(saved)
 
     def cold_cache(self) -> None:
         """Empty the buffer pool so the next measurement starts cold."""

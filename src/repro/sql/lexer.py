@@ -59,7 +59,7 @@ class Token:
         return repr(self.value)
 
 
-class Lexer:
+class Lexer:  # concurrency: statement-scoped
     """Streaming tokenizer over SQL text."""
 
     def __init__(self, text: str):

@@ -38,7 +38,7 @@ _COMPARE_OPS = {
 }
 
 
-class Parser:
+class Parser:  # concurrency: statement-scoped
     """Parses one SQL statement from text."""
 
     def __init__(self, text: str):

@@ -1,0 +1,306 @@
+"""Effect inference: direct atoms from the AST, viral propagation.
+
+Each fixture tree seeds exactly one effect and asserts the signature; the
+propagation tests prove the viral atoms cross call edges while the
+receiver-bound ones stay confined.  The real-tree tests pin the effect
+rules ``repro check --effects`` enforces on ``src/repro`` itself.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.dataflow import ProgramGraph
+from repro.analysis.effects import (
+    effects_summary,
+    impure_functions,
+    infer_effects,
+)
+
+PACKAGE_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def write(tmp_path, relative, source):
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def infer(tmp_path):
+    return infer_effects(ProgramGraph.build(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# direct effects
+# ---------------------------------------------------------------------------
+
+
+def test_pure_function_is_pure(tmp_path):
+    write(
+        tmp_path,
+        "m.py",
+        """
+        def add(a, b):
+            total = a + b
+            return total
+        """,
+    )
+    signatures = infer(tmp_path)
+    assert signatures["m.py::add"].is_pure
+    assert signatures["m.py::add"].describe() == "pure"
+
+
+def test_global_statement_write_is_writes_global(tmp_path):
+    write(
+        tmp_path,
+        "m.py",
+        """
+        COUNT = 0
+
+        def bump():
+            global COUNT
+            COUNT += 1
+        """,
+    )
+    signatures = infer(tmp_path)
+    assert "writes-global" in signatures["m.py::bump"].direct
+
+
+def test_container_global_mutation_is_writes_global(tmp_path):
+    write(
+        tmp_path,
+        "m.py",
+        """
+        CACHE = {}
+
+        def memo(key, value):
+            CACHE[key] = value
+        """,
+    )
+    signatures = infer(tmp_path)
+    assert "writes-global" in signatures["m.py::memo"].direct
+
+
+def test_reading_mutable_global_is_reads_global(tmp_path):
+    write(
+        tmp_path,
+        "m.py",
+        """
+        TABLE = {"k": 1}
+
+        def lookup(key):
+            return TABLE.get(key)
+        """,
+    )
+    signatures = infer(tmp_path)
+    assert "reads-global" in signatures["m.py::lookup"].direct
+    assert "writes-global" not in signatures["m.py::lookup"].direct
+
+
+def test_init_writes_are_not_mutates_self(tmp_path):
+    write(
+        tmp_path,
+        "m.py",
+        """
+        class Widget:
+            def __init__(self):
+                self.items = []
+
+            def push(self, x):
+                self.items.append(x)
+        """,
+    )
+    signatures = infer(tmp_path)
+    assert signatures["m.py::Widget.__init__"].is_pure
+    assert "mutates-self" in signatures["m.py::Widget.push"].direct
+
+
+def test_param_mutation_is_mutates_param(tmp_path):
+    write(
+        tmp_path,
+        "m.py",
+        """
+        def fill(sink):
+            sink.append(1)
+        """,
+    )
+    signatures = infer(tmp_path)
+    assert "mutates-param" in signatures["m.py::fill"].direct
+
+
+def test_io_calls_are_io(tmp_path):
+    write(
+        tmp_path,
+        "m.py",
+        """
+        def save(path, data):
+            with open(path, "w") as handle:
+                handle.write(data)
+            handle.flush()
+        """,
+    )
+    signatures = infer(tmp_path)
+    assert "io" in signatures["m.py::save"].direct
+
+
+def test_str_replace_is_not_io(tmp_path):
+    # regression: Path.replace is IO, str.replace is not; the method table
+    # must not flag string munging (sql/ast.py::Literal.__str__ originally
+    # false-positived on exactly this).
+    write(
+        tmp_path,
+        "m.py",
+        """
+        def quote(value):
+            return "'" + value.replace("'", "''") + "'"
+        """,
+    )
+    signatures = infer(tmp_path)
+    assert signatures["m.py::quote"].is_pure
+
+
+def test_mutating_locally_created_object_is_pure(tmp_path):
+    write(
+        tmp_path,
+        "m.py",
+        """
+        def build():
+            rows = []
+            rows.append(1)
+            return rows
+        """,
+    )
+    signatures = infer(tmp_path)
+    assert signatures["m.py::build"].is_pure
+
+
+# ---------------------------------------------------------------------------
+# propagation
+# ---------------------------------------------------------------------------
+
+
+def test_viral_effects_propagate_to_callers(tmp_path):
+    write(
+        tmp_path,
+        "m.py",
+        """
+        CACHE = {}
+
+        def leaf(key):
+            CACHE[key] = 1
+
+        def middle(key):
+            return leaf(key)
+
+        def top(key):
+            return middle(key)
+        """,
+    )
+    signatures = infer(tmp_path)
+    top = signatures["m.py::top"]
+    assert "writes-global" in top.transitive
+    assert "writes-global" not in top.direct
+    # transitive atoms render with the * marker (CACHE[key] = 1 both reads
+    # and writes the module global, and both atoms travel together)
+    assert top.describe() == "writes-global* reads-global*"
+
+
+def test_mutates_self_propagates_only_within_the_class(tmp_path):
+    write(
+        tmp_path,
+        "m.py",
+        """
+        class Widget:
+            def _bump(self):
+                self.count = 1
+
+            def touch(self):
+                self._bump()
+
+        def outsider(widget):
+            widget.touch()
+        """,
+    )
+    signatures = infer(tmp_path)
+    # self.helper() inside the class: the mutation is the caller's too
+    assert "mutates-self" in signatures["m.py::Widget.touch"].transitive
+    # but a caller outside the class does not mutate *its* self
+    assert "mutates-self" not in signatures["m.py::outsider"].transitive
+
+
+def test_summary_and_impure_query(tmp_path):
+    write(
+        tmp_path,
+        "m.py",
+        """
+        def pure_one():
+            return 1
+
+        def io_one():
+            print("hi")
+        """,
+    )
+    signatures = infer(tmp_path)
+    summary = effects_summary(signatures)
+    assert summary["total"] == 2
+    assert summary["pure"] == 1
+    assert summary["io"] == 1
+    impure = impure_functions(signatures, ["io"])
+    assert [s.qualname for s in impure] == ["m.py::io_one"]
+
+
+# ---------------------------------------------------------------------------
+# the real tree: the rules `repro check --effects` enforces
+# ---------------------------------------------------------------------------
+
+
+def test_real_tree_planning_layers_do_no_direct_io():
+    graph = ProgramGraph.build(PACKAGE_ROOT)
+    signatures = infer_effects(graph)
+    offenders = [
+        qualname
+        for qualname, signature in signatures.items()
+        if "io" in signature.direct
+        and graph.functions[qualname].module.startswith(
+            ("optimizer/", "sql/", "catalog/")
+        )
+    ]
+    assert offenders == []
+
+
+def test_real_tree_global_writes_confined_to_fault_registry():
+    graph = ProgramGraph.build(PACKAGE_ROOT)
+    signatures = infer_effects(graph)
+    offenders = {
+        graph.functions[qualname].module
+        for qualname, signature in signatures.items()
+        if "writes-global" in signature.direct
+    }
+    assert offenders <= {"rss/faults.py"}
+
+
+def test_real_tree_like_regex_writes_nothing():
+    # regression for the unguarded-parallel-state fix: like_regex used to
+    # memoize into a module-level dict from the compiled closures; it must
+    # never touch shared state again (directly effect-free; the transitive
+    # set only carries over-approximated .append edges)
+    graph = ProgramGraph.build(PACKAGE_ROOT)
+    signatures = infer_effects(graph)
+    signature = signatures["engine/evaluator.py::like_regex"]
+    assert signature.direct == set()
+    assert "writes-global" not in signature.transitive
+
+
+def test_real_tree_cost_model_is_pure():
+    # the paper's cost formulas are arithmetic over catalog statistics;
+    # the whole module must stay effect-free so the DP search can fan out
+    graph = ProgramGraph.build(PACKAGE_ROOT)
+    signatures = infer_effects(graph)
+    impure = [
+        qualname
+        for qualname, signature in signatures.items()
+        if graph.functions[qualname].module == "optimizer/cost.py"
+        and (signature.transitive - {"reads-global", "mutates-self"})
+    ]
+    assert impure == []

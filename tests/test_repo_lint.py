@@ -224,6 +224,34 @@ def test_flags_evalenv_and_isinstance_in_scan_loop(tmp_path):
     assert "isinstance" in messages
 
 
+def test_hot_path_rule_covers_temp_and_external_sort(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "engine/temp.py",
+        """
+        def drain(pages, plan):
+            for page in pages:
+                yield decode_tuple(page, plan)
+        """,
+    )
+    write(
+        tmp_path,
+        "engine/external_sort.py",
+        """
+        def spill(rows, key):
+            for row in rows:
+                if predicate_holds(key, row):
+                    yield row
+        """,
+    )
+    violations = by_rule(tmp_path, "executor-hot-path")
+    assert len(violations) == 2
+    wheres = " ".join(v.where for v in violations)
+    assert "engine/temp.py" in wheres
+    assert "engine/external_sort.py" in wheres
+
+
 def test_flags_isinstance_in_compiled_closure(tmp_path):
     write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
     write(
