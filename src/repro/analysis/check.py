@@ -264,15 +264,17 @@ def check_lint(echo: Callable[[str], None] = print) -> list[Violation]:
 
 
 def _audit_fused_query(
-    db: Database, sql: str, violations: list[Violation]
+    db: Database, sql: str, violations: list[Violation], workers: int = 2
 ) -> int:
-    """Execute ``sql`` fused and compiled; compare order, counters, cadence.
+    """Execute ``sql`` compiled, fused, and parallel; compare all three.
 
-    Both executions start from a cold buffer on the *same* database, so
+    Every execution starts from a cold buffer on the *same* database, so
     any divergence in page fetches, buffer hits, or RSI calls is the
-    fused engine's fault, not warm-cache luck.  Row lists are compared as
-    ordered sequences: a fused chain that reorders rows — even for a
-    query with no ORDER BY — is a bug, because fusion must be invisible.
+    fused (or parallel) engine's fault, not warm-cache luck.  Row lists
+    are compared as ordered sequences: a fused chain that reorders rows —
+    even for a query with no ORDER BY — is a bug, because fusion must be
+    invisible.  The parallel run uses ``workers`` threads; its gather
+    must reproduce the serial row order and counter totals exactly.
     Returns the number of fused chains the plan compiled to.
     """
     from ..engine.executor import Executor
@@ -280,9 +282,11 @@ def _audit_fused_query(
 
     planned = db.plan(sql)
     runs = {}
-    for mode in ("compiled", "fused"):
+    for mode in ("compiled", "fused", "parallel"):
         db.storage.cold_cache()
-        executor = Executor(db.storage, db.catalog, exec_mode=mode)
+        executor = Executor(
+            db.storage, db.catalog, exec_mode=mode, workers=workers
+        )
         before = db.storage.counters.snapshot()
         result = executor.execute(planned)
         after = db.storage.counters.snapshot()
@@ -297,56 +301,64 @@ def _audit_fused_query(
             dict(runtime.evaluation_counts) if runtime else {},
         )
     ref_rows, ref_counters, ref_evals = runs["compiled"]
-    rows, counters, evals = runs["fused"]
-    where = f"fusion [query: {sql}]"
-    if rows != ref_rows:
-        violations.append(
-            Violation(
-                "fusion-row-order",
-                where,
-                "fused row sequence differs from the compiled reference "
-                f"({len(rows)} vs {len(ref_rows)} rows)",
+    for mode in ("fused", "parallel"):
+        rows, counters, evals = runs[mode]
+        where = f"fusion [mode: {mode}] [query: {sql}]"
+        if rows != ref_rows:
+            violations.append(
+                Violation(
+                    "fusion-row-order",
+                    where,
+                    f"{mode} row sequence differs from the compiled reference "
+                    f"({len(rows)} vs {len(ref_rows)} rows)",
+                )
             )
-        )
-    if counters != ref_counters:
-        violations.append(
-            Violation(
-                "fusion-counters",
-                where,
-                "cost counters diverged: fused "
-                f"(fetches, rsi, hits)={counters} vs compiled {ref_counters}",
+        if counters != ref_counters:
+            violations.append(
+                Violation(
+                    "fusion-counters",
+                    where,
+                    f"cost counters diverged: {mode} "
+                    f"(fetches, rsi, hits)={counters} vs compiled {ref_counters}",
+                )
             )
-        )
-    if evals != ref_evals:
-        violations.append(
-            Violation(
-                "fusion-subquery-cadence",
-                where,
-                f"subquery evaluation counts diverged: fused {evals} "
-                f"vs compiled {ref_evals}",
+        if evals != ref_evals:
+            violations.append(
+                Violation(
+                    "fusion-subquery-cadence",
+                    where,
+                    f"subquery evaluation counts diverged: {mode} {evals} "
+                    f"vs compiled {ref_evals}",
+                )
             )
-        )
     return len(describe_chains(planned.root))
 
 
 def check_fusion(
     queries: int = 40, seed: int = 662607, echo: Callable[[str], None] = print
 ) -> list[Violation]:
-    """Differential audit of the fused engine against the compiled one."""
+    """Differential audit of the fused and parallel engines vs the compiled one.
+
+    ``REPRO_WORKERS`` sets the parallel worker count (default 2), so CI
+    can run the same audit at several counts.
+    """
+    import os
+
+    workers = int(os.environ.get("REPRO_WORKERS", "2"))
     violations: list[Violation] = []
     executed = 0
     chains = 0
     for db in empdept_databases():
         for sql in EMPDEPT_QUERIES:
-            chains += _audit_fused_query(db, sql, violations)
+            chains += _audit_fused_query(db, sql, violations, workers=workers)
             executed += 1
-    echo(f"  empdept: {executed} queries executed fused vs compiled")
+    echo(f"  empdept: {executed} queries: compiled vs fused vs parallel({workers})")
     generated = 0
     for db, batch in generated_batches(queries, seed):
         for sql in batch:
-            chains += _audit_fused_query(db, sql, violations)
+            chains += _audit_fused_query(db, sql, violations, workers=workers)
             generated += 1
-    echo(f"  generated: {generated} queries executed fused vs compiled")
+    echo(f"  generated: {generated} queries: compiled vs fused vs parallel({workers})")
     echo(f"  {chains} fused chains audited for order and counter fidelity")
     return violations
 

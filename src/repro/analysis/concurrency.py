@@ -21,17 +21,22 @@ classifies each entry:
   fields, *proven* increment-only and confined to ``rss/`` so per-worker
   copies can merge by summation at a pipeline breaker (the precondition
   for the ROADMAP's counter-merge design);
+- ``driver-confined`` — mutated only by the single driving thread of a
+  parallel statement; workers see it through read-only snapshots
+  (``ScanSnapshot``) or never at all (the buffer pool, whose fetch trace
+  the driver replays serially at the gather point);
 - ``UNGUARDED`` — none of the above.
 
 Unguarded state is a violation unless the committed baseline
 (``analysis/concurrency_baseline.toml``) acknowledges it: the baseline is
 a reviewed ratchet — existing known state is listed with a justification,
 and any *new* unguarded shared state fails ``repro check --concurrency``.
-State whose mutation sites are reachable from the future parallel paths
-(the fused drivers of ``engine/fuse.py``, the compiled closures of
-``engine/compile.py``, ``batches()`` in ``rss/scan.py``) is flagged
-``parallel: yes`` — that subset is the worklist the parallel-execution PR
-must guard before it can ship.
+State whose mutation sites are reachable from the parallel paths (the
+fused drivers of ``engine/fuse.py``, the compiled closures of
+``engine/compile.py``, the worker tasks and gather drivers of
+``engine/parallel.py``, ``batches()`` in ``rss/scan.py``) is flagged
+``parallel: yes`` — that subset is the worklist parallel execution must
+guard before it can grow.
 
 An in-source trailing comment ``# concurrency: statement-scoped`` (on the
 declaration line or the line above) classifies state where the
@@ -55,6 +60,7 @@ CLASSIFICATIONS = (
     "statement-scoped",
     "version-stamped",
     "mergeable-counter",
+    "driver-confined",
     "UNGUARDED",
 )
 
@@ -63,7 +69,11 @@ COUNTER_FIELDS = ("page_fetches", "rsi_calls", "buffer_hits")
 
 #: Roots of the future parallel execution paths (module prefix or exact
 #: function qualname): state mutated under these must not stay unguarded.
-PARALLEL_ROOT_MODULES = ("engine/fuse.py", "engine/compile.py")
+PARALLEL_ROOT_MODULES = (
+    "engine/fuse.py",
+    "engine/compile.py",
+    "engine/parallel.py",
+)
 PARALLEL_ROOT_FUNCTIONS = (
     "rss/scan.py::SegmentScan.batches",
     "rss/scan.py::IndexScan.batches",

@@ -61,6 +61,7 @@ class Database:
         use_interesting_orders: bool = True,
         subquery_cache_mode: str = "prev",
         exec_mode: str | None = None,
+        workers: int | None = None,
         path: str | None = None,
     ):
         #: ``path`` opts into durability: statements commit to a
@@ -76,10 +77,19 @@ class Database:
         self.use_heuristic = use_heuristic
         self.use_interesting_orders = use_interesting_orders
         self.subquery_cache_mode = subquery_cache_mode
-        #: "fused" / "compiled" / "interp" / None (None reads REPRO_EXEC,
-        #: default fused) — chooses fused per-batch pipelines, per-operator
-        #: closure programs, or the reference interpreter.
+        #: "fused" / "parallel" / "compiled" / "interp" / None (None reads
+        #: REPRO_EXEC, default fused) — chooses fused per-batch pipelines
+        #: (optionally worker-pool parallel), per-operator closure
+        #: programs, or the reference interpreter.
         self.exec_mode = exec_mode
+        #: Worker count for ``parallel`` mode; None reads REPRO_WORKERS
+        #: (falling back to the CPU count).  Validated eagerly so a bad
+        #: count fails at construction, not at the first statement.
+        if workers is not None and workers < 1:
+            raise ValueError(
+                f"bad worker count {workers!r}: expected a positive integer"
+            )
+        self.workers = workers
         #: Override for the planner's §6 correlation-ordering decision;
         #: None derives it from the cache mode.
         self.correlation_ordering: bool | None = None
@@ -107,7 +117,7 @@ class Database:
         """A fresh executor bound to this database's storage and catalog."""
         return Executor(
             self.storage, self.catalog, self.subquery_cache_mode,
-            exec_mode=self.exec_mode,
+            exec_mode=self.exec_mode, workers=self.workers,
         )
 
     @property
@@ -297,7 +307,7 @@ class Database:
         planned = self.plan_query(query)
         executor = Executor(
             self.storage, self.catalog, self.subquery_cache_mode,
-            exec_mode=self.exec_mode,
+            exec_mode=self.exec_mode, workers=self.workers,
         )
         return planned, list(executor.execute_rows(planned))
 
@@ -362,7 +372,7 @@ class Database:
     def _run(self, planned: PlannedStatement) -> QueryResult:
         executor = Executor(
             self.storage, self.catalog, self.subquery_cache_mode,
-            exec_mode=self.exec_mode,
+            exec_mode=self.exec_mode, workers=self.workers,
         )
         self.last_executor = executor
         return executor.execute(planned)

@@ -48,19 +48,74 @@ class QueryResult:
         return self.rows[0][0]
 
 
+#: Every execution engine an entry point may select.
+VALID_EXEC_MODES = ("fused", "parallel", "compiled", "interp")
+
+
+def _parse_workers(text: str, source: str) -> int:
+    try:
+        workers = int(text)
+    except ValueError:
+        workers = 0
+    if workers < 1:
+        raise ValueError(
+            f"bad worker count {text!r} from {source}: "
+            "expected a positive integer"
+        )
+    return workers
+
+
+def resolve_exec_settings(
+    exec_mode: str | None = None, workers: int | None = None
+) -> tuple[str, int]:
+    """Resolve ``(mode, workers)`` from arguments and the environment.
+
+    ``exec_mode`` (or the ``REPRO_EXEC`` environment variable when it is
+    ``None``) picks one of :data:`VALID_EXEC_MODES`; anything else —
+    including a typo — raises a :class:`ValueError` naming the valid
+    modes rather than silently falling through to a default engine.  The
+    worker count for ``parallel`` comes from, in precedence order: an
+    explicit ``workers`` argument, a ``parallel:N`` mode suffix, the
+    ``REPRO_WORKERS`` environment variable, then the machine's CPU count.
+    """
+    mode = exec_mode or os.environ.get("REPRO_EXEC", "fused")
+    if ":" in mode:
+        mode, __, suffix = mode.partition(":")
+        if mode != "parallel":
+            raise ValueError(
+                f"exec mode {mode!r} takes no ':N' worker suffix "
+                "(only 'parallel:N' does)"
+            )
+        if workers is None:
+            workers = _parse_workers(suffix, source="exec_mode suffix")
+    if mode not in VALID_EXEC_MODES:
+        raise ValueError(
+            f"unknown exec mode {mode!r}; valid modes: "
+            + ", ".join(VALID_EXEC_MODES)
+        )
+    if workers is None:
+        env_workers = os.environ.get("REPRO_WORKERS")
+        if env_workers is not None:
+            workers = _parse_workers(env_workers, source="REPRO_WORKERS")
+        else:
+            workers = (os.cpu_count() or 1) if mode == "parallel" else 1
+    elif workers < 1:
+        raise ValueError(
+            f"bad worker count {workers!r}: expected a positive integer"
+        )
+    return mode, workers
+
+
 def resolve_exec_mode(exec_mode: str | None = None) -> str:
-    """The execution mode: ``"fused"`` (default), ``"compiled"``, or
-    ``"interp"``.
+    """The execution mode: ``"fused"`` (default), ``"parallel"``,
+    ``"compiled"``, or ``"interp"``.
 
     ``None`` falls back to the ``REPRO_EXEC`` environment variable, letting
     any entry point A/B the fused pipeline engine against the
     generator-per-operator compiled engine and the reference interpreter
     without code changes.
     """
-    mode = exec_mode or os.environ.get("REPRO_EXEC", "fused")
-    if mode not in ("fused", "compiled", "interp"):
-        raise ValueError(f"bad exec mode {mode!r}")
-    return mode
+    return resolve_exec_settings(exec_mode)[0]
 
 
 class Runtime:  # concurrency: statement-scoped
@@ -73,12 +128,18 @@ class Runtime:  # concurrency: statement-scoped
         planned: PlannedStatement,
         subquery_cache_mode: str = "prev",
         exec_mode: str | None = None,
+        workers: int | None = None,
     ):
         if subquery_cache_mode not in ("prev", "none", "memo"):
             raise ValueError(f"bad subquery_cache_mode {subquery_cache_mode!r}")
-        mode = resolve_exec_mode(exec_mode)
+        mode, resolved_workers = resolve_exec_settings(exec_mode, workers)
         self.interpret = mode == "interp"
-        self.fused = mode == "fused"
+        # Parallel mode rides the fused driver infrastructure: eligible
+        # chains get worker-pool drivers, everything else falls back to
+        # the serial fused engine.
+        self.parallel = mode == "parallel"
+        self.fused = mode == "fused" or self.parallel
+        self.workers = resolved_workers
         self.storage = storage
         self.catalog = catalog
         self.planned = planned
@@ -200,6 +261,8 @@ def _context_for(runtime: Runtime, planned: PlannedStatement) -> ExecContext:
         schemas=schemas,
         interpret=getattr(runtime, "interpret", False),
         fused=getattr(runtime, "fused", False),
+        parallel=getattr(runtime, "parallel", False),
+        workers=getattr(runtime, "workers", 1),
     )
 
 
@@ -212,18 +275,21 @@ class Executor:  # concurrency: statement-scoped
         catalog: Catalog,
         subquery_cache_mode: str = "prev",
         exec_mode: str | None = None,
+        workers: int | None = None,
     ):
         self._storage = storage
         self._catalog = catalog
         self._cache_mode = subquery_cache_mode
-        self._exec_mode = resolve_exec_mode(exec_mode)
+        self._exec_mode, self._workers = resolve_exec_settings(
+            exec_mode, workers
+        )
         self.last_runtime: Runtime | None = None
 
     def execute(self, planned: PlannedStatement) -> QueryResult:
         """Run a planned SELECT to completion."""
         runtime = Runtime(
             self._storage, self._catalog, planned, self._cache_mode,
-            exec_mode=self._exec_mode,
+            exec_mode=self._exec_mode, workers=self._workers,
         )
         self.last_runtime = runtime
         ctx = _context_for(runtime, planned)
@@ -242,7 +308,7 @@ class Executor:  # concurrency: statement-scoped
         """Yield pre-projection rows (with TIDs) — used by UPDATE/DELETE."""
         runtime = Runtime(
             self._storage, self._catalog, planned, self._cache_mode,
-            exec_mode=self._exec_mode,
+            exec_mode=self._exec_mode, workers=self._workers,
         )
         self.last_runtime = runtime
         node = planned.root

@@ -142,10 +142,16 @@ def describe_chains(node: PlanNode) -> list[str]:
 
 
 def _fused_program(node: PlanNode, ctx: ExecContext) -> BatchDriver:
+    # Parallel mode compiles its own driver tree: eligible chains get
+    # worker-pool drivers, the rest reuse the serial builders below, and
+    # the distinct cache key keeps the two engines from mixing.  Drivers
+    # read ``ctx.workers`` at call time, so one cached parallel driver
+    # serves any worker count.
     cache = node.compiled
-    if "fused" not in cache:
-        cache["fused"] = _build_fused(node, ctx)
-    return cache["fused"]
+    key = "parallel" if ctx.parallel else "fused"
+    if key not in cache:
+        cache[key] = _build_fused(node, ctx)
+    return cache[key]
 
 
 def _build_fused(node: PlanNode, ctx: ExecContext) -> BatchDriver:
@@ -158,12 +164,24 @@ def _build_fused(node: PlanNode, ctx: ExecContext) -> BatchDriver:
     if isinstance(node, (ProjectNode, FilterNode, ScanNode)):
         project, filters, bottom = _collapse(node)
         if isinstance(bottom, ScanNode):
+            if ctx.parallel:
+                from .parallel import parallel_chain_driver
+
+                driver = parallel_chain_driver(bottom, filters, project, ctx)
+                if driver is not None:
+                    return driver
             return _scan_chain_driver(bottom, filters, project, ctx)
         preds = [_program(f, ctx, _build_filter) for f in filters]
         fns = None if project is None else _program(project, ctx, _build_project)
         source = _fused_program(bottom, ctx)
         return _row_chain_driver(source, preds, fns)
     if isinstance(node, NestedLoopJoinNode):
+        if ctx.parallel:
+            from .parallel import parallel_nested_loop_driver
+
+            driver = parallel_nested_loop_driver(node, ctx)
+            if driver is not None:
+                return driver
         return _nested_loop_driver(node, ctx)
     if isinstance(node, MergeJoinNode):
         return _merge_join_driver(node, ctx)
@@ -534,7 +552,7 @@ def _lazy_rows(
         return sort_rows(
             node, ctx, chain.from_iterable(fused_batches(node.child, ctx, outer))
         )
-    return iterate(node, replace(ctx, fused=False), outer)
+    return iterate(node, replace(ctx, fused=False, parallel=False), outer)
 
 
 def _sort_driver(node: SortNode, ctx: ExecContext) -> BatchDriver:
@@ -688,9 +706,10 @@ def _distinct_driver(node: DistinctNode, ctx: ExecContext) -> BatchDriver:
 
 def _output_program(node: PlanNode, ctx: ExecContext) -> BatchDriver:
     cache = node.compiled
-    if "fused_out" not in cache:
-        cache["fused_out"] = _build_output(node, ctx)
-    return cache["fused_out"]
+    key = "parallel_out" if ctx.parallel else "fused_out"
+    if key not in cache:
+        cache[key] = _build_output(node, ctx)
+    return cache[key]
 
 
 def _build_output(node: PlanNode, ctx: ExecContext) -> BatchDriver:
@@ -716,6 +735,12 @@ def _build_output(node: PlanNode, ctx: ExecContext) -> BatchDriver:
         project, filters, bottom = _collapse(node)
         assert project is not None
         if isinstance(bottom, ScanNode):
+            if ctx.parallel:
+                from .parallel import parallel_output_driver
+
+                driver = parallel_output_driver(bottom, filters, project, ctx)
+                if driver is not None:
+                    return driver
             return _scan_output_driver(bottom, filters, project, ctx)
         preds = [_program(f, ctx, _build_filter) for f in filters]
         return _row_output_driver(

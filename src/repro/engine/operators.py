@@ -44,7 +44,13 @@ from ..optimizer.plan import (
     SortNode,
     walk_plan,
 )
-from ..rss.sargs import and_matcher, dnf_matcher, predicate_factory, type_family
+from ..rss.sargs import (
+    CompareOp,
+    and_matcher,
+    dnf_matcher,
+    predicate_factory,
+    type_family,
+)
 from ..rss.tuples import DecodePlan
 from ..sql import ast
 from .compile import EvalFn, ExprCompiler, ordering_fns
@@ -64,6 +70,12 @@ class ExecContext:
     #: When set, plans execute through the fused per-batch drivers of
     #: :mod:`repro.engine.fuse` instead of one generator per operator.
     fused: bool = False
+    #: When set (implies ``fused``), eligible fused chains run through the
+    #: worker-pool drivers of :mod:`repro.engine.parallel`.
+    parallel: bool = False
+    #: Worker count for parallel drivers; read at call time, so compiled
+    #: drivers cached on plan nodes stay worker-count-independent.
+    workers: int = 1
 
     @property
     def storage(self):
@@ -145,6 +157,12 @@ class _ScanProgram:
     decode_plan: DecodePlan
     #: per sargable factor, per DNF group: (matcher factory, value closure)
     sarg_parts: list[list[list[tuple[Callable, EvalFn]]]]
+    #: structural mirror of ``sarg_parts``: (column position, operator) per
+    #: predicate, so the parallel exchange can recognize equality probe
+    #: keys without re-walking the plan.
+    sarg_specs: list[list[list[tuple[int, CompareOp]]]] = field(
+        default_factory=list
+    )
     low_fns: tuple[EvalFn, ...] = ()
     high_fns: tuple[EvalFn, ...] = ()
     residual: Callable[[EvalEnv], bool] | None = None
@@ -155,10 +173,13 @@ def _build_scan(node: ScanNode, ctx: ExecContext) -> _ScanProgram:
     # so every column they mention resolves through the enclosing chain.
     opens = ExprCompiler((), interpret=ctx.interpret)
     sarg_parts: list[list[list[tuple[Callable, EvalFn]]]] = []
+    sarg_specs: list[list[list[tuple[int, CompareOp]]]] = []
     for expression in node.sargs:
         part: list[list[tuple[Callable, EvalFn]]] = []
+        spec_part: list[list[tuple[int, CompareOp]]] = []
         for group in expression.groups:
             compiled_group: list[tuple[Callable, EvalFn]] = []
+            spec_group: list[tuple[int, CompareOp]] = []
             for pred in group:
                 family = (
                     None
@@ -167,8 +188,11 @@ def _build_scan(node: ScanNode, ctx: ExecContext) -> _ScanProgram:
                 )
                 make = predicate_factory(pred.column.position, pred.op, family)
                 compiled_group.append((make, opens.expr_fn(pred.value)))
+                spec_group.append((pred.column.position, pred.op))
             part.append(compiled_group)
+            spec_part.append(spec_group)
         sarg_parts.append(part)
+        sarg_specs.append(spec_part)
     low_fns: tuple[EvalFn, ...] = ()
     high_fns: tuple[EvalFn, ...] = ()
     if isinstance(node.access, IndexAccess):
@@ -180,10 +204,29 @@ def _build_scan(node: ScanNode, ctx: ExecContext) -> _ScanProgram:
     return _ScanProgram(
         decode_plan=DecodePlan(ctx.schemas[node.alias]),
         sarg_parts=sarg_parts,
+        sarg_specs=sarg_specs,
         low_fns=low_fns,
         high_fns=high_fns,
         residual=residual,
     )
+
+
+def compile_sarg_matcher(
+    program: _ScanProgram, value_env: EvalEnv
+) -> Callable[[tuple], bool] | None:
+    """The scan's per-open SARG matcher: probe and correlation values are
+    evaluated against the enclosing environment chain and bound into the
+    prebuilt predicate factories."""
+    if not program.sarg_parts:
+        return None
+    parts = []
+    for part in program.sarg_parts:
+        groups = [
+            [make(value_fn(value_env)) for make, value_fn in group]
+            for group in part
+        ]
+        parts.append(dnf_matcher(groups))
+    return and_matcher(parts)
 
 
 def open_scan(
@@ -202,16 +245,7 @@ def open_scan(
     fetches and counters are unaffected (see :mod:`repro.rss.scan`).
     """
     value_env = ctx.env(Row(), outer)
-    matcher = None
-    if program.sarg_parts:
-        parts = []
-        for part in program.sarg_parts:
-            groups = [
-                [make(value_fn(value_env)) for make, value_fn in group]
-                for group in part
-            ]
-            parts.append(dnf_matcher(groups))
-        matcher = and_matcher(parts)
+    matcher = compile_sarg_matcher(program, value_env)
     storage = ctx.storage
     if not program.low_fns and not program.high_fns and not isinstance(
         node.access, IndexAccess

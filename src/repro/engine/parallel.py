@@ -1,0 +1,688 @@
+"""Worker-pool parallel execution of fused scan pipelines.
+
+``REPRO_EXEC=parallel`` runs the PR 5 fused ``Scan→Filter*→Project``
+drivers over page-aligned partitions of a segment concurrently: the
+segment's page list is snapshotted once per driver call
+(:meth:`repro.rss.storage.StorageEngine.scan_snapshot`), split into
+contiguous ranges, and each range is handed to a worker that decodes,
+SARG-matches, filters, and projects its pages against the *same* compiled
+closure programs the serial driver would run.  A nested-loop join gets an
+exchange operator instead: equality probe SARGs hash-repartition the
+inner relation once per statement, and workers answer probes by bucket
+lookup rather than by rescanning the inner pages.
+
+Counter fidelity is the contract that keeps ``repro bench --exec
+--compare`` bit-identical to ``fused``:
+
+- **RSI calls** are order-independent sums.  Every worker counts into its
+  own private :class:`~repro.rss.counters.CostCounters` and the driving
+  thread folds them into the statement's counters with
+  :meth:`~repro.rss.counters.CostCounters.merge` as results drain — the
+  summation-at-the-gather the concurrency report's ``mergeable-counter``
+  class is machine-proven to permit.
+- **Page fetches and buffer hits** depend on LRU order, so workers never
+  touch the buffer pool: they read frozen pages directly from the page
+  store (a plain dict lookup with no counter effects), and the driving
+  thread *replays* ``BufferPool.fetch`` in exact serial page order,
+  lazily, as batches are pulled downstream.  The fetch/hit trace is
+  therefore byte-identical to the serial engine's, including its
+  interleaving with any downstream breaker's page traffic.
+
+Row order is preserved by construction: partitions are contiguous page
+ranges, the gather concatenates partition results in range order, and
+hash buckets are built in (page, slot) order, so every driver emits rows
+in exactly the serial scan order — no sort is needed to keep
+order-dependent plans honest.
+
+Eligibility is strict and failure is silent: a chain whose SARG values,
+residuals, filters, or projections contain a subquery, or whose access
+path is an index (the B-tree descent *is* the fetch trace), builds no
+parallel driver and :mod:`repro.engine.fuse` falls back to the serial
+fused driver.  Subqueries still parallelize internally — their own plans
+compile their own drivers — while the enclosing chain keeps its exact
+per-probe evaluation cadence.
+
+The backend seam is deliberately narrow (``imap(tasks)`` yielding results
+in submission order): :class:`ThreadBackend` drives the compiled closures
+from a reusable :class:`~concurrent.futures.ThreadPoolExecutor` today,
+and a process or free-threaded backend can slot in behind the same two
+methods later.  Worker tasks are pure functions of frozen snapshots and
+compiled programs; they never run ``iterate``/subqueries, so pools cannot
+deadlock on nested dispatch.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterator
+
+from ..optimizer.bound import BoundSubquery
+from ..optimizer.plan import (
+    FilterNode,
+    IndexAccess,
+    NestedLoopJoinNode,
+    ProjectNode,
+    ScanNode,
+)
+from ..rss.counters import CostCounters
+from ..rss.sargs import CompareOp, and_matcher, dnf_matcher
+from ..rss.scan import DEFAULT_BATCH_SIZE, decode_page_rows
+from ..sql import ast
+from .evaluator import EvalEnv
+from .operators import (
+    ExecContext,
+    _build_filter,
+    _build_nested_loop,
+    _build_project,
+    _build_scan,
+    _program,
+    _ScanProgram,
+    compile_sarg_matcher,
+)
+from .rows import OUTPUT_ALIAS, Row
+
+#: Partitions per worker: a little over-decomposition smooths out skew
+#: from uneven selectivity across page ranges.
+_PARTITIONS_PER_WORKER = 2
+
+#: Outer rows per probe task for the nested-loop exchange.
+_PROBE_CHUNK = 64
+
+
+# ---------------------------------------------------------------------------
+# execution backends
+# ---------------------------------------------------------------------------
+
+
+class SerialBackend:
+    """Runs tasks inline on the driving thread (worker count <= 1)."""
+
+    workers = 1
+
+    def imap(self, tasks) -> Iterator:
+        for task in tasks:
+            yield task()
+
+
+class ThreadBackend:
+    """A reusable thread pool yielding task results in submission order.
+
+    Submission is eager (workers race ahead of the gather), delivery is
+    ordered — the shape the counter-replay gather needs.
+    """
+
+    def __init__(self, workers: int):
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-worker"
+        )
+
+    def imap(self, tasks) -> Iterator:
+        futures = [self._pool.submit(task) for task in tasks]
+        for future in futures:
+            yield future.result()
+
+
+_SERIAL = SerialBackend()
+
+
+class _BackendRegistry:
+    """Thread pools keyed by worker count, reused across statements."""
+
+    def __init__(self) -> None:
+        # Created and read only by statements' driving threads while no
+        # worker tasks of their own are in flight; workers never reach it.
+        # concurrency: driver-confined
+        self._pools: dict[int, ThreadBackend] = {}
+
+    def get(self, workers: int) -> SerialBackend | ThreadBackend:
+        if workers <= 1:
+            return _SERIAL
+        backend = self._pools.get(workers)
+        if backend is None:
+            backend = ThreadBackend(workers)
+            self._pools[workers] = backend
+        return backend
+
+
+_REGISTRY = _BackendRegistry()
+
+
+def get_backend(workers: int) -> SerialBackend | ThreadBackend:
+    """The execution backend for a worker count; pools are reused."""
+    return _REGISTRY.get(workers)
+
+
+def partition_ranges(count: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(count)`` into at most ``parts`` contiguous ranges."""
+    parts = max(1, min(parts, count))
+    base, extra = divmod(count, parts)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+# ---------------------------------------------------------------------------
+# eligibility
+# ---------------------------------------------------------------------------
+
+#: Expression nodes that evaluate through the runtime's subquery machinery.
+#: ``walk_expr`` yields (and does not descend into) both forms.
+_SUBQUERY_NODES = (BoundSubquery, ast.InSubquery)
+
+
+def _subquery_free(exprs) -> bool:
+    """True when no expression reaches the runtime's subquery machinery.
+
+    Subquery evaluation mutates statement-scoped caches and fetches pages
+    mid-expression; both would break worker confinement and the replayed
+    fetch trace, so any subquery anywhere in a chain vetoes parallelism.
+    """
+    for expr in exprs:
+        for node in ast.walk_expr(expr):
+            if type(node) in _SUBQUERY_NODES:
+                return False
+    return True
+
+
+def _scan_exprs(node: ScanNode) -> list:
+    exprs = list(node.residual)
+    for expression in node.sargs:
+        for group in expression.groups:
+            for pred in group:
+                exprs.append(pred.value)
+    return exprs
+
+
+def _segment_scan_eligible(node: ScanNode, program: _ScanProgram) -> bool:
+    """Parallel drivers handle plain segment scans only.
+
+    An index scan's B-tree descent and per-entry data-page fetches *are*
+    its cost trace — there is no counter-free way to compute them ahead on
+    a worker — so index access paths stay on the serial fused driver.
+    """
+    if isinstance(node.access, IndexAccess):
+        return False
+    return not program.low_fns and not program.high_fns
+
+
+# ---------------------------------------------------------------------------
+# partitioned segment scans
+# ---------------------------------------------------------------------------
+
+
+def _scan_partition(
+    snapshot, decode, matcher, process, lo: int, hi: int
+) -> tuple[CostCounters, list[list]]:
+    """One worker task: decode, SARG-match, and process a page range.
+
+    Runs on a worker thread against the read-only snapshot with a private
+    :class:`CostCounters`; the buffer pool is never touched here (the
+    driving thread replays fetches in serial page order as results
+    drain).  Matched rows are chunked exactly as the serial scan's
+    page-aligned batches so RSI charges land in identical quanta.
+    """
+    counters = CostCounters()
+    count_rsi = counters.count_rsi_call
+    get_page = snapshot.get_page
+    page_ids = snapshot.page_ids
+    relation_id = snapshot.relation_id
+    pages: list[list] = []
+    for index in range(lo, hi):
+        page_id = page_ids[index]
+        rows = decode_page_rows(page_id, get_page(page_id), relation_id, decode)
+        if matcher is not None:
+            rows = [item for item in rows if matcher(item[1])]
+        chunks: list = []
+        for start in range(0, len(rows), DEFAULT_BATCH_SIZE):
+            chunk = rows[start : start + DEFAULT_BATCH_SIZE]
+            count_rsi(len(chunk))
+            chunks.append(process(chunk))
+        pages.append(chunks)
+    return counters, pages
+
+
+def _partitioned_driver(scan_node: ScanNode, program: _ScanProgram, make_process):
+    """The generic gather: fan page ranges out, replay counters in order.
+
+    ``make_process`` builds one per-task closure (with its own mutable
+    environment) mapping a SARG-matched chunk to its output batch.
+    """
+    decode = program.decode_plan.decode
+    table = scan_node.table
+
+    def driver(ctx: ExecContext, outer: EvalEnv | None):
+        value_env = ctx.env(Row(), outer)
+        matcher = compile_sarg_matcher(program, value_env)
+        snapshot = ctx.storage.scan_snapshot(table)
+        page_ids = snapshot.page_ids
+        if not page_ids:
+            return
+        backend = get_backend(ctx.workers)
+        ranges = partition_ranges(
+            len(page_ids), backend.workers * _PARTITIONS_PER_WORKER
+        )
+        tasks = [
+            (
+                lambda lo=lo, hi=hi: _scan_partition(
+                    snapshot, decode, matcher, make_process(ctx, outer), lo, hi
+                )
+            )
+            for lo, hi in ranges
+        ]
+        fetch = ctx.storage.buffer.fetch
+        merge = ctx.storage.counters.merge
+        index = 0
+        for counters, pages in backend.imap(tasks):
+            merge(counters)
+            for chunks in pages:
+                fetch(page_ids[index])
+                index += 1
+                for out in chunks:
+                    if out:
+                        yield out
+
+    return driver
+
+
+def parallel_chain_driver(
+    scan_node: ScanNode,
+    filters: list[FilterNode],
+    project: ProjectNode | None,
+    ctx: ExecContext,
+):
+    """A partitioned ``Scan→Filter*→Project?`` driver, or ``None``.
+
+    Mirrors the four serial flavors of ``fuse._scan_chain_driver`` —
+    same closures, same ``Row`` shapes, same charge points — with the
+    per-tuple work moved onto workers.
+    """
+    program: _ScanProgram = _program(scan_node, ctx, _build_scan)
+    if not _segment_scan_eligible(scan_node, program):
+        return None
+    filter_exprs = [pred for f in filters for pred in f.predicates]
+    project_exprs = [] if project is None else list(project.exprs)
+    if not _subquery_free(_scan_exprs(scan_node) + filter_exprs + project_exprs):
+        return None
+    from .fuse import _combine
+
+    alias = scan_node.alias
+    preds = [program.residual]
+    preds.extend(_program(f, ctx, _build_filter) for f in filters)
+    test = _combine(preds)
+    fns = None if project is None else _program(project, ctx, _build_project)
+
+    if test is None and fns is None:
+
+        def make_rows(ctx: ExecContext, outer: EvalEnv | None):
+            def process(chunk):
+                return [
+                    Row(values={alias: values}, tids={alias: tid})
+                    for tid, values in chunk
+                ]
+
+            return process
+
+        return _partitioned_driver(scan_node, program, make_rows)
+
+    if fns is None:
+
+        def make_filter(ctx: ExecContext, outer: EvalEnv | None):
+            env = ctx.env(Row(), outer)
+
+            def process(chunk):
+                out = []
+                append = out.append
+                for tid, values in chunk:
+                    row = Row(values={alias: values}, tids={alias: tid})
+                    env.row = row
+                    if test(env):
+                        append(row)
+                return out
+
+            return process
+
+        return _partitioned_driver(scan_node, program, make_filter)
+
+    if test is None:
+
+        def make_project(ctx: ExecContext, outer: EvalEnv | None):
+            env = ctx.env(Row(), outer)
+
+            def process(chunk):
+                out = []
+                append = out.append
+                for tid, values in chunk:
+                    tids = {alias: tid}
+                    env.row = Row(values={alias: values}, tids=tids)
+                    append(
+                        Row(
+                            values={
+                                alias: values,
+                                OUTPUT_ALIAS: tuple([fn(env) for fn in fns]),
+                            },
+                            tids=tids,
+                        )
+                    )
+                return out
+
+            return process
+
+        return _partitioned_driver(scan_node, program, make_project)
+
+    def make_chain(ctx: ExecContext, outer: EvalEnv | None):
+        env = ctx.env(Row(), outer)
+
+        def process(chunk):
+            out = []
+            append = out.append
+            for tid, values in chunk:
+                tids = {alias: tid}
+                env.row = Row(values={alias: values}, tids=tids)
+                if test(env):
+                    append(
+                        Row(
+                            values={
+                                alias: values,
+                                OUTPUT_ALIAS: tuple([fn(env) for fn in fns]),
+                            },
+                            tids=tids,
+                        )
+                    )
+            return out
+
+        return process
+
+    return _partitioned_driver(scan_node, program, make_chain)
+
+
+def parallel_output_driver(
+    scan_node: ScanNode,
+    filters: list[FilterNode],
+    project: ProjectNode,
+    ctx: ExecContext,
+):
+    """A partitioned chain emitting bare output tuples, or ``None``.
+
+    The output-tuple counterpart of :func:`parallel_chain_driver`,
+    mirroring ``fuse._scan_output_driver`` including its all-columns
+    ``itemgetter`` fast path.
+    """
+    program: _ScanProgram = _program(scan_node, ctx, _build_scan)
+    if not _segment_scan_eligible(scan_node, program):
+        return None
+    filter_exprs = [pred for f in filters for pred in f.predicates]
+    if not _subquery_free(
+        _scan_exprs(scan_node) + filter_exprs + list(project.exprs)
+    ):
+        return None
+    from .fuse import _columns_getter, _combine
+
+    alias = scan_node.alias
+    preds = [program.residual]
+    preds.extend(_program(f, ctx, _build_filter) for f in filters)
+    test = _combine(preds)
+    fns = _program(project, ctx, _build_project)
+    fast = _columns_getter(project.exprs, alias)
+
+    if test is None and fast is not None:
+
+        def make_direct(ctx: ExecContext, outer: EvalEnv | None):
+            def process(chunk):
+                return [fast(values) for __, values in chunk]
+
+            return process
+
+        return _partitioned_driver(scan_node, program, make_direct)
+
+    if test is None:
+
+        def make_project(ctx: ExecContext, outer: EvalEnv | None):
+            env = ctx.env(Row(), outer)
+
+            def process(chunk):
+                out = []
+                append = out.append
+                for __, values in chunk:
+                    env.row = Row(values={alias: values})
+                    append(tuple([fn(env) for fn in fns]))
+                return out
+
+            return process
+
+        return _partitioned_driver(scan_node, program, make_project)
+
+    if fast is not None:
+
+        def make_filtered_direct(ctx: ExecContext, outer: EvalEnv | None):
+            env = ctx.env(Row(), outer)
+
+            def process(chunk):
+                out = []
+                append = out.append
+                for __, values in chunk:
+                    env.row = Row(values={alias: values})
+                    if test(env):
+                        append(fast(values))
+                return out
+
+            return process
+
+        return _partitioned_driver(scan_node, program, make_filtered_direct)
+
+    def make_chain(ctx: ExecContext, outer: EvalEnv | None):
+        env = ctx.env(Row(), outer)
+
+        def process(chunk):
+            out = []
+            append = out.append
+            for __, values in chunk:
+                env.row = Row(values={alias: values})
+                if test(env):
+                    append(tuple([fn(env) for fn in fns]))
+            return out
+
+        return process
+
+    return _partitioned_driver(scan_node, program, make_chain)
+
+
+# ---------------------------------------------------------------------------
+# exchange: hash-repartitioned nested-loop probes
+# ---------------------------------------------------------------------------
+
+
+def _probe_keys(program: _ScanProgram) -> tuple[tuple[int, ...], list[int], list]:
+    """Split SARG parts into hash-key equality conjuncts and the rest.
+
+    A part whose DNF is a single group of all-equality predicates is a
+    conjunction of ``column = probe-value`` terms: its column positions
+    become hash-key components and its value closures compute the probe
+    key.  Remaining parts stay as a per-probe matcher over bucket
+    candidates.
+    """
+    key_positions: list[int] = []
+    key_value_fns: list = []
+    rest_parts: list[int] = []
+    for index, (part, spec_part) in enumerate(
+        zip(program.sarg_parts, program.sarg_specs)
+    ):
+        if len(part) == 1 and all(op is CompareOp.EQ for __, op in spec_part[0]):
+            for (position, __), (___, value_fn) in zip(spec_part[0], part[0]):
+                key_positions.append(position)
+                key_value_fns.append(value_fn)
+        else:
+            rest_parts.append(index)
+    return tuple(key_positions), rest_parts, key_value_fns
+
+
+def _build_buckets(
+    snapshot, decode, key_positions: tuple[int, ...]
+) -> dict[tuple, list]:
+    """Hash-repartition the frozen inner relation by its probe-key columns.
+
+    Built once per statement from the page-store snapshot (no counter
+    effects), in (page, slot) order so every bucket preserves the serial
+    scan order.  Rows with a NULL key component are excluded: SQL
+    equality never matches NULL, exactly as the serial matcher's
+    reject-all behaviour for a NULL comparison value.
+    """
+    buckets: dict[tuple, list] = {}
+    get_page = snapshot.get_page
+    relation_id = snapshot.relation_id
+    for page_id in snapshot.page_ids:
+        rows = decode_page_rows(page_id, get_page(page_id), relation_id, decode)
+        for item in rows:
+            values = item[1]
+            key = tuple([values[position] for position in key_positions])
+            if None in key:
+                continue
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [item]
+            else:
+                bucket.append(item)
+    return buckets
+
+
+def _probe_chunk(
+    ctx: ExecContext,
+    outer: EvalEnv | None,
+    outer_rows: list[Row],
+    buckets: dict[tuple, list],
+    key_value_fns,
+    rest_parts,
+    inner_alias: str,
+    inner_test,
+    residual,
+) -> tuple[CostCounters, list[list[Row]]]:
+    """One worker task: answer a chunk of probes by hash lookup.
+
+    Per outer row this reproduces exactly what one serial inner scan
+    computes — the SARG-matched tuple set (now a bucket plus the residual
+    SARG matcher), its RSI charge, the inner residual test, and the join
+    residual — against private environments and counters.  The driving
+    thread replays the probe's page fetches.
+    """
+    counters = CostCounters()
+    count_rsi = counters.count_rsi_call
+    probe_env = ctx.env(Row(), outer)
+    inner_env = ctx.env(Row(), probe_env)
+    join_env = ctx.env(Row(), outer)
+    no_match: list = []
+    results: list[list[Row]] = []
+    for outer_row in outer_rows:
+        probe_env.row = outer_row
+        key = tuple([fn(probe_env) for fn in key_value_fns])
+        if None in key:
+            matched = no_match
+        else:
+            matched = buckets.get(key, no_match)
+            if matched and rest_parts:
+                groups = [
+                    [
+                        [make(value_fn(probe_env)) for make, value_fn in group]
+                        for group in part
+                    ]
+                    for part in rest_parts
+                ]
+                rest = and_matcher([dnf_matcher(g) for g in groups])
+                if rest is not None:
+                    matched = [item for item in matched if rest(item[1])]
+        count_rsi(len(matched))
+        out: list[Row] = []
+        append = out.append
+        outer_values = outer_row.values
+        outer_tids = outer_row.tids
+        for tid, values in matched:
+            if inner_test is not None:
+                inner_env.row = Row(
+                    values={inner_alias: values}, tids={inner_alias: tid}
+                )
+                if not inner_test(inner_env):
+                    continue
+            merged = Row(
+                values={**outer_values, inner_alias: values},
+                tids={**outer_tids, inner_alias: tid},
+            )
+            if residual is not None:
+                join_env.row = merged
+                if not residual(join_env):
+                    continue
+            append(merged)
+        results.append(out)
+    return counters, results
+
+
+def parallel_nested_loop_driver(node: NestedLoopJoinNode, ctx: ExecContext):
+    """A hash-exchange nested-loop driver, or ``None`` when ineligible.
+
+    Eligible when the inner is a plain segment scan whose SARGs include
+    at least one all-equality conjunct and no expression anywhere in the
+    probe (SARG values, inner residual, join residual) contains a
+    subquery.  The serial driver rescans every inner page per outer row;
+    here the relation is hashed once and each probe is a bucket lookup,
+    while the per-probe page fetches are replayed through the buffer pool
+    so the cost trace is unchanged.
+    """
+    inner = node.inner
+    inner_program: _ScanProgram = _program(inner, ctx, _build_scan)
+    if not _segment_scan_eligible(inner, inner_program):
+        return None
+    if not _subquery_free(_scan_exprs(inner) + list(node.residual)):
+        return None
+    key_positions, rest_indexes, key_value_fns = _probe_keys(inner_program)
+    if not key_positions:
+        return None
+    rest_parts = [inner_program.sarg_parts[i] for i in rest_indexes]
+    residual = _program(node, ctx, _build_nested_loop)
+    inner_alias = inner.alias
+    inner_test = inner_program.residual
+    decode = inner_program.decode_plan.decode
+    inner_table = inner.table
+    from .fuse import _fused_program
+
+    outer_source = _fused_program(node.outer, ctx)
+
+    def driver(ctx: ExecContext, outer: EvalEnv | None):
+        snapshot = ctx.storage.scan_snapshot(inner_table)
+        inner_pages = snapshot.page_ids
+        buckets = _build_buckets(snapshot, decode, key_positions)
+        backend = get_backend(ctx.workers)
+        fetch = ctx.storage.buffer.fetch
+        merge = ctx.storage.counters.merge
+        for outer_batch in outer_source(ctx, outer):
+            tasks = [
+                (
+                    lambda rows=outer_batch[lo:hi]: _probe_chunk(
+                        ctx,
+                        outer,
+                        rows,
+                        buckets,
+                        key_value_fns,
+                        rest_parts,
+                        inner_alias,
+                        inner_test,
+                        residual,
+                    )
+                )
+                for lo, hi in partition_ranges(
+                    len(outer_batch), max(backend.workers, len(outer_batch) // _PROBE_CHUNK)
+                )
+            ]
+            out: list[Row] = []
+            extend = out.extend
+            for counters, results in backend.imap(tasks):
+                merge(counters)
+                for probe_out in results:
+                    for page_id in inner_pages:
+                        fetch(page_id)
+                    extend(probe_out)
+            if out:
+                yield out
+
+    return driver

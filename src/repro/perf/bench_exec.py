@@ -218,11 +218,14 @@ def run_case(
     repeats: int,
     mode: str | None = None,
     profile: bool = False,
+    workers: int | None = None,
 ) -> dict:
     """Benchmark one case: build and plan once, execute ``repeats`` times."""
     db = case.build()
     if mode is not None:
         db.exec_mode = mode
+    if workers is not None:
+        db.workers = workers
     statement = parse_statement(case.sql)
     assert isinstance(statement, ast.SelectQuery)
     planned = db.plan_query(statement)
@@ -271,39 +274,65 @@ def run_bench(
     quick: bool = False,
     mode: str | None = None,
     profile: bool = False,
+    workers: list[int] | None = None,
     echo: Callable[[str], None] = print,
 ) -> dict:
-    """Run the matrix and return the JSON-ready report."""
-    from repro.engine.executor import resolve_exec_mode
+    """Run the matrix and return the JSON-ready report.
 
+    ``workers`` sweeps the matrix once per worker count (parallel mode);
+    the report's top-level ``queries`` — the section ``--compare`` and CI
+    gates read — reflects the *highest* count, and every swept count
+    keeps its full per-query section under ``worker_sweep``.
+    """
+    from repro.engine.executor import resolve_exec_settings
+
+    resolved_mode, resolved_workers = resolve_exec_settings(mode)
+    sweep = sorted(workers) if workers else [resolved_workers]
+    sweep_sections: list[dict] = []
     queries: list[dict] = []
-    for case in cases:
-        entry = run_case(
-            case,
-            repeats=repeats or (3 if quick else 7),
-            mode=mode,
-            profile=profile,
+    for count in sweep:
+        if len(sweep) > 1:
+            echo(f"  -- {resolved_mode} mode, {count} worker(s)")
+        queries = []
+        for case in cases:
+            entry = run_case(
+                case,
+                repeats=repeats or (3 if quick else 7),
+                mode=mode,
+                profile=profile,
+                workers=count if workers else None,
+            )
+            queries.append(entry)
+            echo(
+                f"  {entry['name']:<16s} mean {entry['mean_ms']:9.2f} ms  "
+                f"min {entry['min_ms']:9.2f} ms  rows {entry['rows']:>6d}  "
+                f"fetches {entry['page_fetches']:>6d}  "
+                f"rsi {entry['rsi_calls']:>8d}"
+            )
+            if profile:
+                for stage, ms in list(entry.get("stages", {}).items())[:6]:
+                    echo(f"      {stage:<16s} {ms:9.2f} ms")
+        sweep_sections.append(
+            {
+                "workers": count,
+                "queries": queries,
+                "total_mean_ms": round(sum(q["mean_ms"] for q in queries), 4),
+            }
         )
-        queries.append(entry)
-        echo(
-            f"  {entry['name']:<16s} mean {entry['mean_ms']:9.2f} ms  "
-            f"min {entry['min_ms']:9.2f} ms  rows {entry['rows']:>6d}  "
-            f"fetches {entry['page_fetches']:>6d}  "
-            f"rsi {entry['rsi_calls']:>8d}"
-        )
-        if profile:
-            for stage, ms in list(entry.get("stages", {}).items())[:6]:
-                echo(f"      {stage:<16s} {ms:9.2f} ms")
-    return {
+    report = {
         "version": REPORT_VERSION,
         "kind": "executor",
         "quick": quick,
-        "mode": resolve_exec_mode(mode),
+        "mode": resolved_mode,
+        "workers": sweep[-1],
         "queries": queries,
         "summary": {
             "total_mean_ms": round(sum(q["mean_ms"] for q in queries), 4),
         },
     }
+    if len(sweep) > 1:
+        report["worker_sweep"] = sweep_sections
+    return report
 
 
 def load_report(path: str | Path) -> dict:
@@ -393,9 +422,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--mode",
-        choices=("fused", "compiled", "interp"),
+        choices=("fused", "parallel", "compiled", "interp"),
         default=None,
         help="execution mode to benchmark (default: REPRO_EXEC or fused)",
+    )
+    parser.add_argument(
+        "--workers",
+        metavar="N[,N...]",
+        default=None,
+        help="comma-separated worker counts to sweep (parallel mode); the "
+        "report's headline queries come from the highest count",
     )
     parser.add_argument(
         "--output",
@@ -429,6 +465,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    workers: list[int] | None = None
+    if args.workers is not None:
+        try:
+            workers = [int(part) for part in args.workers.split(",") if part]
+        except ValueError:
+            workers = []
+        if not workers or any(count < 1 for count in workers):
+            print(
+                f"error: --workers {args.workers!r}: expected a "
+                "comma-separated list of positive integers",
+                file=sys.stderr,
+            )
+            return 2
+
     cases = default_cases(quick=args.quick)
     print(f"repro bench --exec: {len(cases)} quer{'y' if len(cases) == 1 else 'ies'}")
     report = run_bench(
@@ -437,6 +487,7 @@ def main(argv: list[str] | None = None) -> int:
         quick=args.quick,
         mode=args.mode,
         profile=args.profile,
+        workers=workers,
     )
     output = Path(args.output)
     output.write_text(

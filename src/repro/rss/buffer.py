@@ -34,6 +34,10 @@ class BufferPool:
         self._store = store
         self._counters = counters
         self.capacity = capacity
+        # Workers read pages through ScanSnapshot (a raw page-store
+        # handle) and never touch the pool; only the driving thread calls
+        # fetch(), replaying the serial LRU trace at gather points.
+        # concurrency: driver-confined
         self._resident: OrderedDict[int, None] = OrderedDict()
 
     def fetch(self, page_id: int) -> object:

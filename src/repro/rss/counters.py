@@ -35,6 +35,20 @@ class CostCounters:
         """
         self.rsi_calls += calls
 
+    def merge(self, other: "CostCounters") -> None:
+        """Fold a worker's private counters in by summation.
+
+        Parallel drivers give every worker its own ``CostCounters`` and
+        the driving thread merges them at the gather point.  Summation is
+        exact because every counter mutation outside this class is an
+        increment (``repro check --concurrency`` proves it, rule
+        ``counter-not-mergeable``), so per-worker partial sums recompose
+        into the serial totals regardless of completion order.
+        """
+        self.page_fetches += other.page_fetches
+        self.rsi_calls += other.rsi_calls
+        self.buffer_hits += other.buffer_hits
+
     def snapshot(self) -> "CounterSnapshot":
         """An immutable copy of the current counter values."""
         return CounterSnapshot(self.page_fetches, self.rsi_calls, self.buffer_hits)

@@ -53,13 +53,15 @@ class Page:
     def __init__(self, page_id: int, data: bytearray | None = None):
         self.page_id = page_id
         if data is None:
-            self.data = bytearray(PAGE_SIZE)
+            # Page bytes mutate only on the driving thread (DML drains all
+            # workers before any write); scan workers only read them.
+            self.data = bytearray(PAGE_SIZE)  # concurrency: driver-confined
             self._set_header(0, _HEADER_SIZE)
         else:
             if len(data) != PAGE_SIZE:
                 raise StorageError(f"page must be {PAGE_SIZE} bytes")
             self.data = data
-        self.dirty = False
+        self.dirty = False  # concurrency: driver-confined
 
     # -- header helpers ---------------------------------------------------
 

@@ -76,6 +76,25 @@ def _resolve_matcher(
     return compile_matcher(sargs, datatypes)
 
 
+def decode_page_rows(
+    page_id: int,
+    page: Page,
+    relation_id: int,
+    decode: Callable[[bytes], tuple],
+) -> Batch:
+    """Decode every record of one relation on an already-fetched page.
+
+    Pure over the page's current records — no counters, no buffer —
+    which is what lets parallel workers run it against a page-store
+    snapshot while the driving thread replays the buffer-pool fetches.
+    """
+    return [
+        (TupleId(page_id, slot), decode(record))
+        for slot, record in page.records()
+        if record_relation_id(record) == relation_id
+    ]
+
+
 class SegmentScan:
     """Scan every page of a segment for tuples of one relation."""
 
@@ -120,11 +139,7 @@ class SegmentScan:
                 assert isinstance(page, Page)
                 rows = cache.get(page_id)
                 if rows is None:
-                    rows = [
-                        (TupleId(page_id, slot), decode(record))
-                        for slot, record in page.records()
-                        if record_relation_id(record) == relation_id
-                    ]
+                    rows = decode_page_rows(page_id, page, relation_id, decode)
                     cache[page_id] = rows
                 batch: Batch = []
                 for item in rows:

@@ -39,7 +39,9 @@ class Segment:
         self.name = name
         self._store = store
         self._buffer = buffer
-        self.page_ids: list[int] = []
+        # Mutated only by DML on the driving thread; parallel scans freeze
+        # their view with ScanSnapshot (a tuple copy) before fanning out.
+        self.page_ids: list[int] = []  # concurrency: driver-confined
 
     # -- modification ------------------------------------------------------
 

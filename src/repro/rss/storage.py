@@ -21,6 +21,7 @@ state.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Callable
 
 from ..catalog.schema import IndexDef, TableDef
@@ -37,6 +38,24 @@ from .sargs import ConjunctiveSargs, Sargs
 from .scan import DEFAULT_BATCH_SIZE, IndexScan, SegmentScan
 from .segment import Segment
 from .tuples import DecodePlan, encode_tuple
+
+
+@dataclass(frozen=True)
+class ScanSnapshot:
+    """Read-only view of one relation's segment for parallel workers.
+
+    The page list is frozen at snapshot time (the same freeze
+    :class:`~repro.rss.scan.SegmentScan` performs at open) and
+    ``get_page`` reads pages straight from the page store — a plain
+    lookup with **no** buffer-pool traffic and **no** counter effects.
+    The statement's driving thread owns the cost trace: it replays
+    ``BufferPool.fetch`` over these page ids in serial order while
+    workers consume the snapshot.
+    """
+
+    page_ids: tuple[int, ...]
+    relation_id: int
+    get_page: Callable[[int], object]
 
 
 class StorageEngine:
@@ -375,6 +394,14 @@ class StorageEngine:
             decode_plan=decode_plan,
             batch_size=batch_size,
             decode_cache=decode_cache,
+        )
+
+    def scan_snapshot(self, table: TableDef) -> ScanSnapshot:
+        """A frozen page list plus direct page-store access for workers."""
+        return ScanSnapshot(
+            page_ids=tuple(self.segment(table.segment_name).page_ids),
+            relation_id=table.relation_id,
+            get_page=self.store.get,
         )
 
     def index_scan(
