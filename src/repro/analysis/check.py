@@ -13,11 +13,12 @@ Eight sub-checks, all on by default:
 - ``--storage`` audits the storage invariants (index/tuple agreement, page
   reachability, checksums) over in-memory, durable, torn-page, and
   crash/recover scenarios.
-- ``--fusion`` executes the workload corpus under the fused pipeline
-  engine and the compiled reference engine on identically-built
-  databases, asserting the *ordered* row sequences, cost counters, and
-  subquery evaluation cadence are bit-identical — fused chains must
-  preserve every declared output order, not just row sets.
+- ``--fusion`` executes the workload corpus (plus a dedicated hash-join
+  corpus) under every engine mode — interpreted, compiled, fused, and
+  parallel — on identically-built databases, asserting the *ordered* row
+  sequences, cost counters, and subquery evaluation cadence are
+  bit-identical — fused chains must preserve every declared output
+  order, not just row sets.
 - ``--effects`` infers per-function effect signatures over the whole
   program (:mod:`repro.analysis.effects`) and enforces the effect rules:
   planning layers (``optimizer/``, ``sql/``, ``catalog/``) perform no
@@ -46,6 +47,7 @@ from ..database import Database
 from ..optimizer.planner import Optimizer
 from ..workloads.empdept import FIG1_QUERY, build_empdept
 from ..workloads.generator import (
+    ColumnSpec,
     TableSpec,
     build_database,
     random_chain_spec,
@@ -263,26 +265,50 @@ def check_lint(echo: Callable[[str], None] = print) -> list[Violation]:
     return violations
 
 
+def _count_hash_joins(planned) -> int:
+    """Hash-join nodes across a planned statement and its subquery plans."""
+    from ..optimizer.plan import HashJoinNode, PlanNode
+
+    def count(node: PlanNode) -> int:
+        total = 1 if isinstance(node, HashJoinNode) else 0
+        for child in node.children():
+            total += count(child)
+        return total
+
+    total = count(planned.root)
+    seen: set[int] = set()
+    for sub in planned.subquery_plans.values():
+        if id(sub) in seen:
+            continue
+        seen.add(id(sub))
+        total += count(sub.root)
+    return total
+
+
 def _audit_fused_query(
     db: Database, sql: str, violations: list[Violation], workers: int = 2
-) -> int:
-    """Execute ``sql`` compiled, fused, and parallel; compare all three.
+) -> tuple[int, int]:
+    """Execute ``sql`` in every engine mode; compare all four.
 
     Every execution starts from a cold buffer on the *same* database, so
     any divergence in page fetches, buffer hits, or RSI calls is the
-    fused (or parallel) engine's fault, not warm-cache luck.  Row lists
-    are compared as ordered sequences: a fused chain that reorders rows —
-    even for a query with no ORDER BY — is a bug, because fusion must be
-    invisible.  The parallel run uses ``workers`` threads; its gather
-    must reproduce the serial row order and counter totals exactly.
-    Returns the number of fused chains the plan compiled to.
+    diverging engine's fault, not warm-cache luck.  The interpreted
+    engine is the reference; compiled, fused, and parallel runs must
+    reproduce its ordered row sequence, counter totals, and subquery
+    evaluation cadence exactly.  Row lists are compared as ordered
+    sequences: a fused chain that reorders rows — even for a query with
+    no ORDER BY — is a bug, because fusion must be invisible.  The
+    parallel run uses ``workers`` threads; its gather must reproduce the
+    serial row order and counter totals exactly.  Returns the number of
+    fused chains the plan compiled to and the number of hash joins in
+    the plan.
     """
     from ..engine.executor import Executor
     from ..engine.fuse import describe_chains
 
     planned = db.plan(sql)
     runs = {}
-    for mode in ("compiled", "fused", "parallel"):
+    for mode in ("interp", "compiled", "fused", "parallel"):
         db.storage.cold_cache()
         executor = Executor(
             db.storage, db.catalog, exec_mode=mode, workers=workers
@@ -300,8 +326,8 @@ def _audit_fused_query(
             ),
             dict(runtime.evaluation_counts) if runtime else {},
         )
-    ref_rows, ref_counters, ref_evals = runs["compiled"]
-    for mode in ("fused", "parallel"):
+    ref_rows, ref_counters, ref_evals = runs["interp"]
+    for mode in ("compiled", "fused", "parallel"):
         rows, counters, evals = runs[mode]
         where = f"fusion [mode: {mode}] [query: {sql}]"
         if rows != ref_rows:
@@ -309,8 +335,8 @@ def _audit_fused_query(
                 Violation(
                     "fusion-row-order",
                     where,
-                    f"{mode} row sequence differs from the compiled reference "
-                    f"({len(rows)} vs {len(ref_rows)} rows)",
+                    f"{mode} row sequence differs from the interpreted "
+                    f"reference ({len(rows)} vs {len(ref_rows)} rows)",
                 )
             )
         if counters != ref_counters:
@@ -319,7 +345,7 @@ def _audit_fused_query(
                     "fusion-counters",
                     where,
                     f"cost counters diverged: {mode} "
-                    f"(fetches, rsi, hits)={counters} vs compiled {ref_counters}",
+                    f"(fetches, rsi, hits)={counters} vs interp {ref_counters}",
                 )
             )
         if evals != ref_evals:
@@ -328,16 +354,85 @@ def _audit_fused_query(
                     "fusion-subquery-cadence",
                     where,
                     f"subquery evaluation counts diverged: {mode} {evals} "
-                    f"vs compiled {ref_evals}",
+                    f"vs interp {ref_evals}",
                 )
             )
-    return len(describe_chains(planned.root))
+    return len(describe_chains(planned.root)), _count_hash_joins(planned)
+
+
+def hashjoin_corpus() -> list[tuple[Database, list[str]]]:
+    """Databases whose cheapest plans include hash joins, per the DP search.
+
+    Two shapes force the formula's crossover points: an unindexed large
+    join with a filtered build side (in-memory table), and a padded join
+    of two relations whose build side exceeds the buffer pool (grace
+    partitioning).  Both degenerate to inner rescans or full sorts
+    without a hash alternative.
+    """
+    memory = build_database(
+        [
+            TableSpec(
+                "T1",
+                1500,
+                [ColumnSpec("A", 50), ColumnSpec("J1", 200)],
+                [],
+                pad_bytes=80,
+            ),
+            TableSpec(
+                "T2",
+                2500,
+                [ColumnSpec("J1", 200), ColumnSpec("B", 10)],
+                [],
+                pad_bytes=80,
+            ),
+        ],
+        seed=7,
+        buffer_pages=24,
+    )
+    grace = build_database(
+        [
+            TableSpec(
+                "G1",
+                3000,
+                [ColumnSpec("A", 50), ColumnSpec("J1", 400)],
+                [],
+                pad_bytes=160,
+            ),
+            TableSpec(
+                "G2",
+                3000,
+                [ColumnSpec("J1", 400), ColumnSpec("B", 10)],
+                [],
+                pad_bytes=160,
+            ),
+        ],
+        seed=7,
+        buffer_pages=32,
+    )
+    return [
+        (
+            memory,
+            [
+                "SELECT T1.A, T2.J1 FROM T1, T2 "
+                "WHERE T1.J1 = T2.J1 AND T2.B = 3",
+                "SELECT T1.A, T2.B FROM T1, T2 "
+                "WHERE T1.J1 = T2.J1 AND T2.B = 3 ORDER BY T1.A",
+            ],
+        ),
+        (
+            grace,
+            [
+                "SELECT G1.A, G2.B FROM G1, G2 WHERE G1.J1 = G2.J1",
+                "SELECT COUNT(*) FROM G1, G2 WHERE G1.J1 = G2.J1",
+            ],
+        ),
+    ]
 
 
 def check_fusion(
     queries: int = 40, seed: int = 662607, echo: Callable[[str], None] = print
 ) -> list[Violation]:
-    """Differential audit of the fused and parallel engines vs the compiled one.
+    """Differential audit of every engine mode against the interpreted one.
 
     ``REPRO_WORKERS`` sets the parallel worker count (default 2), so CI
     can run the same audit at several counts.
@@ -348,18 +443,52 @@ def check_fusion(
     violations: list[Violation] = []
     executed = 0
     chains = 0
+    hash_joins = 0
     for db in empdept_databases():
         for sql in EMPDEPT_QUERIES:
-            chains += _audit_fused_query(db, sql, violations, workers=workers)
+            audited, hashed = _audit_fused_query(
+                db, sql, violations, workers=workers
+            )
+            chains += audited
+            hash_joins += hashed
             executed += 1
-    echo(f"  empdept: {executed} queries: compiled vs fused vs parallel({workers})")
+    echo(f"  empdept: {executed} queries: interp vs compiled/fused/parallel({workers})")
     generated = 0
     for db, batch in generated_batches(queries, seed):
         for sql in batch:
-            chains += _audit_fused_query(db, sql, violations, workers=workers)
+            audited, hashed = _audit_fused_query(
+                db, sql, violations, workers=workers
+            )
+            chains += audited
+            hash_joins += hashed
             generated += 1
-    echo(f"  generated: {generated} queries: compiled vs fused vs parallel({workers})")
-    echo(f"  {chains} fused chains audited for order and counter fidelity")
+    echo(f"  generated: {generated} queries: interp vs compiled/fused/parallel({workers})")
+    hashed_queries = 0
+    for db, batch in hashjoin_corpus():
+        for sql in batch:
+            audited, hashed = _audit_fused_query(
+                db, sql, violations, workers=workers
+            )
+            chains += audited
+            hash_joins += hashed
+            hashed_queries += 1
+            if not hashed:
+                violations.append(
+                    Violation(
+                        "hashjoin-corpus-miss",
+                        f"fusion [query: {sql}]",
+                        "a hash-join corpus query planned without a hash "
+                        "join — the corpus no longer exercises the operator",
+                    )
+                )
+    echo(
+        f"  hashjoin: {hashed_queries} queries: interp vs "
+        f"compiled/fused/parallel({workers})"
+    )
+    echo(
+        f"  {chains} fused chains and {hash_joins} hash joins audited "
+        "for order and counter fidelity"
+    )
     return violations
 
 

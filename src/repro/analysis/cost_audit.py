@@ -8,8 +8,11 @@ Three layers:
   must be finite and non-negative, costs must be monotone along the outer
   spine (a join never costs less than its outer input), nested-loop and
   merge costs must be consistent with the paper's ``C-outer + N * C-inner``
-  shape, and cardinality estimates must respect operator semantics (sorts
-  preserve rows, filters and grouping never increase them).
+  shape, hash-join costs must match the Table-2-style build/probe formula
+  exactly (including the grace spill term) with the smaller input chosen
+  as the build side, and cardinality estimates must respect operator
+  semantics (sorts preserve rows, filters and grouping never increase
+  them).
 - ``audit_cost_model`` re-derives the TABLE 2 access path formulas for
   every table and index in a catalog and compares them against what
   :class:`~repro.optimizer.cost.CostModel` actually returns, including the
@@ -26,11 +29,18 @@ import math
 
 from ..catalog.catalog import Catalog
 from ..optimizer.bound import BoundQueryBlock
-from ..optimizer.cost import Cost, CostModel, DEFAULT_W
+from ..optimizer.cost import (
+    Cost,
+    CostModel,
+    DEFAULT_W,
+    HASH_TUPLE_FACTOR,
+    tuple_byte_width,
+)
 from ..optimizer.plan import (
     AggregateNode,
     DistinctNode,
     FilterNode,
+    HashJoinNode,
     IndexAccess,
     MergeJoinNode,
     NestedLoopJoinNode,
@@ -122,6 +132,8 @@ class _PlanAuditor:
             self._audit_nested_loop(node)
         elif isinstance(node, MergeJoinNode):
             self._audit_merge(node)
+        elif isinstance(node, HashJoinNode):
+            self._audit_hash_join(node)
         elif isinstance(node, SortNode):
             self._audit_sort(node)
         elif isinstance(node, FilterNode):
@@ -218,6 +230,57 @@ class _PlanAuditor:
                 f"inputs ({floor})",
             )
 
+    def _audit_hash_join(self, node: HashJoinNode) -> None:
+        """Re-derive the Table-2-style hash-join formula exactly.
+
+        The build-side rule (smaller input builds) and the full cost
+        formula — both the in-memory case and the grace spill term — are
+        recomputed from the node's own inputs, so a plan that carries a
+        hash join the formula would not have priced this way is flagged.
+        """
+        outer, inner = node.outer, node.inner
+        probe_rows = max(0.0, outer.rows)
+        build_rows = max(0.0, inner.rows)
+        if not _leq(build_rows, probe_rows):
+            self._flag(
+                "hash-build-side",
+                node,
+                f"build side has {build_rows:.3f} rows but the probe side "
+                f"only {probe_rows:.3f} — the smaller input must build",
+            )
+        expected_rsi = (
+            outer.cost.rsi
+            + inner.cost.rsi
+            + HASH_TUPLE_FACTOR * (build_rows + probe_rows)
+            + max(0.0, node.matches)
+        )
+        expected_pages = outer.cost.pages + inner.cost.pages
+        if node.partitions > 1:
+            inner_bytes = tuple_byte_width(inner.table)
+            outer_bytes = sum(
+                tuple_byte_width(scan.table)
+                for scan in _scan_nodes(outer)
+            )
+            spill_pages = CostModel.temp_pages(
+                build_rows, inner_bytes
+            ) + CostModel.temp_pages(probe_rows, outer_bytes)
+            expected_pages += 2.0 * spill_pages
+            expected_rsi += 2.0 * (build_rows + probe_rows)
+        if not _close(node.cost.rsi, expected_rsi):
+            self._flag(
+                "hash-inconsistent",
+                node,
+                f"RSI calls {node.cost.rsi:.3f} != C-outer + C-inner + "
+                f"C-hash * (build + probe) + matches = {expected_rsi:.3f}",
+            )
+        if not _close(node.cost.pages, expected_pages):
+            self._flag(
+                "hash-inconsistent",
+                node,
+                f"page fetches {node.cost.pages:.3f} != re-derived "
+                f"{expected_pages:.3f} (partitions={node.partitions})",
+            )
+
     def _audit_sort(self, node: SortNode) -> None:
         if not _close(node.rows, node.child.rows):
             self._flag(
@@ -277,6 +340,15 @@ class _PlanAuditor:
 
     def _flag(self, rule: str, node: PlanNode, message: str) -> None:
         self._violations.append(Violation(rule, node.label(), message))
+
+
+def _scan_nodes(node: PlanNode):
+    """Every ScanNode of a subtree, for composite tuple-width re-derivation."""
+    if isinstance(node, ScanNode):
+        yield node
+        return
+    for child in node.children():
+        yield from _scan_nodes(child)
 
 
 # ---------------------------------------------------------------------------
@@ -376,6 +448,41 @@ def _audit_index_formulas(
                     "more distinct keys than tuples",
                 )
             )
+        if stats.prefix_icards:
+            # A longer prefix can only distinguish more keys, and the
+            # full-width prefix is ICARD itself by definition.
+            if stats.prefix_icards[-1] != stats.icard:
+                violations.append(
+                    Violation(
+                        "bad-statistics",
+                        where,
+                        f"full prefix cardinality {stats.prefix_icards[-1]} "
+                        f"!= ICARD={stats.icard}",
+                    )
+                )
+            if any(
+                narrow > wide
+                for narrow, wide in zip(
+                    stats.prefix_icards, stats.prefix_icards[1:]
+                )
+            ):
+                violations.append(
+                    Violation(
+                        "bad-statistics",
+                        where,
+                        f"prefix cardinalities {list(stats.prefix_icards)} "
+                        "are not nondecreasing in prefix length",
+                    )
+                )
+            if len(stats.prefix_icards) != len(index.column_names):
+                violations.append(
+                    Violation(
+                        "bad-statistics",
+                        where,
+                        f"{len(stats.prefix_icards)} prefix cardinalities "
+                        f"for a {len(index.column_names)}-column key",
+                    )
+                )
     unique = model.unique_index_cost()
     if not _close(unique.pages, 2.0) or not _close(unique.rsi, 1.0):
         violations.append(

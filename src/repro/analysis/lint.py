@@ -35,10 +35,14 @@ them directly on the parsed source:
   ``rss/scan.py`` there may be no call to ``evaluate`` /
   ``predicate_holds`` / ``decode_tuple``, no ``EvalEnv`` construction,
   and no ``isinstance`` dispatch (``assert`` statements are exempt —
-  they exist for type narrowing).  Fused drivers additionally may not
-  hand off to a per-tuple generator (``iterate`` or any ``_iter_*``
-  operator) from inside a loop: a chain either fuses a stage into the
-  driver's batch loop or breaks at a declared pipeline breaker.  The
+  they exist for type narrowing).  Hash-join build and probe loops obey
+  the same discipline: ``build_hash_table`` may never run inside a loop
+  (the build side is bucketed once per statement and shared across
+  batches and probe workers).  Fused drivers additionally may not
+  hand off to a per-tuple generator (``iterate``, ``fused_rows``,
+  ``hash_join_rows`` or any ``_iter_*`` operator) from inside a loop: a
+  chain either fuses a stage into the driver's batch loop or breaks at a
+  declared pipeline breaker.  The
   closures built by :mod:`repro.engine.compile` are themselves per-row
   code, so nested functions there may not call ``isinstance`` or build
   ``EvalEnv`` either (canonical values use ``type(x) is ...`` checks
@@ -416,7 +420,7 @@ _HOT_PATH_BANNED_CALLS = frozenset({"evaluate", "predicate_holds", "decode_tuple
 #: Per-tuple generator entry points a fused driver loop must never call:
 #: fusion exists to eliminate the per-tuple frame hand-off, so a chain
 #: either inlines a stage or breaks at a declared pipeline breaker.
-_FUSED_HANDOFF_CALLS = frozenset({"iterate", "fused_rows"})
+_FUSED_HANDOFF_CALLS = frozenset({"iterate", "fused_rows", "hash_join_rows"})
 
 
 def _walk_skipping_asserts(node: ast.AST):
@@ -485,6 +489,17 @@ def _check_executor_hot_path(
                             f"{relative}:{node.lineno}",
                             "isinstance dispatch inside a per-tuple loop; "
                             "resolve the variant at compile/open time",
+                        )
+                    )
+                elif name == "build_hash_table":
+                    flagged.add(node.lineno)
+                    violations.append(
+                        Violation(
+                            "executor-hot-path",
+                            f"{relative}:{node.lineno}",
+                            "hash-join build inside a loop; bucket the "
+                            "build side once per statement and share the "
+                            "table across batches and probe workers",
                         )
                     )
                 elif relative == "engine/fuse.py" and name is not None and (

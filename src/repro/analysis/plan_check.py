@@ -12,6 +12,8 @@ asserts the invariants a correct access path selection must satisfy:
   claimed output order is exactly its key list;
 - both :class:`MergeJoinNode` inputs carry the required interesting order
   (modulo order equivalence classes from :mod:`repro.optimizer.orders`);
+- a :class:`HashJoinNode` builds from a single-relation scan, binds every
+  key pair to the side that produces it, and claims no output order;
 - the predicates applied across the tree (scan SARGs, probe SARGs, merge
   columns, join residuals, filter predicates) *partition* the bound WHERE
   clause's boolean factors — none dropped, none applied twice;
@@ -35,6 +37,7 @@ from ..optimizer.plan import (
     AggregateNode,
     DistinctNode,
     FilterNode,
+    HashJoinNode,
     IndexAccess,
     MergeJoinNode,
     NestedLoopJoinNode,
@@ -85,7 +88,7 @@ class Violation:
 class _Site:
     """One place in the plan tree where a predicate is enforced."""
 
-    kind: str  # "sarg" | "residual" | "filter" | "merge"
+    kind: str  # "sarg" | "residual" | "filter" | "merge" | "hash"
     where: str
     sarg: SargExpression | None = None
     expr: ast.Expr | None = None
@@ -110,7 +113,9 @@ def _factor_matches_site(factor: BooleanFactor, site: _Site) -> bool:
         if factor.sarg is not None and site.sarg is factor.sarg:
             return True
         return factor.join is not None and _is_probe_for(site.sarg, factor.join)
-    if site.kind == "merge":
+    if site.kind in ("merge", "hash"):
+        # A hash-join key pair enforces an equijoin factor exactly the way
+        # a merge's column pair does: by the unordered column set.
         assert site.merge_columns is not None
         return (
             factor.join is not None
@@ -175,6 +180,8 @@ class _Checker:
             return self._check_nested_loop(node)
         if isinstance(node, MergeJoinNode):
             return self._check_merge_join(node)
+        if isinstance(node, HashJoinNode):
+            return self._check_hash_join(node)
         if isinstance(node, SortNode):
             return self._check_sort(node)
         if isinstance(node, FilterNode):
@@ -428,6 +435,66 @@ class _Checker:
             node.order_columns,
             ((node.outer_column.alias, node.outer_column.position),),
         )
+        return combined
+
+    def _check_hash_join(self, node: HashJoinNode) -> frozenset[str]:
+        outer = self._walk(node.outer)
+        if not isinstance(node.inner, ScanNode):
+            self._flag(
+                "bad-inner",
+                node,
+                "hash-join build side must be a single-relation scan, got "
+                f"{type(node.inner).__name__}",
+            )
+        inner = self._walk(node.inner)
+        if outer & inner:
+            self._flag(
+                "duplicate-alias",
+                node,
+                f"outer and inner both produce {sorted(outer & inner)}",
+            )
+        combined = outer | inner
+        if not node.keys:
+            self._flag(
+                "hash-no-keys",
+                node,
+                "hash join carries no equijoin key pairs",
+            )
+        for outer_column, inner_column in node.keys:
+            for column, side, aliases in (
+                (outer_column, "probe", outer),
+                (inner_column, "build", inner),
+            ):
+                if column.alias not in aliases:
+                    self._flag(
+                        "unbound-join-column",
+                        node,
+                        f"{side} hash key {column} is not produced by the "
+                        f"{side} input ({sorted(aliases)})",
+                    )
+                else:
+                    self._check_column_binding(node, column)
+            self._sites.append(
+                _Site(
+                    "hash",
+                    node.label(),
+                    merge_columns=frozenset((outer_column, inner_column)),
+                )
+            )
+        self._check_residual(node, node.residual, combined)
+        if node.partitions < 1:
+            self._flag(
+                "bad-partitions",
+                node,
+                f"hash join claims {node.partitions} grace partitions",
+            )
+        if node.order_columns:
+            self._flag(
+                "phantom-order",
+                node,
+                "hash joins produce no order but the node claims "
+                f"{node.order_columns}",
+            )
         return combined
 
     def _check_merge_order(

@@ -43,17 +43,29 @@ class RelationStats:
 
 @dataclass(frozen=True)
 class IndexStats:
-    """ICARD / NINDX and first-column key range for one index."""
+    """ICARD / NINDX and first-column key range for one index.
+
+    ``prefix_icards`` extends ICARD to every key prefix of a composite
+    index: entry k is the number of distinct values of the first k+1 key
+    columns, so ``prefix_icards[0]`` is the leading column's own
+    cardinality and ``prefix_icards[-1] == icard``.  Selectivity for an
+    equality prefix of length k is ``1 / prefix_icards[k-1]`` — the full
+    ICARD would overstate it on composite keys.
+    """
 
     icard: int
     nindx: int
     low_key: object = None
     high_key: object = None
+    prefix_icards: tuple[int, ...] = ()
 
     def __str__(self) -> str:
+        prefixes = (
+            f" prefixes={list(self.prefix_icards)}" if self.prefix_icards else ""
+        )
         return (
             f"ICARD={self.icard} NINDX={self.nindx} "
-            f"keys=[{self.low_key!r}..{self.high_key!r}]"
+            f"keys=[{self.low_key!r}..{self.high_key!r}]{prefixes}"
         )
 
 
@@ -98,12 +110,14 @@ def _collect_for_table(
             btree = storage.btree(index.name)
             min_key = btree.min_key()
             max_key = btree.max_key()
+            prefix_icards = btree.distinct_prefix_counts()
             catalog.set_index_stats(
                 index.name,
                 IndexStats(
-                    icard=btree.distinct_key_count(),
+                    icard=prefix_icards[-1] if prefix_icards else 0,
                     nindx=btree.page_count(),
                     low_key=min_key[0] if min_key else None,
                     high_key=max_key[0] if max_key else None,
+                    prefix_icards=prefix_icards,
                 ),
             )

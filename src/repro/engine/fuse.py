@@ -54,6 +54,7 @@ from ..optimizer.plan import (
     AggregateNode,
     DistinctNode,
     FilterNode,
+    HashJoinNode,
     MergeJoinNode,
     NestedLoopJoinNode,
     PlanNode,
@@ -67,12 +68,14 @@ from .operators import (
     _AggState,
     _build_aggregate,
     _build_filter,
+    _build_hash_join,
     _build_merge,
     _build_nested_loop,
     _build_project,
     _build_scan,
     _program,
     aggregate_rows,
+    build_hash_table,
     iterate,
     merge_join_rows,
     open_scan,
@@ -185,6 +188,14 @@ def _build_fused(node: PlanNode, ctx: ExecContext) -> BatchDriver:
         return _nested_loop_driver(node, ctx)
     if isinstance(node, MergeJoinNode):
         return _merge_join_driver(node, ctx)
+    if isinstance(node, HashJoinNode):
+        if ctx.parallel and node.partitions == 1:
+            from .parallel import parallel_hash_join_driver
+
+            driver = parallel_hash_join_driver(node, ctx)
+            if driver is not None:
+                return driver
+        return _hash_join_driver(node, ctx)
     if isinstance(node, SortNode):
         return _sort_driver(node, ctx)
     if isinstance(node, AggregateNode):
@@ -508,6 +519,57 @@ def _nested_loop_driver(node: NestedLoopJoinNode, ctx: ExecContext) -> BatchDriv
                             if not residual(join_env):
                                 continue
                         append(merged)
+            if out:
+                yield out
+
+    return driver
+
+
+def _hash_join_driver(node: HashJoinNode, ctx: ExecContext) -> BatchDriver:
+    """Hash join with the probe loop inlined over fused outer batches.
+
+    The build side is bucketed once per driver call (once per statement)
+    through the same counted scan consumption as the reference operator,
+    so the fetch trace and RSI totals are identical; each probed bucket
+    charges one RSI call per delivered tuple, exactly like the per-tuple
+    path.  Grace-partitioned plans run the serial partitioned code in
+    every mode and only re-batch its output here.
+    """
+    if node.partitions > 1:
+
+        def grace_driver(ctx: ExecContext, outer: EvalEnv | None):
+            serial = replace(ctx, fused=False, parallel=False)
+            yield from _rebatch(iterate(node, serial, outer))
+
+        return grace_driver
+
+    program = _program(node, ctx, _build_hash_join)
+    outer_source = _fused_program(node.outer, ctx)
+    outer_getters = program.outer_getters
+    residual = program.residual
+
+    def driver(ctx: ExecContext, outer: EvalEnv | None):
+        count_rsi = ctx.storage.counters.count_rsi_call
+        table = build_hash_table(node, program, ctx, outer)
+        env = ctx.env(Row(), outer)
+        for outer_batch in outer_source(ctx, outer):
+            out = []
+            append = out.append
+            for outer_row in outer_batch:
+                key = tuple([getter(outer_row) for getter in outer_getters])
+                bucket = table.get(key)
+                if bucket is None:
+                    continue
+                count_rsi(len(bucket))
+                if residual is None:
+                    for inner_row in bucket:
+                        append(outer_row.merged(inner_row))
+                else:
+                    for inner_row in bucket:
+                        merged = outer_row.merged(inner_row)
+                        env.row = merged
+                        if residual(env):
+                            append(merged)
             if out:
                 yield out
 
@@ -918,6 +980,13 @@ def _collect_chains(node: PlanNode, chains: list[str]) -> None:
     if isinstance(node, NestedLoopJoinNode):
         chains.append(
             f"nested-loop join (inlined inner scan {node.inner.alias})"
+        )
+        _collect_chains(node.outer, chains)
+        return
+    if isinstance(node, HashJoinNode):
+        grace = f", grace x{node.partitions}" if node.partitions > 1 else ""
+        chains.append(
+            f"hash join (build {node.inner.alias}{grace}, fused probe)"
         )
         _collect_chains(node.outer, chains)
         return

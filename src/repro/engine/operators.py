@@ -35,6 +35,7 @@ from ..optimizer.plan import (
     AggregateNode,
     DistinctNode,
     FilterNode,
+    HashJoinNode,
     IndexAccess,
     MergeJoinNode,
     NestedLoopJoinNode,
@@ -109,6 +110,8 @@ def iterate(
         return _iter_nested_loop(node, ctx, outer)
     if isinstance(node, MergeJoinNode):
         return _iter_merge_join(node, ctx, outer)
+    if isinstance(node, HashJoinNode):
+        return _iter_hash_join(node, ctx, outer)
     if isinstance(node, SortNode):
         return _iter_sort(node, ctx, outer)
     if isinstance(node, AggregateNode):
@@ -455,6 +458,199 @@ def merge_join_rows(
                     continue
             yield merged
         group_served_once = True
+
+
+# ---------------------------------------------------------------------------
+# hash join
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _HashJoinProgram:
+    """Per-query-constant parts of a build/probe hash join."""
+
+    outer_getters: tuple[Callable[[Row], object], ...]
+    inner_getters: tuple[Callable[[Row], object], ...]
+    #: per key column: a deterministic 32-bit hash of one value, used only
+    #: for grace partition assignment (never Python's randomized str hash,
+    #: so partition contents — and therefore temp page counts — are
+    #: identical across runs and processes).
+    partition_fns: tuple[Callable[[object], int], ...]
+    residual: Callable[[EvalEnv], bool] | None
+
+
+def _partition_value_fn(datatype: DataType) -> Callable[[object], int]:
+    if type_family(datatype) == "str":
+        from zlib import crc32
+
+        return lambda value: crc32(str(value).encode())
+    # Python's numeric hash is not seed-randomized and agrees across int
+    # and float representations of the same value (hash(1) == hash(1.0)),
+    # so equal keys always land in the same partition.
+    return lambda value: hash(value) & 0xFFFFFFFF
+
+
+def _build_hash_join(node: HashJoinNode, ctx: ExecContext) -> _HashJoinProgram:
+    compiler = _compiler(node, ctx)
+    return _HashJoinProgram(
+        outer_getters=tuple(
+            compiler.column_getter(outer_col) for outer_col, __ in node.keys
+        ),
+        inner_getters=tuple(
+            compiler.column_getter(inner_col) for __, inner_col in node.keys
+        ),
+        partition_fns=tuple(
+            _partition_value_fn(inner_col.datatype) for __, inner_col in node.keys
+        ),
+        residual=compiler.conjunction(node.residual),
+    )
+
+
+def build_hash_table(
+    node: HashJoinNode,
+    program: _HashJoinProgram,
+    ctx: ExecContext,
+    outer: EvalEnv | None,
+) -> dict[tuple, list[Row]]:
+    """Scan the build (inner) side once and bucket it by join key.
+
+    The scan is fully counted — pages through the buffer pool, one RSI
+    call per tuple — exactly like any other consumption of that access
+    path, so the fetch trace is identical in every execution mode.  Rows
+    with a NULL key component never enter the table (an equijoin on NULL
+    is not true under 3VL).  Runs once per execution of the join — once
+    per statement for a top-level query.
+    """
+    getters = program.inner_getters
+    table: dict[tuple, list[Row]] = {}
+    for row in _iter_scan(node.inner, ctx, outer):
+        key = tuple([getter(row) for getter in getters])
+        if None in key:
+            continue
+        bucket = table.get(key)
+        if bucket is None:
+            table[key] = [row]
+        else:
+            bucket.append(row)
+    return table
+
+
+def hash_join_rows(
+    program: _HashJoinProgram,
+    count_rsi: Callable[..., None],
+    env: EvalEnv,
+    table: dict[tuple, list[Row]],
+    outer_rows: Iterator[Row],
+) -> Iterator[Row]:
+    """Probe the built table with each outer row.
+
+    Every tuple delivered from a bucket is one RSI call — the same
+    consumption charge the merge join pays for group replays and the cost
+    formula's ``matches`` term predicts.  A probe key with a NULL
+    component can never be in the table, so the bucket miss handles 3VL.
+    """
+    getters = program.outer_getters
+    residual = program.residual
+    for outer_row in outer_rows:
+        key = tuple([getter(outer_row) for getter in getters])
+        bucket = table.get(key)
+        if bucket is None:
+            continue
+        count_rsi(len(bucket))
+        if residual is None:
+            for inner_row in bucket:
+                yield outer_row.merged(inner_row)
+        else:
+            for inner_row in bucket:
+                merged = outer_row.merged(inner_row)
+                env.row = merged
+                if residual(env):
+                    yield merged
+
+
+def _iter_hash_join(
+    node: HashJoinNode, ctx: ExecContext, outer: EvalEnv | None
+) -> Iterator[Row]:
+    program: _HashJoinProgram = _program(node, ctx, _build_hash_join)
+    if node.partitions > 1:
+        return _grace_hash_join(node, program, ctx, outer)
+    table = build_hash_table(node, program, ctx, outer)
+    return hash_join_rows(
+        program,
+        ctx.storage.counters.count_rsi_call,
+        ctx.env(Row(), outer),
+        table,
+        iterate(node.outer, ctx, outer),
+    )
+
+
+def _grace_hash_join(
+    node: HashJoinNode,
+    program: _HashJoinProgram,
+    ctx: ExecContext,
+    outer: EvalEnv | None,
+) -> Iterator[Row]:
+    """Grace-partitioned path for builds that exceed their buffer share.
+
+    Both inputs are hash-partitioned into counted temporary lists (one
+    write plus one read-back per tuple — the spill term of the plan's
+    cost), then each partition pair is joined in memory.  All execution
+    modes run this same serial code, so rows and counters agree
+    trivially; the deterministic partition hash keeps temp page counts
+    stable across runs.
+    """
+    from .temp import TempList
+
+    count = node.partitions
+    fns = program.partition_fns
+    inner_schema = [(node.inner.alias, ctx.schemas[node.inner.alias])]
+    outer_aliases = sorted(_local_aliases(node.outer))
+    outer_schema = [(alias, ctx.schemas[alias]) for alias in outer_aliases]
+    storage = ctx.storage
+    build_parts = [TempList(storage, inner_schema) for __ in range(count)]
+    probe_parts = [TempList(storage, outer_schema) for __ in range(count)]
+    inner_getters = program.inner_getters
+    outer_getters = program.outer_getters
+    try:
+        for row in _iter_scan(node.inner, ctx, outer):
+            key = tuple([getter(row) for getter in inner_getters])
+            if None in key:
+                continue
+            build_parts[_partition_of(key, fns, count)].append(row)
+        for row in iterate(node.outer, ctx, outer):
+            key = tuple([getter(row) for getter in outer_getters])
+            if None in key:
+                continue
+            probe_parts[_partition_of(key, fns, count)].append(row)
+        count_rsi = storage.counters.count_rsi_call
+        env = ctx.env(Row(), outer)
+        for build_part, probe_part in zip(build_parts, probe_parts):
+            table: dict[tuple, list[Row]] = {}
+            for row in build_part.scan():
+                key = tuple([getter(row) for getter in inner_getters])
+                bucket = table.get(key)
+                if bucket is None:
+                    table[key] = [row]
+                else:
+                    bucket.append(row)
+            yield from hash_join_rows(
+                program, count_rsi, env, table, probe_part.scan()
+            )
+    finally:
+        for part in build_parts:
+            part.drop()
+        for part in probe_parts:
+            part.drop()
+
+
+def _partition_of(
+    key: tuple, fns: tuple[Callable[[object], int], ...], count: int
+) -> int:
+    """Stable partition assignment for one join key."""
+    total = 0
+    for value, fn in zip(key, fns):
+        total = (total * 31 + fn(value)) & 0xFFFFFFFF
+    return total % count
 
 
 # ---------------------------------------------------------------------------

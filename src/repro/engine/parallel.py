@@ -59,6 +59,7 @@ from typing import Iterator
 from ..optimizer.bound import BoundSubquery
 from ..optimizer.plan import (
     FilterNode,
+    HashJoinNode,
     IndexAccess,
     NestedLoopJoinNode,
     ProjectNode,
@@ -72,11 +73,14 @@ from .evaluator import EvalEnv
 from .operators import (
     ExecContext,
     _build_filter,
+    _build_hash_join,
     _build_nested_loop,
     _build_project,
     _build_scan,
+    _HashJoinProgram,
     _program,
     _ScanProgram,
+    build_hash_table,
     compile_sarg_matcher,
 )
 from .rows import OUTPUT_ALIAS, Row
@@ -682,6 +686,99 @@ def parallel_nested_loop_driver(node: NestedLoopJoinNode, ctx: ExecContext):
                     for page_id in inner_pages:
                         fetch(page_id)
                     extend(probe_out)
+            if out:
+                yield out
+
+    return driver
+
+
+# ---------------------------------------------------------------------------
+# exchange: partitioned probes over a shared hash-join build table
+# ---------------------------------------------------------------------------
+
+
+def _hash_probe_chunk(
+    ctx: ExecContext,
+    outer: EvalEnv | None,
+    outer_rows: list[Row],
+    table: dict[tuple, list[Row]],
+    getters,
+    residual,
+) -> tuple[CostCounters, list[Row]]:
+    """One worker task: probe the shared built table for a chunk of rows.
+
+    Per outer row this reproduces exactly what the serial probe loop
+    computes — the bucket lookup, its RSI charge (bucket size, before the
+    residual), and the join residual — against a private environment and
+    private counters.  The table is frozen before any task is submitted
+    and probes never touch the buffer pool, so no fetch replay is needed.
+    """
+    counters = CostCounters()
+    count_rsi = counters.count_rsi_call
+    env = ctx.env(Row(), outer)
+    out: list[Row] = []
+    append = out.append
+    for outer_row in outer_rows:
+        key = tuple([getter(outer_row) for getter in getters])
+        bucket = table.get(key)
+        if bucket is None:
+            continue
+        count_rsi(len(bucket))
+        if residual is None:
+            for inner_row in bucket:
+                append(outer_row.merged(inner_row))
+        else:
+            for inner_row in bucket:
+                merged = outer_row.merged(inner_row)
+                env.row = merged
+                if residual(env):
+                    append(merged)
+    return counters, out
+
+
+def parallel_hash_join_driver(node: HashJoinNode, ctx: ExecContext):
+    """A partitioned-probe hash-join driver, or ``None`` when ineligible.
+
+    The build side is consumed serially on the driving thread through the
+    same counted inner scan the serial operator uses, so the build's
+    fetch/RSI trace is the statement's own.  The finished table is then
+    shared read-only: workers answer contiguous chunks of outer-batch
+    probes with private counters that the gather merges in chunk order,
+    and chunk results concatenate back into the serial emit order.  Grace
+    plans (``partitions > 1``) spill through counted temp lists whose
+    traffic is inherently serial, so they stay on the serial driver (the
+    fuse dispatch never routes them here).
+    """
+    if not _subquery_free(node.residual):
+        return None
+    program: _HashJoinProgram = _program(node, ctx, _build_hash_join)
+    from .fuse import _fused_program
+
+    outer_source = _fused_program(node.outer, ctx)
+    getters = program.outer_getters
+    residual = program.residual
+
+    def driver(ctx: ExecContext, outer: EvalEnv | None):
+        table = build_hash_table(node, program, ctx, outer)
+        backend = get_backend(ctx.workers)
+        merge = ctx.storage.counters.merge
+        for outer_batch in outer_source(ctx, outer):
+            tasks = [
+                (
+                    lambda rows=outer_batch[lo:hi]: _hash_probe_chunk(
+                        ctx, outer, rows, table, getters, residual
+                    )
+                )
+                for lo, hi in partition_ranges(
+                    len(outer_batch),
+                    max(backend.workers, len(outer_batch) // _PROBE_CHUNK),
+                )
+            ]
+            out: list[Row] = []
+            extend = out.extend
+            for counters, rows in backend.imap(tasks):
+                merge(counters)
+                extend(rows)
             if out:
                 yield out
 

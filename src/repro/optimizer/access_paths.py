@@ -113,9 +113,7 @@ def enumerate_paths(
             cost = cost_model.unique_index_cost()
             path_rows = min(rows_out, 1.0)
         elif match.matches_anything:
-            matched_f = _product(
-                estimator.factor_selectivity(f) for f in match.matched_factors
-            )
+            matched_f = _matched_selectivity(match, catalog, estimator)
             cost = cost_model.matching_index_cost(
                 index, table, matched_f, rsicard, available_buffer=available_buffer
             )
@@ -141,6 +139,37 @@ def enumerate_paths(
         )
         candidates.append(PathCandidate(node, order_key))
     return candidates
+
+
+def _matched_selectivity(
+    match: IndexMatch, catalog: Catalog, estimator: SelectivityEstimator
+) -> float:
+    """F of the factors bounding a matching index scan's key range.
+
+    An equality prefix of length k selects ``1 / prefix_icards[k-1]`` of
+    the index when the composite prefix cardinality is on file — the
+    per-column Table 1 product would miscount correlated key columns and
+    columns without their own leading index.  Range factors past the
+    prefix (and everything when prefix statistics are missing) keep
+    their per-factor Table 1 estimates.
+    """
+    prefix_length = len(match.equal_prefix)
+    stats = catalog.index_stats(match.index.name)
+    if (
+        prefix_length
+        and stats is not None
+        and len(stats.prefix_icards) >= prefix_length
+        and stats.prefix_icards[prefix_length - 1] > 0
+    ):
+        # ``matched_factors`` lists the equality factors in prefix order,
+        # then the single range factor, so the tail is the range part.
+        selectivity = 1.0 / stats.prefix_icards[prefix_length - 1]
+        for factor in match.matched_factors[prefix_length:]:
+            selectivity *= estimator.factor_selectivity(factor)
+        return selectivity
+    return _product(
+        estimator.factor_selectivity(f) for f in match.matched_factors
+    )
 
 
 def _index_access(index, match: IndexMatch) -> IndexAccess:

@@ -24,6 +24,13 @@ from .selectivity import SMALL_NCARD, SMALL_TCARD
 #: fetch is worth roughly thirty tuple retrievals; swept in ablation A1.
 DEFAULT_W = 1.0 / 30.0
 
+#: C-hash: CPU cost of hashing one tuple (a build insert or a probe
+#: lookup), in RSI-call equivalents.  Charged per tuple on *both* sides of
+#: a hash join, it is the analogue of the paper's per-tuple RSI weighting
+#: and keeps hash slightly costlier than a merge of two already-ordered
+#: inputs — hash wins only when merge needs sorts or nested loops rescan.
+HASH_TUPLE_FACTOR = 1.0
+
 
 @dataclass(frozen=True)
 class Cost:
@@ -256,6 +263,54 @@ class CostModel:
         paper's ``C-outer + N * C-inner``.
         """
         return outer + Cost(pages=inner_one_pass_pages, rsi=max(0.0, join_matches))
+
+    def hash_join_cost(
+        self,
+        outer: Cost,
+        outer_rows: float,
+        inner: Cost,
+        inner_rows: float,
+        matches: float,
+        outer_bytes: int,
+        inner_bytes: int,
+        available_buffer: float | None = None,
+    ) -> tuple[Cost, int]:
+        """Build/probe hash join in the style of TABLE 2's formulas.
+
+        The inner (build) input is scanned once and hashed into memory; the
+        outer (probe) input is scanned once and each tuple looks up its
+        bucket.  Pages are the two input scans.  RSI calls are the two
+        input scans' calls, plus ``HASH_TUPLE_FACTOR`` per tuple hashed on
+        either side, plus one call per join match delivered (the same
+        consumption term the merge formula charges).
+
+        When the build side's footprint exceeds the available buffer the
+        join grace-partitions: both inputs are hashed out to temporary
+        lists (one write each) and read back once per partition pass,
+        adding ``2 * (TEMPPAGES(inner) + TEMPPAGES(outer))`` page fetches
+        and one RSI call per tuple written and re-read.  Returns the cost
+        and the partition count (1 = fully in memory).
+        """
+        probe_rows = max(0.0, outer_rows)
+        build_rows = max(0.0, inner_rows)
+        build_pages = self.temp_pages(build_rows, inner_bytes)
+        available = (
+            self.buffer_pages if available_buffer is None else available_buffer
+        )
+        pages = outer.pages + inner.pages
+        rsi = (
+            outer.rsi
+            + inner.rsi
+            + HASH_TUPLE_FACTOR * (build_rows + probe_rows)
+            + max(0.0, matches)
+        )
+        partitions = 1
+        if build_pages > available:
+            partitions = int(math.ceil(build_pages / max(1.0, available)))
+            spill_pages = build_pages + self.temp_pages(probe_rows, outer_bytes)
+            pages += 2.0 * spill_pages
+            rsi += 2.0 * (build_rows + probe_rows)
+        return Cost(pages=pages, rsi=rsi), partitions
 
     def sort_build_cost(self, source: Cost, rows: float, row_bytes: int) -> Cost:
         """C-sort(path): retrieve, sort ("may involve several passes"),

@@ -19,6 +19,7 @@ from .plan import (
     AggregateNode,
     DistinctNode,
     FilterNode,
+    HashJoinNode,
     MergeJoinNode,
     NestedLoopJoinNode,
     PlanNode,
@@ -43,6 +44,13 @@ def plan_summary(node: PlanNode) -> str:
         return (
             f"MERGE({plan_summary(node.outer)}, {plan_summary(node.inner)} "
             f"on {node.outer_column}={node.inner_column})"
+        )
+    if isinstance(node, HashJoinNode):
+        keys = ",".join(f"{o}={i}" for o, i in node.keys)
+        grace = f" grace x{node.partitions}" if node.partitions > 1 else ""
+        return (
+            f"HASH({plan_summary(node.outer)}, build {plan_summary(node.inner)}"
+            f"{grace} on {keys})"
         )
     if isinstance(node, SortNode):
         keys = ",".join(str(column) for column, __ in node.keys) or "?"

@@ -43,7 +43,14 @@ from .access_paths import (
 from .bound import BoundColumn, BoundQueryBlock
 from .cost import Cost, CostModel, ZERO_COST, tuple_byte_width
 from .orders import InterestingOrders, OrderKey, UNORDERED
-from .plan import MergeJoinNode, NestedLoopJoinNode, PlanNode, SortNode
+from .plan import (
+    HashJoinNode,
+    MergeJoinNode,
+    NestedLoopJoinNode,
+    PlanNode,
+    ScanNode,
+    SortNode,
+)
 from .predicates import BooleanFactor, join_factor_as_sarg, partition_factors
 from .selectivity import SelectivityEstimator
 
@@ -122,6 +129,7 @@ class JoinSearch:  # concurrency: statement-scoped
         use_heuristic: bool = True,
         use_interesting_orders: bool = True,
         record_prunes: bool = False,
+        use_hash_join: bool = True,
     ):
         self._block = block
         self._catalog = catalog
@@ -131,6 +139,7 @@ class JoinSearch:  # concurrency: statement-scoped
         self._use_heuristic = use_heuristic
         self._use_orders = use_interesting_orders
         self._record_prunes = record_prunes
+        self._use_hash = use_hash_join
         self.stats = SearchStats()
 
         self._aliases = block.aliases
@@ -304,6 +313,10 @@ class JoinSearch:  # concurrency: statement-scoped
         self._extend_merge(
             mask, position, new_mask, rows_out, connecting, newly_applicable
         )
+        if self._use_hash:
+            self._extend_hash(
+                mask, position, new_mask, rows_out, connecting, newly_applicable
+            )
 
     # -- nested loops ---------------------------------------------------------------
 
@@ -552,6 +565,90 @@ class JoinSearch:  # concurrency: statement-scoped
         options.append((sort_node, self._canonical((merge_class,))))
         options.sort(key=lambda pair: self._cost.total(pair[0].cost))
         return options[:2]
+
+    # -- hash join --------------------------------------------------------------------
+
+    def _extend_hash(
+        self,
+        mask: int,
+        position: int,
+        new_mask: int,
+        rows_out: float,
+        connecting: list[BooleanFactor],
+        extra_residual: list[ast.Expr],
+    ) -> None:
+        """Hash the new relation and probe it with the composite.
+
+        The new relation is the build side, so a candidate is recorded
+        only when its cardinality does not exceed the composite's (the
+        build-side rule: hash the smaller input).  The DP enumerates the
+        mirrored join order separately, which covers the opposite case.
+        All connecting equijoins become hash-key pairs; everything else
+        stays residual.  Hash output carries no order, so the plan is
+        recorded UNORDERED and competes against sort-enforced ordered
+        plans at solution choice.
+        """
+        equijoins = [
+            f for f in connecting if f.join is not None and f.join.is_equijoin
+        ]
+        if not equijoins:
+            return
+        entries = self.best.get(mask, {})
+        if not entries:
+            return
+        alias = self._aliases[position]
+        build_rows = self._alias_rows[position]
+        probe_rows = self._subset_rows(mask)
+        if build_rows > probe_rows:
+            return
+        build = min(
+            (
+                candidate
+                for candidate in self._plain_paths[position]
+                if isinstance(candidate.node, ScanNode)
+            ),
+            key=lambda c: self._cost.total(c.node.cost),
+        )
+        keys: list[tuple[BoundColumn, BoundColumn]] = []
+        matches = probe_rows * build_rows
+        for factor in equijoins:
+            join = factor.join
+            assert join is not None
+            keys.append((join.other_column(alias), join.column_for(alias)))
+            matches *= self._factor_selectivity(factor)
+        residual = [
+            f.expr
+            for f in connecting
+            if f.join is None or not f.join.is_equijoin
+        ] + extra_residual
+        outer = min(entries.values(), key=lambda e: self._cost.total(e.cost))
+        available = self._cost.inner_available_buffer(outer.plan.buffer_claim)
+        inner_bytes = self._alias_bytes[position]
+        self.stats.plans_considered += 1
+        cost, partitions = self._cost.hash_join_cost(
+            outer.cost,
+            outer.rows,
+            build.node.cost,
+            build_rows,
+            matches,
+            self._composite_bytes(mask),
+            inner_bytes,
+            available_buffer=available,
+        )
+        build_pages = self._cost.temp_pages(build_rows, inner_bytes)
+        node = HashJoinNode(
+            outer=outer.plan,
+            inner=build.node,
+            keys=keys,
+            residual=residual,
+            matches=matches,
+            partitions=partitions,
+            cost=cost,
+            rows=rows_out,
+            order_columns=(),
+            buffer_claim=outer.plan.buffer_claim + min(build_pages, available),
+        )
+        self._record(new_mask, node, UNORDERED)
 
     # -- estimates --------------------------------------------------------------------
 

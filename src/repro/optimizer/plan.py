@@ -79,6 +79,10 @@ class IndexAccess:
     def describe(self) -> str:
         """Human-readable description of this access path."""
         parts = [f"index {self.index.name}"]
+        width = len(self.index.column_names)
+        bound = max(len(self.low), len(self.high))
+        if 0 < bound < width:
+            parts.append(f"[prefix {bound}/{width}]")
         if self.low:
             op = ">=" if self.low_inclusive else ">"
             parts.append(f"{op} ({', '.join(map(str, self.low))})")
@@ -152,6 +156,42 @@ class MergeJoinNode(PlanNode):
     def label(self) -> str:
         """One-line description used by plan rendering."""
         return f"merge join on {self.outer_column} = {self.inner_column}"
+
+
+@dataclass
+class HashJoinNode(PlanNode):
+    """Build/probe hash join on one or more equijoin key pairs.
+
+    The inner :class:`ScanNode` — the smaller input, by the build-side
+    rule — is scanned once into an in-memory hash table keyed on its join
+    columns; outer rows then probe it.  Produces no tuple order.  ``keys``
+    pairs each outer key column with its inner counterpart.  ``matches``
+    keeps the optimizer's probe-match estimate (the RSI consumption term)
+    so the cost auditor can re-derive the formula exactly.  ``partitions``
+    records the plan-time grace decision: above 1, both inputs are
+    hash-partitioned through temporary pages and joined partition by
+    partition.
+    """
+
+    outer: PlanNode
+    inner: ScanNode
+    keys: list[tuple[BoundColumn, BoundColumn]] = field(default_factory=list)
+    residual: list[ast.Expr] = field(default_factory=list)
+    matches: float = field(default=0.0, kw_only=True)
+    partitions: int = field(default=1, kw_only=True)
+
+    def children(self) -> list[PlanNode]:
+        """Child plan nodes, outer before inner."""
+        return [self.outer, self.inner]
+
+    def label(self) -> str:
+        """One-line description used by plan rendering."""
+        keys = ", ".join(f"{o} = {i}" for o, i in self.keys)
+        grace = f", grace x{self.partitions}" if self.partitions > 1 else ""
+        # getattr: the plan checker renders labels of corrupted trees
+        # whose build side may not be a ScanNode at all.
+        build = getattr(self.inner, "alias", "<non-scan>")
+        return f"hash join (build {build}{grace}) on {keys}"
 
 
 # ---------------------------------------------------------------------------
@@ -270,7 +310,7 @@ def render_plan(node: PlanNode, indent: int = 0, w: float | None = None) -> str:
             extras.append(f"{pad}  sarg: {sarg}")
         for residual in node.residual:
             extras.append(f"{pad}  filter: {residual}")
-    elif isinstance(node, (NestedLoopJoinNode, MergeJoinNode)):
+    elif isinstance(node, (NestedLoopJoinNode, MergeJoinNode, HashJoinNode)):
         for residual in node.residual:
             extras.append(f"{pad}  filter: {residual}")
     lines.extend(extras)

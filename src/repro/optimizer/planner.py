@@ -47,6 +47,16 @@ def check_enabled() -> bool:
     return os.environ.get("REPRO_CHECK", "") not in ("", "0")
 
 
+def hash_join_enabled() -> bool:
+    """Whether the DP search offers hash join as a join method.
+
+    On by default; ``REPRO_HASHJOIN=0`` (or ``off``) restricts the search
+    to the paper's NL/merge repertoire — the switch the equivalence tests
+    and the NL/merge benchmark baseline use.
+    """
+    return os.environ.get("REPRO_HASHJOIN", "") not in ("0", "off")
+
+
 @dataclass
 class CorrelationInfo:
     """One correlated subquery's cost profile for ordering decisions (§6)."""
@@ -99,12 +109,15 @@ class Optimizer:
         use_interesting_orders: bool = True,
         correlation_ordering: bool = True,
         verify_plans: bool | None = None,
+        use_hash_join: bool | None = None,
     ):
         self._catalog = catalog
         self.w = w
         self._buffer_pages = buffer_pages
         self._use_heuristic = use_heuristic
         self._use_orders = use_interesting_orders
+        #: None defers to the REPRO_HASHJOIN environment flag at plan time.
+        self.use_hash_join = use_hash_join
         # §6: when the runtime skips re-evaluation on repeated referenced
         # values, plans ordered on the referenced column become attractive
         # ("it might even pay to sort the referenced relation").
@@ -131,6 +144,12 @@ class Optimizer:
         if self.verify_plans is not None:
             return self.verify_plans
         return check_enabled()
+
+    def hash_join_allowed(self) -> bool:
+        """Whether the join search may consider hash joins."""
+        if self.use_hash_join is not None:
+            return self.use_hash_join
+        return hash_join_enabled()
 
     def plan_query(self, query: ast.SelectQuery) -> PlannedStatement:
         """Bind and plan a parsed SELECT statement."""
@@ -172,6 +191,7 @@ class Optimizer:
             use_heuristic=self._use_heuristic,
             use_interesting_orders=self._use_orders,
             record_prunes=self.verification_enabled(),
+            use_hash_join=self.hash_join_allowed(),
         )
         solutions = search.search()
         root, correlation_total = self._choose_solution(
@@ -213,6 +233,7 @@ class Optimizer:
             orders,
             use_heuristic=self._use_heuristic,
             use_interesting_orders=self._use_orders,
+            use_hash_join=self.hash_join_allowed(),
         )
         search.search()
         return search, orders, factors

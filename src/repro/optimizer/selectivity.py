@@ -240,7 +240,13 @@ class SelectivityEstimator:
         return self._icard(column)
 
     def _icard(self, column: BoundColumn) -> int | None:
-        """ICARD of an index whose first key column is ``column``, if any."""
+        """ICARD of an index whose first key column is ``column``, if any.
+
+        A composite index reports the leading column's own cardinality
+        (``prefix_icards[0]``) when collected; the full-key ICARD would
+        overstate the column's distinct-value count and poison equality
+        selectivities on multi-column indexes.
+        """
         self._validate_caches()
         key = (column.table_name, column.column_name)
         if key in self._icard_cache:
@@ -249,8 +255,11 @@ class SelectivityEstimator:
         icard: int | None = None
         if index is not None:
             stats = self._catalog.index_stats(index.name)
-            if stats is not None and stats.icard > 0:
-                icard = stats.icard
+            if stats is not None:
+                if stats.prefix_icards and stats.prefix_icards[0] > 0:
+                    icard = stats.prefix_icards[0]
+                elif stats.icard > 0:
+                    icard = stats.icard
         self._icard_cache[key] = icard
         return icard
 

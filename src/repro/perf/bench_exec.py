@@ -162,6 +162,223 @@ def default_cases(quick: bool = False) -> list[ExecCase]:
     return cases
 
 
+# ---------------------------------------------------------------------------
+# the unsorted-large-join section (``--hashjoin``)
+# ---------------------------------------------------------------------------
+
+#: Execution modes the hash-join gate audits for counter fidelity.
+HASHJOIN_MODES = ("interp", "compiled", "fused", "parallel")
+
+
+def _unsorted_join_case(
+    name: str, tables: list, sql: str, buffer_pages: int
+) -> ExecCase:
+    def build() -> Database:
+        return build_database(tables, seed=7, buffer_pages=buffer_pages)
+
+    return ExecCase(name, build, sql, quick=True)
+
+
+def hashjoin_cases(quick: bool = False) -> list[ExecCase]:
+    """Large joins over unindexed, unsorted inputs: the hash sweet spot.
+
+    Every shape keeps at least one relation out of buffer residency so
+    nested loops cannot coast on a cached inner, and none carries an
+    index that would hand merge join a free order.  The DP must pick a
+    hash join on each of these when ``REPRO_HASHJOIN`` allows it (the
+    bench asserts it does).
+    """
+    from repro.workloads.generator import ColumnSpec, TableSpec
+
+    scale = 2 if quick else 1
+
+    def spec(name, rows, columns, pad):
+        return TableSpec(name, rows // scale, columns, [], pad_bytes=pad)
+
+    cases = [
+        _unsorted_join_case(
+            "hj-filtered",
+            [
+                spec("T1", 8000, [ColumnSpec("A", 50), ColumnSpec("J1", 500)], 80),
+                spec("T2", 12000, [ColumnSpec("J1", 500), ColumnSpec("B", 10)], 80),
+            ],
+            "SELECT T1.A, T2.J1 FROM T1, T2 "
+            "WHERE T1.J1 = T2.J1 AND T2.B = 3",
+            buffer_pages=48 // scale,
+        ),
+        _unsorted_join_case(
+            "hj-grace",
+            [
+                spec("T1", 8000, [ColumnSpec("A", 50), ColumnSpec("J1", 500)], 80),
+                spec("T2", 12000, [ColumnSpec("J1", 500), ColumnSpec("B", 10)], 80),
+            ],
+            "SELECT COUNT(*) FROM T1, T2 WHERE T1.J1 = T2.J1",
+            buffer_pages=48 // scale,
+        ),
+        _unsorted_join_case(
+            "hj-chain3",
+            [
+                spec("C1", 4000, [ColumnSpec("A", 50), ColumnSpec("J1", 400)], 80),
+                spec("C2", 6000, [ColumnSpec("J1", 400), ColumnSpec("J2", 400)], 80),
+                spec("C3", 5000, [ColumnSpec("J2", 400), ColumnSpec("B", 10)], 80),
+            ],
+            "SELECT C1.A, C3.B FROM C1, C2, C3 "
+            "WHERE C1.J1 = C2.J1 AND C2.J2 = C3.J2 AND C3.B = 3",
+            buffer_pages=48 // scale,
+        ),
+        _unsorted_join_case(
+            "hj-star2",
+            [
+                spec(
+                    "FACT",
+                    10000,
+                    [
+                        ColumnSpec("D1", 300),
+                        ColumnSpec("D2", 300),
+                        ColumnSpec("M", 50),
+                    ],
+                    80,
+                ),
+                spec("DIM1", 3000, [ColumnSpec("D1", 300), ColumnSpec("A", 10)], 80),
+                spec("DIM2", 3000, [ColumnSpec("D2", 300), ColumnSpec("B", 10)], 80),
+            ],
+            "SELECT FACT.M, DIM1.A, DIM2.B FROM FACT, DIM1, DIM2 "
+            "WHERE FACT.D1 = DIM1.D1 AND FACT.D2 = DIM2.D2 "
+            "AND DIM1.A = 3 AND DIM2.B = 5",
+            buffer_pages=48 // scale,
+        ),
+    ]
+    return cases
+
+
+def _count_hash_joins(db: Database, sql: str) -> int:
+    from repro.optimizer.plan import HashJoinNode, walk_plan
+
+    statement = parse_statement(sql)
+    assert isinstance(statement, ast.SelectQuery)
+    planned = db.plan_query(statement)
+    return sum(
+        isinstance(node, HashJoinNode) for node in walk_plan(planned.root)
+    )
+
+
+def run_hashjoin_bench(
+    repeats: int | None = None,
+    quick: bool = False,
+    echo: Callable[[str], None] = print,
+) -> dict:
+    """The hash-join gate: baseline vs hash across every execution mode.
+
+    The baseline leg re-runs the section with ``REPRO_HASHJOIN=0`` in
+    fused mode — the best nested-loop/merge plan the DP can find without
+    the hash alternative.  The hash leg runs all four execution modes and
+    requires bit-identical counters, row counts, and checksums across
+    them; the headline ``geomean_speedup`` is fused-over-baseline on the
+    same runner.  Unlike ``--compare``, counters are *expected* to differ
+    between the two legs: they execute different plans.
+    """
+    import os
+
+    cases = hashjoin_cases(quick=quick)
+    effective_repeats = repeats or (3 if quick else 5)
+
+    # The section is vacuous unless the DP picks hash joins on it.
+    for case in cases:
+        db = case.build()
+        hash_joins = _count_hash_joins(db, case.sql)
+        if hash_joins == 0:
+            raise RuntimeError(
+                f"{case.name}: the DP picked no hash join; the section no "
+                "longer measures what it claims to"
+            )
+
+    echo("  -- baseline (REPRO_HASHJOIN=0, fused)")
+    saved = os.environ.get("REPRO_HASHJOIN")
+    os.environ["REPRO_HASHJOIN"] = "0"
+    try:
+        baseline = [
+            run_case(case, repeats=effective_repeats, mode="fused")
+            for case in cases
+        ]
+    finally:
+        if saved is None:
+            del os.environ["REPRO_HASHJOIN"]
+        else:
+            os.environ["REPRO_HASHJOIN"] = saved
+    for entry in baseline:
+        echo(
+            f"  {entry['name']:<16s} mean {entry['mean_ms']:9.2f} ms  "
+            f"rows {entry['rows']:>6d}"
+        )
+
+    mode_sections: dict[str, list[dict]] = {}
+    for mode in HASHJOIN_MODES:
+        echo(f"  -- hash joins, {mode} mode")
+        workers = 2 if mode == "parallel" else None
+        mode_sections[mode] = [
+            run_case(case, repeats=effective_repeats, mode=mode, workers=workers)
+            for case in cases
+        ]
+        for entry in mode_sections[mode]:
+            echo(
+                f"  {entry['name']:<16s} mean {entry['mean_ms']:9.2f} ms  "
+                f"rows {entry['rows']:>6d}  rsi {entry['rsi_calls']:>8d}"
+            )
+
+    # Counter fidelity: every mode must agree with interp exactly.
+    mismatches: list[str] = []
+    reference = {entry["name"]: entry for entry in mode_sections["interp"]}
+    for mode in HASHJOIN_MODES[1:]:
+        for entry in mode_sections[mode]:
+            ref = reference[entry["name"]]
+            identical = all(
+                ref[fieldname] == entry[fieldname]
+                for fieldname in (*COUNTER_FIELDS, "rows", "checksum")
+            )
+            if not identical:
+                mismatches.append(f"{entry['name']}@{mode}")
+
+    # Same-runner speedup: fused hash leg over the no-hash baseline.
+    baseline_by_name = {entry["name"]: entry for entry in baseline}
+    rows: list[dict] = []
+    for entry in mode_sections["fused"]:
+        before = baseline_by_name[entry["name"]]
+        if before["checksum"] != entry["checksum"]:
+            mismatches.append(f"{entry['name']}@baseline-rows")
+        rows.append(
+            {
+                "name": entry["name"],
+                "baseline_mean_ms": before["mean_ms"],
+                "hash_mean_ms": entry["mean_ms"],
+                "speedup": round(before["mean_ms"] / entry["mean_ms"], 3),
+            }
+        )
+        echo(
+            f"  {entry['name']:<16s} {before['mean_ms']:9.2f} ms -> "
+            f"{entry['mean_ms']:9.2f} ms  {rows[-1]['speedup']:6.2f}x"
+        )
+    geo = math.exp(statistics.fmean(math.log(row["speedup"]) for row in rows))
+    echo(f"  geomean speedup over the no-hash baseline: {geo:.2f}x")
+    if mismatches:
+        echo(f"  COUNTER MISMATCHES: {', '.join(mismatches)}")
+    else:
+        echo("  counters identical across every execution mode")
+
+    return {
+        "version": REPORT_VERSION,
+        "kind": "executor-hashjoin",
+        "quick": quick,
+        "baseline": {"mode": "fused", "hashjoin": "off", "queries": baseline},
+        "modes": mode_sections,
+        "queries": mode_sections["fused"],
+        "comparison": {
+            "queries": rows,
+            "geomean_speedup": round(geo, 3),
+            "counter_mismatches": mismatches,
+        },
+    }
+
+
 def _checksum(rows: list[tuple]) -> str:
     digest = hashlib.sha256()
     for row in sorted(repr(row) for row in rows):
@@ -452,6 +669,13 @@ def main(argv: list[str] | None = None) -> int:
         "report reaches this value (e.g. 0.9 = tolerate 10%% slowdown)",
     )
     parser.add_argument(
+        "--hashjoin",
+        action="store_true",
+        help="run the unsorted-large-join section instead: hash joins in "
+        "all four modes vs a REPRO_HASHJOIN=0 fused baseline; --gate "
+        "bounds the geomean speedup over that baseline",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="attribute one cProfile'd execution per query to pipeline "
@@ -478,6 +702,35 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+
+    if args.hashjoin:
+        cases = hashjoin_cases(quick=args.quick)
+        print(f"repro bench --exec --hashjoin: {len(cases)} queries")
+        report = run_hashjoin_bench(repeats=args.repeats, quick=args.quick)
+        output = Path(args.output)
+        if args.output == DEFAULT_OUTPUT:
+            output = Path("BENCH_executor_hashjoin.json")
+        output.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {output}")
+        comparison = report["comparison"]
+        if comparison["counter_mismatches"]:
+            print(
+                "HASHJOIN GATE FAILED: counter mismatches on "
+                + ", ".join(comparison["counter_mismatches"]),
+                file=sys.stderr,
+            )
+            return 1
+        if args.gate is not None and comparison["geomean_speedup"] < args.gate:
+            print(
+                f"HASHJOIN GATE FAILED: geomean speedup "
+                f"{comparison['geomean_speedup']:.3f}x < {args.gate:.3f}x",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
 
     cases = default_cases(quick=args.quick)
     print(f"repro bench --exec: {len(cases)} quer{'y' if len(cases) == 1 else 'ies'}")

@@ -180,6 +180,29 @@ class BTree:
                 previous = okey
         return count
 
+    def distinct_prefix_counts(self) -> tuple[int, ...]:
+        """Distinct key counts per prefix length, in one ordered walk.
+
+        Entry ``k`` is the number of distinct values of the first ``k+1``
+        key columns, so the last entry equals :meth:`distinct_key_count`.
+        Keys arrive in key order, so a length-``k`` prefix changes exactly
+        at the first entry whose key differs within its first ``k``
+        components.
+        """
+        counts: list[int] = []
+        previous: tuple | None = None
+        for okey, __, ___ in self._iter_entries_uncounted():
+            if previous is None:
+                counts = [1] * len(okey)
+            elif okey != previous:
+                for position in range(len(counts)):
+                    if previous[position] != okey[position]:
+                        for wider in range(position, len(counts)):
+                            counts[wider] += 1
+                        break
+            previous = okey
+        return tuple(counts)
+
     def min_key(self) -> tuple | None:
         """Smallest key in the index, or None when empty."""
         for __, key, ___ in self._iter_entries_uncounted():

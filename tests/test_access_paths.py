@@ -127,6 +127,93 @@ class TestEnumeration:
         assert seg.node.rows == pytest.approx(5000 / 50 * 0.1)
 
 
+class TestCompositePrefix:
+    """Multi-column indexes: SARGs on a key prefix become a range scan."""
+
+    @pytest.fixture
+    def composite_catalog(self):
+        catalog = Catalog()
+        catalog.create_table(
+            "EMP",
+            [
+                ("ENO", INTEGER),
+                ("NAME", varchar(16)),
+                ("DNO", INTEGER),
+                ("SAL", INTEGER),
+            ],
+        )
+        catalog.create_index("EMP_DNO_SAL", "EMP", ["DNO", "SAL"])
+        catalog.set_relation_stats("EMP", RelationStats(5000, 60, 1.0))
+        catalog.set_index_stats(
+            "EMP_DNO_SAL",
+            IndexStats(2000, 15, 0, 999, prefix_icards=(40, 2000)),
+        )
+        return catalog
+
+    @staticmethod
+    def _composite_path(candidates):
+        return next(
+            c
+            for c in candidates
+            if isinstance(c.node.access, IndexAccess)
+            and c.node.access.index.name == "EMP_DNO_SAL"
+        )
+
+    def test_leading_equality_is_a_matching_prefix_range(
+        self, composite_catalog
+    ):
+        __, ___, candidates, ____ = paths_for(composite_catalog, "DNO = 9")
+        access = self._composite_path(candidates).node.access
+        assert len(access.low) == 1 and len(access.high) == 1
+        assert access.low_inclusive and access.high_inclusive
+        assert "[prefix 1/2]" in access.describe()
+
+    def test_prefix_selectivity_uses_prefix_cardinality(
+        self, composite_catalog
+    ):
+        # 1 / prefix_icards[0] = 1/40, not 1 / ICARD = 1/2000: the full
+        # composite cardinality wildly overstates a one-column prefix.
+        __, ___, candidates, ____ = paths_for(composite_catalog, "DNO = 9")
+        path = self._composite_path(candidates)
+        # The whole relation fits the pool: F * (NINDX + TCARD) pages.
+        assert path.node.cost.pages == pytest.approx((15 + 60) / 40)
+
+    def test_row_estimate_uses_leading_prefix_cardinality(
+        self, composite_catalog
+    ):
+        # Table 1's ICARD for "DNO = value" is the leading-prefix count.
+        __, ___, candidates, ____ = paths_for(composite_catalog, "DNO = 9")
+        for candidate in candidates:
+            assert candidate.node.rows == pytest.approx(5000 / 40)
+
+    def test_prefix_plus_range_closes_the_key(self, composite_catalog):
+        block, factors, candidates, ____ = paths_for(
+            composite_catalog, "DNO = 9 AND SAL > 100"
+        )
+        path = self._composite_path(candidates)
+        access = path.node.access
+        # equality bounds both sides; the range factor extends low only
+        assert len(access.low) == 2 and len(access.high) == 1
+        assert not access.low_inclusive
+        estimator = SelectivityEstimator(composite_catalog)
+        range_factor = next(
+            f for f in factors if "SAL" in str(f.expr)
+        )
+        expected = (1 / 40) * estimator.factor_selectivity(range_factor)
+        assert path.node.cost.pages == pytest.approx(expected * (15 + 60))
+
+    def test_missing_prefix_statistics_fall_back_to_table1(
+        self, composite_catalog
+    ):
+        composite_catalog.set_index_stats(
+            "EMP_DNO_SAL", IndexStats(2000, 15, 0, 999)
+        )
+        __, ___, candidates, ____ = paths_for(composite_catalog, "DNO = 9")
+        path = self._composite_path(candidates)
+        # Without prefix statistics the estimator sees only ICARD=2000.
+        assert path.node.cost.pages == pytest.approx((15 + 60) / 2000)
+
+
 class TestProbePaths:
     def test_join_probe_enables_index(self, catalog):
         block = Binder(catalog).bind(

@@ -18,12 +18,13 @@ from repro.analysis.cost_audit import (
     audit_search_stats,
     audit_statement,
 )
-from repro.catalog.statistics import RelationStats
+from repro.catalog.statistics import IndexStats, RelationStats
 from repro.optimizer.cost import Cost
 from repro.optimizer.joins import PrunedCandidate, SearchStats
 from repro.optimizer.orders import UNORDERED
 from repro.optimizer.plan import (
     AggregateNode,
+    HashJoinNode,
     MergeJoinNode,
     NestedLoopJoinNode,
     ScanNode,
@@ -196,6 +197,108 @@ def test_rejects_bad_statistics(db):
     db.execute("CREATE TABLE T (A INTEGER)")
     db.catalog.set_relation_stats(
         "T", RelationStats(ncard=5, tcard=50, fraction=2.0)
+    )
+    violations = audit_cost_model(db.catalog, db.w, db.storage.buffer.capacity)
+    assert "bad-statistics" in rules(violations)
+
+
+# ---------------------------------------------------------------------------
+# the hash-join formula audit
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def hash_db():
+    from tests.test_hash_join import _wide_pair_db
+
+    keys1 = [None if i % 9 == 0 else i % 8 for i in range(120)]
+    keys2 = [None if i % 7 == 0 else i % 8 for i in range(150)]
+    return _wide_pair_db(keys1, keys2)
+
+
+def hash_plan_of(db):
+    planned = plan(db, "SELECT T1.V, T2.W FROM T1, T2 WHERE T1.K = T2.K")
+    node = next(
+        n for n in walk_plan(planned.root) if isinstance(n, HashJoinNode)
+    )
+    return planned, node
+
+
+def test_clean_hash_plan_audits_cleanly(hash_db):
+    planned, node = hash_plan_of(hash_db)
+    assert node.partitions > 1  # the grace path is the one audited here
+    assert audit_statement(planned, hash_db.catalog) == []
+
+
+def test_rejects_wrong_build_side(hash_db):
+    planned, node = hash_plan_of(hash_db)
+    node.inner.rows = node.outer.rows + node.inner.rows + 1.0
+    assert "hash-build-side" in rules(
+        audit_statement(planned, hash_db.catalog)
+    )
+
+
+def test_rejects_tampered_hash_rsi(hash_db):
+    planned, node = hash_plan_of(hash_db)
+    node.cost = Cost(node.cost.pages, node.cost.rsi * 2.0)
+    assert "hash-inconsistent" in rules(
+        audit_statement(planned, hash_db.catalog)
+    )
+
+
+def test_rejects_tampered_hash_pages(hash_db):
+    planned, node = hash_plan_of(hash_db)
+    node.cost = Cost(node.cost.pages + 9.0, node.cost.rsi)
+    assert "hash-inconsistent" in rules(
+        audit_statement(planned, hash_db.catalog)
+    )
+
+
+def test_rejects_dropped_grace_spill_term(hash_db):
+    # Claiming an in-memory join while the cost still carries the spill
+    # term (or vice versa) must not re-derive.
+    planned, node = hash_plan_of(hash_db)
+    node.partitions = 1
+    assert "hash-inconsistent" in rules(
+        audit_statement(planned, hash_db.catalog)
+    )
+
+
+# ---------------------------------------------------------------------------
+# composite-prefix statistics audit
+# ---------------------------------------------------------------------------
+
+
+def _two_column_indexed(db):
+    db.execute("CREATE TABLE T (A INTEGER, B INTEGER)")
+    db.execute("CREATE INDEX T_AB ON T (A, B)")
+    for i in range(10):
+        db.execute(f"INSERT INTO T VALUES ({i % 5}, {i})")
+    db.execute("UPDATE STATISTICS")
+    return db.catalog.index_stats("T_AB")
+
+
+def test_collected_prefix_statistics_audit_cleanly(db):
+    stats = _two_column_indexed(db)
+    assert stats.prefix_icards == (5, 10)
+    assert (
+        audit_cost_model(db.catalog, db.w, db.storage.buffer.capacity) == []
+    )
+
+
+@pytest.mark.parametrize(
+    "prefix_icards",
+    [
+        (5, 9),  # full-width prefix cardinality must equal ICARD
+        (12, 10),  # cardinality cannot shrink as the prefix widens
+        (10,),  # one entry per key column
+    ],
+    ids=["icard-mismatch", "decreasing", "truncated"],
+)
+def test_rejects_inconsistent_prefix_statistics(db, prefix_icards):
+    _two_column_indexed(db)
+    db.catalog.set_index_stats(
+        "T_AB", IndexStats(10, 1, 0, 4, prefix_icards=prefix_icards)
     )
     violations = audit_cost_model(db.catalog, db.w, db.storage.buffer.capacity)
     assert "bad-statistics" in rules(violations)

@@ -113,6 +113,12 @@ def merge_db():
 
 
 class TestMergeJoinExecution:
+    @pytest.fixture(autouse=True)
+    def _no_hash_join(self, monkeypatch):
+        # These tests exercise the merge-join operator; with hash join in
+        # the search space the DP prefers it on this index-less corpus.
+        monkeypatch.setenv("REPRO_HASHJOIN", "0")
+
     def expected(self, db):
         left = db.execute("SELECT K, V FROM L").rows
         right = db.execute("SELECT K, W FROM R").rows

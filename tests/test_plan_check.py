@@ -24,6 +24,7 @@ from repro.analysis.plan_check import (
 from repro.catalog.schema import IndexDef
 from repro.optimizer.plan import (
     FilterNode,
+    HashJoinNode,
     IndexAccess,
     ScanNode,
     SegmentAccess,
@@ -158,6 +159,63 @@ def test_verifying_optimizer_raises_on_corruption(empdept, monkeypatch):
             parse_statement("SELECT NAME FROM EMP WHERE SAL > 500")
         )
     assert "dropped-predicate" in rules(excinfo.value.violations)
+
+
+# ---------------------------------------------------------------------------
+# corrupted hash joins are rejected
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def hash_planned():
+    from tests.test_hash_join import _wide_pair_db
+
+    keys1 = [None if i % 9 == 0 else i % 8 for i in range(120)]
+    keys2 = [None if i % 7 == 0 else i % 8 for i in range(150)]
+    db = _wide_pair_db(keys1, keys2)
+    planned = plan(db, "SELECT T1.V, T2.W FROM T1, T2 WHERE T1.K = T2.K")
+    node = next(
+        n for n in walk_plan(planned.root) if isinstance(n, HashJoinNode)
+    )
+    return db, planned, node
+
+
+def test_accepts_clean_hash_plan(hash_planned):
+    db, planned, __ = hash_planned
+    assert check_statement(planned, db.catalog) == []
+
+
+def test_rejects_hash_phantom_order(hash_planned):
+    db, planned, node = hash_planned
+    node.order_columns = ((node.outer.alias, 0),)
+    assert "phantom-order" in rules(check_statement(planned, db.catalog))
+
+
+def test_rejects_hash_without_keys(hash_planned):
+    db, planned, node = hash_planned
+    node.keys.clear()
+    assert "hash-no-keys" in rules(check_statement(planned, db.catalog))
+
+
+def test_rejects_swapped_hash_key_sides(hash_planned):
+    db, planned, node = hash_planned
+    outer_column, inner_column = node.keys[0]
+    node.keys[0] = (inner_column, outer_column)
+    assert "unbound-join-column" in rules(
+        check_statement(planned, db.catalog)
+    )
+
+
+def test_rejects_bad_partition_count(hash_planned):
+    db, planned, node = hash_planned
+    node.partitions = 0
+    assert "bad-partitions" in rules(check_statement(planned, db.catalog))
+
+
+def test_rejects_composite_build_side(hash_planned):
+    db, planned, node = hash_planned
+    node.inner = FilterNode(child=node.inner, predicates=[])
+    assert "bad-inner" in rules(check_statement(planned, db.catalog))
 
 
 # ---------------------------------------------------------------------------

@@ -252,6 +252,39 @@ def test_hot_path_rule_covers_temp_and_external_sort(tmp_path):
     assert "engine/external_sort.py" in wheres
 
 
+def test_flags_hash_build_inside_loop(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "engine/parallel.py",
+        """
+        def probe_batches(batches, node, program, ctx):
+            for batch in batches:
+                table = build_hash_table(node, program, ctx, None)
+                yield table
+        """,
+    )
+    violations = by_rule(tmp_path, "executor-hot-path")
+    assert len(violations) == 1
+    assert "build" in violations[0].message
+
+
+def test_flags_hash_join_handoff_in_fused_loop(tmp_path):
+    write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
+    write(
+        tmp_path,
+        "engine/fuse.py",
+        """
+        def driver(batches, node, ctx):
+            for batch in batches:
+                yield list(hash_join_rows(node, ctx, None))
+        """,
+    )
+    violations = by_rule(tmp_path, "executor-hot-path")
+    assert len(violations) == 1
+    assert "hash_join_rows" in violations[0].message
+
+
 def test_flags_isinstance_in_compiled_closure(tmp_path):
     write(tmp_path, "optimizer/plan.py", _FAKE_PLAN)
     write(

@@ -174,6 +174,40 @@ class TestStatistics:
                 tree.insert((key,), TupleId(key, slot))
         assert tree.distinct_key_count() == 50
 
+    def test_distinct_prefix_counts_empty(self):
+        assert make_tree().distinct_prefix_counts() == ()
+
+    def test_distinct_prefix_counts_single_column(self):
+        tree = make_tree()
+        for key in range(50):
+            for slot in range(3):
+                tree.insert((key,), TupleId(key, slot))
+        assert tree.distinct_prefix_counts() == (50,)
+
+    def test_distinct_prefix_counts_composite(self):
+        tree = make_tree([INTEGER, INTEGER, INTEGER])
+        rng = random.Random(41)
+        keys = [
+            (rng.randrange(4), rng.randrange(7), rng.randrange(10))
+            for __ in range(500)
+        ]
+        for position, key in enumerate(keys):
+            tree.insert(key, TupleId(position, 0))
+        expected = tuple(
+            len({key[: width + 1] for key in keys}) for width in range(3)
+        )
+        counts = tree.distinct_prefix_counts()
+        assert counts == expected
+        assert counts[-1] == tree.distinct_key_count()
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    def test_distinct_prefix_counts_with_nulls(self):
+        tree = make_tree([INTEGER, INTEGER])
+        for key in [(None, 1), (None, 2), (1, 1), (1, 1), (2, None)]:
+            tree.insert(key, TupleId(0, 0))
+        # NULL is a distinct key value for statistics purposes.
+        assert tree.distinct_prefix_counts() == (3, 4)
+
     def test_min_max(self):
         tree = make_tree()
         assert tree.min_key() is None
