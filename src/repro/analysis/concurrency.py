@@ -17,6 +17,10 @@ classifies each entry:
   the stat caches keyed on it); detected structurally: a method that
   advances ``self._version`` and rebuilds/clears the state in the same
   breath;
+- ``lock-guarded`` — every mutation site sits lexically inside a
+  ``with`` block whose context expression names a lock-like object
+  (``lock``/``latch``/``mutex``/``cond`` in the name); the serving
+  layer's page store, buffer pool, and commit queue live here;
 - ``mergeable-counter`` — the :class:`~repro.rss.counters.CostCounters`
   fields, *proven* increment-only and confined to ``rss/`` so per-worker
   copies can merge by summation at a pipeline breaker (the precondition
@@ -59,6 +63,7 @@ CLASSIFICATIONS = (
     "immutable-after-init",
     "statement-scoped",
     "version-stamped",
+    "lock-guarded",
     "mergeable-counter",
     "driver-confined",
     "UNGUARDED",
@@ -370,6 +375,63 @@ def _classify_mutable(
     return "UNGUARDED", "auto", default_reason
 
 
+# -- lock-guarded detection -------------------------------------------------
+
+#: Name fragments that mark a with-block's context object as a lock.
+_LOCKISH_NAMES = ("lock", "latch", "mutex", "cond")
+
+
+def _is_lockish(node: ast.expr) -> bool:
+    """Whether a with-item expression names a lock-like object."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute):
+            name = sub.attr
+        elif isinstance(sub, ast.Name):
+            name = sub.id
+        else:
+            continue
+        lowered = name.lower()
+        if any(token in lowered for token in _LOCKISH_NAMES):
+            return True
+    return False
+
+
+def _lock_ranges(graph: ProgramGraph) -> dict[str, list[tuple[int, int]]]:
+    """Per module, the line spans of with-blocks that hold a lock."""
+    ranges: dict[str, list[tuple[int, int]]] = {}
+    for relpath, module in graph.modules.items():
+        spans: list[tuple[int, int]] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            end = getattr(node, "end_lineno", None)
+            if end is None:
+                continue
+            if any(_is_lockish(item.context_expr) for item in node.items):
+                spans.append((node.lineno, end))
+        if spans:
+            ranges[relpath] = spans
+    return ranges
+
+
+def _all_sites_locked(
+    graph: ProgramGraph,
+    lock_ranges: dict[str, list[tuple[int, int]]],
+    sites: list[tuple[str, int]],
+) -> bool:
+    """Whether every mutation site sits inside a with-lock block."""
+    if not sites:
+        return False
+    for qualname, lineno in sites:
+        func = graph.functions.get(qualname)
+        if func is None:
+            return False
+        spans = lock_ranges.get(func.module, ())
+        if not any(start <= lineno <= end for start, end in spans):
+            return False
+    return True
+
+
 # -- class attributes -------------------------------------------------------
 
 
@@ -419,6 +481,7 @@ def _class_attr_findings(
                     (qualname, mutation.lineno)
                 )
 
+    lock_ranges = _lock_ranges(graph)
     findings: list[Finding] = []
     for (module_path, class_name, attr), sites in self_sites.items():
         if module_path.startswith(_EXCLUDED_PREFIXES):
@@ -429,20 +492,25 @@ def _class_attr_findings(
         if attr in COUNTER_FIELDS and class_name == "CostCounters":
             continue  # audited separately, classification mergeable-counter
         annotation = _attr_annotation(graph, klass, attr)
-        if (module_path, class_name, attr) in version_stamped:
+        if annotation is not None:
+            classification, source, reason = (
+                annotation,
+                "annotation",
+                "classified at the declaration site",
+            )
+        elif _all_sites_locked(graph, lock_ranges, sites):
+            classification, source, reason = (
+                "lock-guarded",
+                "auto",
+                "every mutation site sits inside a with-block holding a "
+                "lock-named object",
+            )
+        elif (module_path, class_name, attr) in version_stamped:
             classification, source, reason = (
                 "version-stamped",
                 "auto",
                 "rebuilt by the method that advances the class's version "
                 "counter; staleness is one int compare",
-            )
-            if annotation is not None:
-                classification, source = annotation, "annotation"
-        elif annotation is not None:
-            classification, source, reason = (
-                annotation,
-                "annotation",
-                "classified at the declaration site",
             )
         else:
             classification, source, reason = (

@@ -621,6 +621,19 @@ class _BodyAnalyzer:
             )
             if callee.attr in MUTATOR_METHODS:
                 self._mutation_through(callee.value, node.lineno, callee.attr)
+        # A bound method passed as a call argument is a callback
+        # registration edge, like the bare-Name case below.
+        for value in [*node.args, *(kw.value for kw in node.keywords)]:
+            if (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+            ):
+                self.edges.update(
+                    self.graph.resolve_call(
+                        self.module, self.func, value.attr, True
+                    )
+                )
 
     def _visit_store(self, target: ast.expr, lineno: int) -> None:
         if isinstance(target, ast.Name):

@@ -187,9 +187,10 @@ def main(argv: list[str] | None = None) -> int:
 
     ``python -m repro check [--plans|--costs|--lint|--storage|--fusion|
     --effects|--concurrency|--dead-code]`` runs the
-    static verification suite and ``python -m repro bench
-    [--quick|--compare]`` the optimizer micro-benchmarks instead of the
-    shell.  ``--db PATH`` opens (or creates) a durable database backed by
+    static verification suite, ``python -m repro bench
+    [--quick|--compare]`` the optimizer micro-benchmarks, and
+    ``python -m repro stress [--clients N|--fault SPEC|--fault-smoke]``
+    the concurrent-serving stress harness instead of the shell.  ``--db PATH`` opens (or creates) a durable database backed by
     ``PATH``; any other arguments are read as SQL script files before the
     interactive prompt starts.  Fault plans in ``REPRO_FAULTS`` (e.g.
     ``pagetable.flip@1:crash``) are armed before the first statement.
@@ -203,6 +204,10 @@ def main(argv: list[str] | None = None) -> int:
         from .perf.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "stress":
+        from .serving.stress import main as stress_main
+
+        return stress_main(argv[1:])
     db_path: str | None = None
     if "--db" in argv:
         position = argv.index("--db")

@@ -15,18 +15,22 @@ and execution::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass, field, replace
 
 from .catalog.catalog import Catalog
 from .catalog.statistics import collect_statistics
 from .engine.evaluator import EvalEnv, evaluate
 from .engine.executor import Executor, QueryResult, Runtime
-from .errors import ExecutionError, SemanticError
+from .errors import ExecutionError, SemanticError, StorageError
 from .optimizer.cost import DEFAULT_W
 from .optimizer.plan import render_plan
 from .optimizer.planner import Optimizer, PlannedStatement
 from .rss.buffer import DEFAULT_BUFFER_PAGES
 from .rss.storage import StorageEngine
+from .serving.coordinator import GroupCommitCoordinator
+from .serving.locks import DEFAULT_COMMIT_TIMEOUT, RWLatch
+from .serving.session import Session
 from .sql import ast, parse_statement
 
 
@@ -38,6 +42,10 @@ class StatementResult:
     columns: list[str] = field(default_factory=list)
     rows: list[tuple] = field(default_factory=list)
     affected_rows: int = 0
+    #: Page-table version this statement's commit landed at (writes only).
+    commit_version: int | None = None
+    #: Pinned version a session read executed against (reads only).
+    snapshot_version: int | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -63,6 +71,8 @@ class Database:
         exec_mode: str | None = None,
         workers: int | None = None,
         path: str | None = None,
+        commit_timeout: float = DEFAULT_COMMIT_TIMEOUT,
+        group_commit: bool = True,
     ):
         #: ``path`` opts into durability: statements commit to a
         #: shadow-paged backing file, and re-opening the same path recovers
@@ -93,6 +103,21 @@ class Database:
         #: Override for the planner's §6 correlation-ordering decision;
         #: None derives it from the cache mode.
         self.correlation_ordering: bool | None = None
+        #: Schema latch: reads and DML share it, DDL and UPDATE STATISTICS
+        #: take it exclusively, so a statement never plans against a
+        #: catalog that changes under it.
+        self.ddl_latch = RWLatch()
+        #: Every write statement — from any session or thread — funnels
+        #: through this coordinator: one commit lock, batched page-table
+        #: flips, ``DatabaseBusyError`` after ``commit_timeout`` seconds of
+        #: contention.  ``group_commit=False`` keeps the pipeline but
+        #: degrades each batch to one flip per statement.
+        self._coordinator = GroupCommitCoordinator(
+            self.storage, timeout=commit_timeout, group_commit=group_commit
+        )
+        self._session_lock = threading.Lock()
+        self._sessions: set[Session] = set()  # concurrency: lock-guarded
+        self._closed = False  # concurrency: lock-guarded
 
     # -- configuration ------------------------------------------------------------
 
@@ -131,8 +156,46 @@ class Database:
         self.storage.cold_cache()
 
     def close(self) -> None:
-        """Release the durable backing file, if one was opened."""
+        """Close every open session and release the backing file.
+
+        Idempotent: closing an already-closed database is a no-op.
+        """
+        with self._session_lock:
+            if self._closed:
+                return
+            self._closed = True
+            sessions = list(self._sessions)
+            self._sessions.clear()
+        for session in sessions:
+            session.close()
         self.storage.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- sessions -----------------------------------------------------------
+
+    def session(self, name: str | None = None) -> Session:
+        """Open a client session (snapshot-isolated reads, queued writes).
+
+        One session per client thread; close it (or use it as a context
+        manager) when the client is done.  :meth:`close` closes any
+        sessions still open.
+        """
+        if self._closed:
+            raise StorageError("database is closed")
+        session = Session(self, name)
+        with self._session_lock:
+            self._sessions.add(session)
+        return session
+
+    def _forget_session(self, session: Session) -> None:
+        with self._session_lock:
+            self._sessions.discard(session)
 
     # -- statement processing ---------------------------------------------------------
 
@@ -152,6 +215,39 @@ class Database:
                 rows=result.rows,
                 affected_rows=len(result.rows),
             )
+        return self._execute_write(statement)
+
+    #: Statements that take the schema latch exclusively; everything else
+    #: (DML) shares it with concurrent readers.
+    _EXCLUSIVE_STATEMENTS = (
+        ast.CreateTableStmt,
+        ast.CreateIndexStmt,
+        ast.DropTableStmt,
+        ast.DropIndexStmt,
+        ast.UpdateStatisticsStmt,
+    )
+
+    def _execute_write(self, statement: ast.Statement) -> StatementResult:
+        """Run one write statement through the group-commit pipeline.
+
+        The submitter holds the schema latch for the statement's whole
+        trip through the queue, so DDL only ever commits alone (its
+        exclusive latch has drained every other writer first) and DML
+        batches never contain a schema change.
+        """
+        latch = (
+            self.ddl_latch.exclusive()
+            if isinstance(statement, self._EXCLUSIVE_STATEMENTS)
+            else self.ddl_latch.shared()
+        )
+        with latch:
+            result, version = self._coordinator.submit(
+                lambda: self._apply_write(statement)
+            )
+        return replace(result, commit_version=version)
+
+    def _apply_write(self, statement: ast.Statement) -> StatementResult:
+        """The statement body run by the group-commit leader (any thread)."""
         if isinstance(statement, ast.CreateTableStmt):
             return self._create_table(statement)
         if isinstance(statement, ast.CreateIndexStmt):

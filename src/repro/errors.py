@@ -112,6 +112,39 @@ class RecoveryError(StorageError):
     """The backing file or its page table cannot be recovered."""
 
 
+class DatabaseBusyError(StorageError):
+    """A write statement could not acquire the commit lock in time.
+
+    Raised by the serving layer's group-commit coordinator after its
+    bounded exponential backoff exhausts the configured timeout.  The
+    statement never ran: the database state is untouched and the caller
+    may simply retry.
+    """
+
+    def __init__(self, timeout: float):
+        super().__init__(
+            f"database busy: commit lock not acquired within {timeout:.3f}s"
+        )
+        self.timeout = timeout
+
+
+class CommitAbortedError(StorageError):
+    """A group-commit batch failed to reach the disk; no statement landed.
+
+    Every participant of the batch receives this outcome (all-or-nothing:
+    the shared page-table flip failed, so *all* statements of the batch
+    rolled back, including ones that had executed cleanly).  ``__cause__``
+    carries the underlying commit failure.
+    """
+
+    def __init__(self, participants: int):
+        super().__init__(
+            f"group commit aborted; all {participants} batched statement(s) "
+            "rolled back"
+        )
+        self.participants = participants
+
+
 class IntegrityError(ReproError):
     """Constraint violation (duplicate key in a unique index)."""
 

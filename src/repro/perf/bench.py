@@ -312,13 +312,19 @@ def compare_reports(
 
 
 def main(argv: list[str] | None = None) -> int:
-    """``repro bench [--exec] [--quick] [--compare OLD] [--output PATH]``."""
+    """``repro bench [--exec|--serving] [--quick] [--compare OLD]
+    [--output PATH]``."""
     arguments = list(sys.argv[1:] if argv is None else argv)
     if "--exec" in arguments:
         from . import bench_exec
 
         arguments.remove("--exec")
         return bench_exec.main(arguments)
+    if "--serving" in arguments:
+        from . import bench_serving
+
+        arguments.remove("--serving")
+        return bench_serving.main(arguments)
     parser = argparse.ArgumentParser(
         prog="repro bench",
         description="micro-benchmark the optimizer's planning hot path",

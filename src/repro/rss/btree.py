@@ -243,7 +243,7 @@ class BTree:
             )
             while position < len(leaf.entries) and leaf.entries[position][0] == okey:
                 if leaf.entries[position][2] == tid:
-                    self._store.prepare_write(leaf.page_id)
+                    leaf = self._store.prepare_write(leaf.page_id)
                     del leaf.entries[position]
                     self._entry_count -= 1
                     return
@@ -353,7 +353,7 @@ class BTree:
         """Recursive insert; returns (separator, new right page) on split."""
         node = self._store.get(page_id)
         if isinstance(node, _LeafNode):
-            self._store.prepare_write(page_id)
+            node = self._store.prepare_write(page_id)
             bisect.insort(
                 node.entries, (okey, key, tid), key=lambda entry: (entry[0], entry[2])
             )
@@ -366,7 +366,7 @@ class BTree:
         if split is None:
             return None
         separator, right_page_id = split
-        self._store.prepare_write(page_id)
+        node = self._store.prepare_write(page_id)
         node.keys.insert(position, separator)
         node.children.insert(position + 1, right_page_id)
         if len(node.keys) <= self.internal_capacity:

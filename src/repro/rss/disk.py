@@ -53,6 +53,10 @@ FP_PAGETABLE_WRITE = register_point(
 FP_PAGETABLE_FLIP = register_point(
     "pagetable.flip", "renaming the shadow page table over the committed one"
 )
+FP_GROUP_COMMIT_AFTER_FSYNC = register_point(
+    "group-commit.after-fsync",
+    "frame file durable, page table of the batch not yet written",
+)
 
 
 class _Entry:
@@ -231,6 +235,9 @@ class DiskManager:
             self._file.flush()
             injector.trip(FP_FSYNC)
             os.fsync(self._file.fileno())
+            # The window where a batch's frames are durable but its page
+            # table is not: a crash here must lose the *whole* batch.
+            injector.trip(FP_GROUP_COMMIT_AFTER_FSYNC)
             new_entries = dict(self._entries)
             for page_id in freed:
                 new_entries.pop(page_id, None)

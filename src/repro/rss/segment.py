@@ -62,7 +62,7 @@ class Segment:
         if self.page_ids:
             page = self._fetch(self.page_ids[-1])
             if page.can_fit(len(record)):
-                self._store.prepare_write(page.page_id)
+                page = self._store.prepare_write(page.page_id)
                 slot = page.insert(record)
                 return TupleId(page.page_id, slot)
         if not append_only:
@@ -70,10 +70,10 @@ class Segment:
             for page_id in self.page_ids[:-1]:
                 candidate = self._store.get(page_id)
                 if isinstance(candidate, Page) and candidate.can_fit(len(record)):
-                    page = self._fetch(page_id)
-                    self._store.prepare_write(page.page_id)
+                    self._fetch(page_id)
+                    page = self._store.prepare_write(page_id)
                     slot = page.insert(record)
-                    return TupleId(page.page_id, slot)
+                    return TupleId(page_id, slot)
         page = self._store.allocate_data_page()
         self.page_ids.append(page.page_id)
         self._buffer.fetch(page.page_id)
@@ -87,15 +87,15 @@ class Segment:
     def delete(self, tid: TupleId) -> None:
         """Free the slot at a TID."""
         get_injector().trip(FP_SEGMENT_DELETE)
-        page = self._fetch(tid.page_id)
-        self._store.prepare_write(tid.page_id)
+        self._fetch(tid.page_id)
+        page = self._store.prepare_write(tid.page_id)
         page.delete(tid.slot)
 
     def update(self, tid: TupleId, record: bytes) -> TupleId:
         """Overwrite in place when possible, else move (new TID)."""
         get_injector().trip(FP_SEGMENT_UPDATE)
-        page = self._fetch(tid.page_id)
-        self._store.prepare_write(tid.page_id)
+        self._fetch(tid.page_id)
+        page = self._store.prepare_write(tid.page_id)
         if page.update(tid.slot, record):
             return tid
         page.delete(tid.slot)

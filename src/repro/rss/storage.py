@@ -20,6 +20,7 @@ state.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable
@@ -31,13 +32,18 @@ from .btree import BTree
 from .buffer import DEFAULT_BUFFER_PAGES, BufferPool
 from .counters import CostCounters
 from .disk import DiskManager
-from .faults import get_injector
+from .faults import get_injector, register_point
 from .page import TupleId
 from .pagestore import PageStore
 from .sargs import ConjunctiveSargs, Sargs
 from .scan import DEFAULT_BATCH_SIZE, IndexScan, SegmentScan
 from .segment import Segment
 from .tuples import DecodePlan, encode_tuple
+
+FP_GROUP_COMMIT_BEFORE_FLIP = register_point(
+    "group-commit.before-flip",
+    "a group-commit batch is complete, about to flip the page table",
+)
 
 
 @dataclass(frozen=True)
@@ -56,6 +62,22 @@ class ScanSnapshot:
     page_ids: tuple[int, ...]
     relation_id: int
     get_page: Callable[[int], object]
+
+
+@dataclass(frozen=True)
+class CommittedMeta:
+    """Frozen physical metadata as of one committed version.
+
+    Published atomically with each version bump (under the page-store
+    lock), so a session that pins a version receives the segment page
+    lists and B-tree scalars that describe exactly that version.  The
+    dicts are built fresh per publish and never mutated afterwards.
+    """
+
+    #: segment name -> its page ids at commit time.
+    segments: dict[str, tuple[int, ...]]
+    #: index name -> (key_types, root page, first leaf page, entry count).
+    indexes: dict[str, tuple]
 
 
 class StorageEngine:
@@ -77,11 +99,16 @@ class StorageEngine:
         #: Catalog recovered from the backing file, if any.
         self.recovered_catalog: object | None = None
         self._in_tx = False
-        self._crashed = False
+        self._batch = False  # concurrency: driver-confined
+        self._batch_meta = None  # concurrency: driver-confined
+        self._crashed = False  # concurrency: driver-confined
+        #: Guards re-publication of the frozen committed-metadata snapshot.
+        self._meta_latch = threading.Lock()
         if disk is not None:
             get_injector().attach_disk(disk)
             if disk.page_ids():
                 self._recover(disk)
+        self._committed_meta = self._build_committed_meta()
 
     def _recover(self, disk: DiskManager) -> None:
         from .recovery import recover
@@ -149,7 +176,7 @@ class StorageEngine:
                 blob = (
                     self._meta_blob() if self.store.disk is not None else None
                 )
-                self.store.commit(blob)
+                self.store.commit(blob, publish=self._publish_meta)
             except SimulatedCrash:
                 self._crashed = True
                 raise
@@ -159,6 +186,117 @@ class StorageEngine:
                 raise
         finally:
             self._in_tx = False
+
+    # -- group-commit batches ---------------------------------------------------
+
+    def begin_batch(self) -> None:
+        """Open a multi-statement transaction for one group-commit batch.
+
+        Individual statements are bracketed with :meth:`statement`; the
+        batch lands with :meth:`commit_batch` (one page-table flip) or is
+        discarded whole with :meth:`abort_batch`.
+        """
+        if self._in_tx:
+            raise StorageError("a statement transaction is already open")
+        if self._crashed:
+            raise StorageError(
+                "storage engine crashed (simulated); re-open it from disk"
+            )
+        self._in_tx = True
+        self._batch = True
+        self._batch_meta = self._snapshot_meta()
+        self.store.begin()
+
+    @contextmanager
+    def statement(self):
+        """Bracket one statement inside an open batch with a savepoint.
+
+        A failing statement rolls back to its savepoint — page effects and
+        segment/index metadata alike — leaving its batch peers intact.  A
+        :class:`SimulatedCrash` poisons the whole engine, as in
+        :meth:`atomic`.
+        """
+        if not self._batch:
+            raise StorageError("no open batch for a statement")
+        token = self.store.savepoint()
+        meta = self._snapshot_meta()
+        try:
+            yield
+        except SimulatedCrash:
+            self._crashed = True
+            raise
+        except BaseException:
+            self.store.rollback_to(token, self.buffer)
+            self._restore_meta(meta)
+            raise
+
+    def commit_batch(self) -> int:
+        """Flip every surviving statement of the batch in one durable commit.
+
+        Returns the new page-table version.  On failure the whole batch
+        rolls back (all-or-nothing) and the original exception propagates —
+        the caller translates it into per-participant outcomes.
+        """
+        if not self._batch:
+            raise StorageError("no open batch to commit")
+        try:
+            get_injector().trip(FP_GROUP_COMMIT_BEFORE_FLIP)
+            blob = self._meta_blob() if self.store.disk is not None else None
+            return self.store.commit(blob, publish=self._publish_meta)
+        except SimulatedCrash:
+            self._crashed = True
+            raise
+        except BaseException:
+            self.store.rollback(self.buffer)
+            self._restore_meta(self._batch_meta)
+            raise
+        finally:
+            self._in_tx = False
+            self._batch = False
+            self._batch_meta = None
+
+    def abort_batch(self) -> None:
+        """Discard the open batch entirely (no commit, no version bump)."""
+        if not self._batch:
+            raise StorageError("no open batch to abort")
+        try:
+            self.store.rollback(self.buffer)
+            self._restore_meta(self._batch_meta)
+        finally:
+            self._in_tx = False
+            self._batch = False
+            self._batch_meta = None
+
+    # -- snapshot pins ----------------------------------------------------------
+
+    def pin_snapshot(self) -> tuple[int, CommittedMeta]:
+        """Pin the current committed version for a reader.
+
+        Returns the version and the matching frozen metadata, taken
+        atomically under the page-store lock, so the pair can never
+        straddle a concurrent commit.  Release with :meth:`unpin`.
+        """
+        return self.store.pin_snapshot(lambda: self._committed_meta)
+
+    def unpin(self, version: int) -> None:
+        """Release a reader pin taken by :meth:`pin_snapshot`."""
+        self.store.unpin(version)
+
+    def _build_committed_meta(self) -> CommittedMeta:
+        return CommittedMeta(
+            segments={
+                name: tuple(segment.page_ids)
+                for name, segment in self._segments.items()
+            },
+            indexes={
+                name: (tuple(btree.key_types), *btree.state())
+                for name, btree in self._indexes.items()
+            },
+        )
+
+    def _publish_meta(self) -> None:
+        with self._meta_latch:
+            self._committed_meta = self._build_committed_meta()
 
     def _snapshot_meta(self):
         """Cheap logical snapshot: segment page lists and B-tree scalars."""

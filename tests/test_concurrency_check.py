@@ -480,3 +480,101 @@ def test_real_tree_no_unacknowledged_parallel_state():
         if finding.parallel and finding.classification == "UNGUARDED":
             assert finding.source == "baseline"
             assert finding.reason
+
+
+# ---------------------------------------------------------------------------
+# lock-guarded detection
+# ---------------------------------------------------------------------------
+
+
+def test_lock_guarded_attr_is_auto_detected(tmp_path):
+    write(
+        tmp_path,
+        "m.py",
+        """
+        import threading
+
+        class Queue:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def push(self, x):
+                with self._lock:
+                    self._items.append(x)
+
+            def drain(self):
+                with self._lock:
+                    claimed = list(self._items)
+                    self._items.clear()
+                return claimed
+        """,
+    )
+    report = analyze(tmp_path)
+    finding = report.finding("m.py::Queue._items")
+    assert finding is not None
+    assert finding.classification == "lock-guarded"
+    assert finding.source == "auto"
+    assert report.violations == []
+
+
+def test_one_mutation_outside_the_lock_defeats_lock_guarded(tmp_path):
+    write(
+        tmp_path,
+        "m.py",
+        """
+        import threading
+
+        class Queue:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def push(self, x):
+                with self._lock:
+                    self._items.append(x)
+
+            def sneak(self, x):
+                self._items.append(x)
+        """,
+    )
+    report = analyze(tmp_path)
+    finding = report.finding("m.py::Queue._items")
+    assert finding is not None
+    assert finding.classification == "UNGUARDED"
+    assert "unguarded-shared-state" in rules(report)
+
+
+def test_with_block_without_a_lockish_name_does_not_count(tmp_path):
+    write(
+        tmp_path,
+        "m.py",
+        """
+        class Writer:
+            def __init__(self):
+                self._rows = []
+
+            def push(self, x, path):
+                with open(path) as handle:
+                    self._rows.append(handle.read() + x)
+        """,
+    )
+    report = analyze(tmp_path)
+    finding = report.finding("m.py::Writer._rows")
+    assert finding is not None
+    assert finding.classification == "UNGUARDED"
+
+
+def test_real_tree_serving_state_is_lock_guarded():
+    report = real_report()
+    for key in (
+        "serving/coordinator.py::GroupCommitCoordinator._queue",
+        "serving/coordinator.py::_Ticket.pending",
+        "rss/pagestore.py::PageStore._pages",
+        "rss/pagestore.py::PageStore.version",
+        "rss/buffer.py::BufferPool._counters",
+        "rss/storage.py::StorageEngine._committed_meta",
+    ):
+        finding = report.finding(key)
+        assert finding is not None, key
+        assert finding.classification == "lock-guarded", key

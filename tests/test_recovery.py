@@ -158,3 +158,95 @@ class TestDatabaseReopen:
         again = Database(path=str(path))
         assert again.catalog.has_table("T")
         again.close()
+
+
+class TestGroupCommitCrashRecovery:
+    """A crash mid-group-commit, taken while sessions were active, must
+    restore to a state containing the whole batch or none of it."""
+
+    def _crash_batch(self, tmp_path, point):
+        import threading
+        import time
+
+        from repro.errors import SimulatedCrash
+        from repro.rss.disk import DiskManager
+        from repro.rss.faults import FaultPlan, get_injector
+
+        db = Database(path=str(tmp_path / "gc.pages"))
+        db.execute("CREATE TABLE G (A INTEGER, B INTEGER)")
+        db.execute("CREATE INDEX GA ON G (A)")
+        db.execute("INSERT INTO G VALUES (1, 10), (2, 20)")
+        before = logical_dump(db)
+        reader = db.session("active-reader")
+        assert sorted(reader.execute("SELECT A FROM G").rows) == [(1,), (2,)]
+
+        # Hold the commit lock so three writers batch into one flip, then
+        # crash that flip at the requested point.
+        coordinator = db._coordinator
+        assert coordinator._commit_lock.try_acquire()
+        outcomes = [None] * 3
+
+        def submit(i):
+            session = db.session(f"gc-writer-{i}")
+            try:
+                outcomes[i] = session.execute(
+                    f"INSERT INTO G VALUES ({100 + i}, {i})"
+                )
+            except Exception as error:  # noqa: BLE001 — outcome under test
+                outcomes[i] = error
+            finally:
+                session.close()
+
+        threads = [
+            threading.Thread(target=submit, args=(i,), daemon=True)
+            for i in range(3)
+        ]
+        get_injector().arm(FaultPlan(point, 1, "crash"))
+        try:
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                with coordinator._queue_lock:
+                    if len(coordinator._queue) == 3:
+                        break
+                time.sleep(0.002)
+        finally:
+            coordinator._commit_lock.release()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not any(thread.is_alive() for thread in threads)
+        get_injector().disarm()
+
+        # every participant learned the crash outcome — none hung, none
+        # was told the statement committed
+        assert all(
+            isinstance(outcome, SimulatedCrash) for outcome in outcomes
+        ), outcomes
+        # the active reader still serves consistent pre-crash data
+        assert sorted(reader.execute("SELECT A FROM G").rows) == [(1,), (2,)]
+        reader.close()
+
+        restored = DiskManager.restore(
+            outcomes[0].snapshot, tmp_path / "gc-recovered.pages"
+        )
+        db.close()
+        return before, restored
+
+    @pytest.mark.parametrize(
+        "point", ["group-commit.before-flip", "group-commit.after-fsync"]
+    )
+    def test_crash_restores_all_or_nothing(self, tmp_path, point):
+        before, restored = self._crash_batch(tmp_path, point)
+        with Database(path=str(restored)) as survivor:
+            # storage verifies clean and the logical dump diff is empty:
+            # the un-flipped batch left no trace
+            assert verify_storage(survivor) == []
+            assert logical_dump(survivor) == before
+            # the recovered database accepts the batch again in full
+            for i in range(3):
+                survivor.execute(f"INSERT INTO G VALUES ({100 + i}, {i})")
+            assert (
+                survivor.execute("SELECT A FROM G WHERE A >= 100").affected_rows
+                == 3
+            )

@@ -178,3 +178,95 @@ class TestDdlRollback:
             with pytest.raises(StorageError, match="crashed"):
                 db.execute("INSERT INTO T VALUES (2)")
             db.close()
+
+
+class TestGroupCommitAtomicity:
+    """A queued batch is one atomic unit: a mid-batch statement failure
+    rolls back that statement alone, while a commit-path failure rolls
+    back every participant — proven by a logical dump diff."""
+
+    def _queue_batch(self, db, statements, plan=None):
+        import threading
+        import time
+
+        coordinator = db._coordinator
+        assert coordinator._commit_lock.try_acquire()
+        outcomes = [None] * len(statements)
+
+        def submit(i, sql):
+            session = db.session(f"batch-{i}")
+            try:
+                outcomes[i] = session.execute(sql)
+            except Exception as error:  # noqa: BLE001 — outcome under test
+                outcomes[i] = error
+            finally:
+                session.close()
+
+        threads = [
+            threading.Thread(target=submit, args=(i, sql), daemon=True)
+            for i, sql in enumerate(statements)
+        ]
+        if plan is not None:
+            get_injector().arm(plan)
+        try:
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                with coordinator._queue_lock:
+                    if len(coordinator._queue) == len(statements):
+                        break
+                time.sleep(0.002)
+        finally:
+            coordinator._commit_lock.release()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not any(thread.is_alive() for thread in threads)
+        get_injector().disarm()
+        return outcomes
+
+    def test_commit_fault_aborts_whole_batch(self):
+        from repro.errors import CommitAbortedError
+
+        db = two_index_db()
+        before = logical_dump(db)
+        outcomes = self._queue_batch(
+            db,
+            [
+                "INSERT INTO T VALUES (201, 2010, 'BATCH1')",
+                "UPDATE T SET C = 'TOUCHED' WHERE A < 3",
+                "DELETE FROM T WHERE A = 5",
+            ],
+            # before-flip trips in the engine's commit path, so it fires
+            # for the in-memory store too (after-fsync lives in the disk
+            # layer and is covered by the durable stress fault smoke)
+            plan=FaultPlan("group-commit.before-flip", 1, "error"),
+        )
+        assert all(
+            isinstance(outcome, CommitAbortedError) for outcome in outcomes
+        ), outcomes
+        # all-or-nothing: the dump diff is empty and storage checks clean
+        assert logical_dump(db) == before
+        assert verify_storage(db) == []
+
+    def test_statement_fault_rolls_back_that_statement_alone(self):
+        db = two_index_db()
+        outcomes = self._queue_batch(
+            db,
+            [
+                "INSERT INTO T VALUES (301, 3010, 'KEEP1')",
+                "INSERT INTO T VALUES (302, 3020, 'DOOMED')",
+                "INSERT INTO T VALUES (303, 3030, 'KEEP2')",
+            ],
+            # hit 3 = a B-tree insert inside one of the batched statements
+            # (2 index inserts per statement: hit 3 is statement two's
+            # first index touch)
+            plan=FaultPlan("btree.insert", hit=3),
+        )
+        failures = [o for o in outcomes if isinstance(o, FaultInjectedError)]
+        commits = [o for o in outcomes if not isinstance(o, Exception)]
+        assert len(failures) == 1
+        assert len(commits) == 2
+        kept = db.execute("SELECT C FROM T WHERE A >= 301").rows
+        assert len(kept) == 2
+        assert verify_storage(db) == []
