@@ -78,6 +78,7 @@ PARALLEL_ROOT_MODULES = (
     "engine/fuse.py",
     "engine/compile.py",
     "engine/parallel.py",
+    "engine/scheduler.py",
 )
 PARALLEL_ROOT_FUNCTIONS = (
     "rss/scan.py::SegmentScan.batches",

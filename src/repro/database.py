@@ -22,6 +22,7 @@ from .catalog.catalog import Catalog
 from .catalog.statistics import collect_statistics
 from .engine.evaluator import EvalEnv, evaluate
 from .engine.executor import Executor, QueryResult, Runtime
+from .engine.scheduler import resolve_backend, shutdown_backends
 from .errors import ExecutionError, SemanticError, StorageError
 from .optimizer.cost import DEFAULT_W
 from .optimizer.plan import render_plan
@@ -70,6 +71,7 @@ class Database:
         subquery_cache_mode: str = "prev",
         exec_mode: str | None = None,
         workers: int | None = None,
+        backend: str | None = None,
         path: str | None = None,
         commit_timeout: float = DEFAULT_COMMIT_TIMEOUT,
         group_commit: bool = True,
@@ -100,6 +102,10 @@ class Database:
                 f"bad worker count {workers!r}: expected a positive integer"
             )
         self.workers = workers
+        #: Worker-pool backend for ``parallel`` mode: "thread" or
+        #: "process"; None reads REPRO_BACKEND (default thread).
+        #: Validated eagerly like ``workers``.
+        self.backend = resolve_backend(backend)
         #: Override for the planner's §6 correlation-ordering decision;
         #: None derives it from the cache mode.
         self.correlation_ordering: bool | None = None
@@ -143,6 +149,7 @@ class Database:
         return Executor(
             self.storage, self.catalog, self.subquery_cache_mode,
             exec_mode=self.exec_mode, workers=self.workers,
+            backend=self.backend,
         )
 
     @property
@@ -169,6 +176,11 @@ class Database:
         for session in sessions:
             session.close()
         self.storage.close()
+        # Worker pools are process-wide (shared across Database instances
+        # by design — they hold no per-database state), so closing the
+        # last database of a long-lived serving process reclaims them;
+        # concurrent databases simply re-create pools on next use.
+        shutdown_backends()
 
     def __enter__(self) -> "Database":
         return self
@@ -404,6 +416,7 @@ class Database:
         executor = Executor(
             self.storage, self.catalog, self.subquery_cache_mode,
             exec_mode=self.exec_mode, workers=self.workers,
+            backend=self.backend,
         )
         return planned, list(executor.execute_rows(planned))
 
@@ -469,6 +482,7 @@ class Database:
         executor = Executor(
             self.storage, self.catalog, self.subquery_cache_mode,
             exec_mode=self.exec_mode, workers=self.workers,
+            backend=self.backend,
         )
         self.last_executor = executor
         return executor.execute(planned)

@@ -23,6 +23,7 @@ from ..rss.storage import StorageEngine
 from .evaluator import EvalEnv, evaluate
 from .operators import ExecContext, iterate
 from .rows import OUTPUT_ALIAS
+from .scheduler import resolve_backend
 
 
 @dataclass
@@ -129,10 +130,12 @@ class Runtime:  # concurrency: statement-scoped
         subquery_cache_mode: str = "prev",
         exec_mode: str | None = None,
         workers: int | None = None,
+        backend: str | None = None,
     ):
         if subquery_cache_mode not in ("prev", "none", "memo"):
             raise ValueError(f"bad subquery_cache_mode {subquery_cache_mode!r}")
         mode, resolved_workers = resolve_exec_settings(exec_mode, workers)
+        self.backend = resolve_backend(backend)
         self.interpret = mode == "interp"
         # Parallel mode rides the fused driver infrastructure: eligible
         # chains get worker-pool drivers, everything else falls back to
@@ -263,6 +266,7 @@ def _context_for(runtime: Runtime, planned: PlannedStatement) -> ExecContext:
         fused=getattr(runtime, "fused", False),
         parallel=getattr(runtime, "parallel", False),
         workers=getattr(runtime, "workers", 1),
+        backend=getattr(runtime, "backend", "thread"),
     )
 
 
@@ -276,6 +280,7 @@ class Executor:  # concurrency: statement-scoped
         subquery_cache_mode: str = "prev",
         exec_mode: str | None = None,
         workers: int | None = None,
+        backend: str | None = None,
     ):
         self._storage = storage
         self._catalog = catalog
@@ -283,6 +288,7 @@ class Executor:  # concurrency: statement-scoped
         self._exec_mode, self._workers = resolve_exec_settings(
             exec_mode, workers
         )
+        self._backend = resolve_backend(backend)
         self.last_runtime: Runtime | None = None
 
     def execute(self, planned: PlannedStatement) -> QueryResult:
@@ -290,6 +296,7 @@ class Executor:  # concurrency: statement-scoped
         runtime = Runtime(
             self._storage, self._catalog, planned, self._cache_mode,
             exec_mode=self._exec_mode, workers=self._workers,
+            backend=self._backend,
         )
         self.last_runtime = runtime
         ctx = _context_for(runtime, planned)
@@ -309,6 +316,7 @@ class Executor:  # concurrency: statement-scoped
         runtime = Runtime(
             self._storage, self._catalog, planned, self._cache_mode,
             exec_mode=self._exec_mode, workers=self._workers,
+            backend=self._backend,
         )
         self.last_runtime = runtime
         node = planned.root

@@ -631,6 +631,12 @@ def _sort_driver(node: SortNode, ctx: ExecContext) -> BatchDriver:
 
 def _aggregate_driver(node: AggregateNode, ctx: ExecContext) -> BatchDriver:
     program = _program(node, ctx, _build_aggregate)
+    if ctx.parallel:
+        from .parallel import parallel_aggregate_driver
+
+        par = parallel_aggregate_driver(node, ctx)
+        if par is not None:
+            return par
     fast = _scan_aggregate_driver(node, ctx)
     if fast is not None:
         return fast

@@ -77,6 +77,10 @@ class ExecContext:
     #: Worker count for parallel drivers; read at call time, so compiled
     #: drivers cached on plan nodes stay worker-count-independent.
     workers: int = 1
+    #: Execution backend for parallel drivers (``"thread"`` or
+    #: ``"process"``); read at call time like ``workers``, so cached
+    #: drivers stay backend-independent too.
+    backend: str = "thread"
 
     @property
     def storage(self):
@@ -696,11 +700,20 @@ def sort_rows(
     row_bytes = sum(
         max_record_size(datatypes) for __, datatypes in schema
     )
+    run_sorter = None
+    if ctx.parallel:
+        # Parallel mode sorts each workspace run on the worker pool;
+        # run boundaries and temp traffic are unchanged, so counters
+        # and row order stay bit-identical to the serial sorter.
+        from .parallel import parallel_run_sorter
+
+        run_sorter = parallel_run_sorter(ctx, node.keys)
     sorter = ExternalSorter(
         ctx.storage,
         schema,
         node.keys,
         memory_rows=workspace_rows(ctx.storage.buffer.capacity, row_bytes),
+        run_sorter=run_sorter,
     )
     return sorter.sort(child_rows)
 
@@ -748,6 +761,36 @@ class _AggState:  # concurrency: statement-scoped
         elif name == "MAX":
             if self.maximum is None or value > self.maximum:  # type: ignore[operator]
                 self.maximum = value
+
+    def merge(self, other: "_AggState") -> None:
+        """Fold a later partial accumulator (same call, same group) in.
+
+        The parallel aggregate driver folds disjoint, scan-order
+        contiguous row slices into per-morsel states and merges at the
+        gather — the aggregate-state twin of ``CostCounters.merge``.
+        COUNT/SUM/AVG partials recompose by summation (column values
+        here are integers, so partial sums are exact); MIN/MAX combine
+        by comparison.  DISTINCT partials re-fold the other side's value
+        set through :meth:`add`, which dedupes against this side before
+        counting.
+        """
+        if self.call.argument is None:  # COUNT(*)
+            self.count += other.count
+            return
+        if self.distinct is not None:
+            for value in other.distinct or ():
+                self.add(value)
+            return
+        self.count += other.count
+        self.total += other.total  # type: ignore[operator]
+        if other.minimum is not None and (
+            self.minimum is None or other.minimum < self.minimum  # type: ignore[operator]
+        ):
+            self.minimum = other.minimum
+        if other.maximum is not None and (
+            self.maximum is None or other.maximum > self.maximum  # type: ignore[operator]
+        ):
+            self.maximum = other.maximum
 
     def result(self) -> object:
         """The aggregate's final value for the finished group."""

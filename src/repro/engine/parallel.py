@@ -28,8 +28,8 @@ Counter fidelity is the contract that keeps ``repro bench --exec
   therefore byte-identical to the serial engine's, including its
   interleaving with any downstream breaker's page traffic.
 
-Row order is preserved by construction: partitions are contiguous page
-ranges, the gather concatenates partition results in range order, and
+Row order is preserved by construction: morsels are contiguous page
+ranges, the gather concatenates morsel results in submission order, and
 hash buckets are built in (page, slot) order, so every driver emits rows
 in exactly the serial scan order — no sort is needed to keep
 order-dependent plans honest.
@@ -42,22 +42,29 @@ fused driver.  Subqueries still parallelize internally — their own plans
 compile their own drivers — while the enclosing chain keeps its exact
 per-probe evaluation cadence.
 
-The backend seam is deliberately narrow (``imap(tasks)`` yielding results
-in submission order): :class:`ThreadBackend` drives the compiled closures
-from a reusable :class:`~concurrent.futures.ThreadPoolExecutor` today,
-and a process or free-threaded backend can slot in behind the same two
-methods later.  Worker tasks are pure functions of frozen snapshots and
-compiled programs; they never run ``iterate``/subqueries, so pools cannot
-deadlock on nested dispatch.
+Scheduling and backends live in :mod:`repro.engine.scheduler`: scans
+decompose into fixed-size page morsels pulled from the pool's shared
+queue by idle workers (work-stealing by construction), and
+``REPRO_BACKEND`` selects the thread pool or the fork-based process
+pool.  Process workers cannot receive compiled closures, so the scan
+drivers ship value-bound SARG specs and either apply the all-columns
+``itemgetter`` fast path worker-side or return raw ``(tid, values)``
+chunks for the driver's closures at the gather; the probe and sort
+exchanges below always pin themselves to the thread backend for the
+same reason.  On top of the scheduler the two serial breakers go
+parallel: :func:`parallel_aggregate_driver` folds per-morsel partial
+aggregates merged at the gather, and :func:`parallel_run_sorter` feeds
+per-worker sorted runs into the external sort's k-way merge.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Iterator
+import heapq
+from functools import partial
 
-from ..optimizer.bound import BoundSubquery
+from ..optimizer.bound import BoundColumn, BoundSubquery
 from ..optimizer.plan import (
+    AggregateNode,
     FilterNode,
     HashJoinNode,
     IndexAccess,
@@ -66,12 +73,22 @@ from ..optimizer.plan import (
     ScanNode,
 )
 from ..rss.counters import CostCounters
-from ..rss.sargs import CompareOp, and_matcher, dnf_matcher
+from ..rss.sargs import (
+    CompareOp,
+    ConjunctiveSargs,
+    SargPredicate,
+    Sargs,
+    and_matcher,
+    dnf_matcher,
+)
 from ..rss.scan import DEFAULT_BATCH_SIZE, decode_page_rows
 from ..sql import ast
 from .evaluator import EvalEnv
+from .external_sort import _HeapKey, _sorted_run
 from .operators import (
     ExecContext,
+    _AggState,
+    _build_aggregate,
     _build_filter,
     _build_hash_join,
     _build_nested_loop,
@@ -83,91 +100,25 @@ from .operators import (
     build_hash_table,
     compile_sarg_matcher,
 )
-from .rows import OUTPUT_ALIAS, Row
-
-#: Partitions per worker: a little over-decomposition smooths out skew
-#: from uneven selectivity across page ranges.
-_PARTITIONS_PER_WORKER = 2
+from .rows import AGGREGATE_ALIAS, OUTPUT_ALIAS, Row
+from .scheduler import (
+    AggCallSpec,
+    AggMorsel,
+    ScanMorsel,
+    get_backend,
+    partition_ranges,
+    run_agg_morsel,
+    run_scan_morsel,
+    scan_ranges,
+)
 
 #: Outer rows per probe task for the nested-loop exchange.
 _PROBE_CHUNK = 64
 
-
-# ---------------------------------------------------------------------------
-# execution backends
-# ---------------------------------------------------------------------------
-
-
-class SerialBackend:
-    """Runs tasks inline on the driving thread (worker count <= 1)."""
-
-    workers = 1
-
-    def imap(self, tasks) -> Iterator:
-        for task in tasks:
-            yield task()
-
-
-class ThreadBackend:
-    """A reusable thread pool yielding task results in submission order.
-
-    Submission is eager (workers race ahead of the gather), delivery is
-    ordered — the shape the counter-replay gather needs.
-    """
-
-    def __init__(self, workers: int):
-        self.workers = workers
-        self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-worker"
-        )
-
-    def imap(self, tasks) -> Iterator:
-        futures = [self._pool.submit(task) for task in tasks]
-        for future in futures:
-            yield future.result()
-
-
-_SERIAL = SerialBackend()
-
-
-class _BackendRegistry:
-    """Thread pools keyed by worker count, reused across statements."""
-
-    def __init__(self) -> None:
-        # Created and read only by statements' driving threads while no
-        # worker tasks of their own are in flight; workers never reach it.
-        # concurrency: driver-confined
-        self._pools: dict[int, ThreadBackend] = {}
-
-    def get(self, workers: int) -> SerialBackend | ThreadBackend:
-        if workers <= 1:
-            return _SERIAL
-        backend = self._pools.get(workers)
-        if backend is None:
-            backend = ThreadBackend(workers)
-            self._pools[workers] = backend
-        return backend
-
-
-_REGISTRY = _BackendRegistry()
-
-
-def get_backend(workers: int) -> SerialBackend | ThreadBackend:
-    """The execution backend for a worker count; pools are reused."""
-    return _REGISTRY.get(workers)
-
-
-def partition_ranges(count: int, parts: int) -> list[tuple[int, int]]:
-    """Split ``range(count)`` into at most ``parts`` contiguous ranges."""
-    parts = max(1, min(parts, count))
-    base, extra = divmod(count, parts)
-    ranges: list[tuple[int, int]] = []
-    start = 0
-    for index in range(parts):
-        size = base + (1 if index < extra else 0)
-        ranges.append((start, start + size))
-        start += size
-    return ranges
+#: Below this workspace size a parallel sorted run is not worth the
+#: slice/merge overhead; the run sorts serially (results are identical
+#: either way — ``parallel_run_sorter`` is differentially gated).
+_SORT_SLICE_MIN_ROWS = 512
 
 
 # ---------------------------------------------------------------------------
@@ -250,34 +201,108 @@ def _scan_partition(
     return counters, pages
 
 
-def _partitioned_driver(scan_node: ScanNode, program: _ScanProgram, make_process):
-    """The generic gather: fan page ranges out, replay counters in order.
+def _value_bound_sargs(
+    program: _ScanProgram, ctx: ExecContext, outer: EvalEnv | None
+) -> ConjunctiveSargs | None:
+    """The scan's SARGs with probe values evaluated, as picklable data.
+
+    Process workers cannot receive the per-open matcher closure, so the
+    driver evaluates every value closure once (pure by the subquery-free
+    eligibility guarantee) and rebuilds the predicate structure the
+    worker recompiles with :func:`~repro.rss.sargs.compile_matcher` —
+    the same factories, fast paths, and NULL-rejects-all semantics as
+    :func:`~repro.engine.operators.compile_sarg_matcher`.
+    """
+    if not program.sarg_parts:
+        return None
+    value_env = ctx.env(Row(), outer)
+    parts = []
+    for part, spec_part in zip(program.sarg_parts, program.sarg_specs):
+        groups = []
+        for group, spec_group in zip(part, spec_part):
+            groups.append(
+                [
+                    SargPredicate(position, op, value_fn(value_env))
+                    for (__, value_fn), (position, op) in zip(
+                        group, spec_group
+                    )
+                ]
+            )
+        parts.append(Sargs(groups))
+    return ConjunctiveSargs(parts)
+
+
+def _column_positions(exprs, alias: str) -> tuple[int, ...] | None:
+    """Output column positions when every projection is a plain column of
+    ``alias`` — the positional mirror of ``fuse._columns_getter``, shipped
+    to process workers instead of the getter closure."""
+    positions = []
+    for expr in exprs:
+        if type(expr) is not BoundColumn or expr.alias != alias:
+            return None
+        positions.append(expr.position)
+    if not positions:
+        return None
+    return tuple(positions)
+
+
+def _partitioned_driver(
+    scan_node: ScanNode,
+    program: _ScanProgram,
+    make_process,
+    out_positions: tuple[int, ...] | None = None,
+):
+    """The generic gather: fan page morsels out, replay counters in order.
 
     ``make_process`` builds one per-task closure (with its own mutable
-    environment) mapping a SARG-matched chunk to its output batch.
+    environment) mapping a SARG-matched chunk to its output batch.  On
+    the process backend closures cannot cross into workers, so morsels
+    either carry ``out_positions`` (the all-columns fast path, applied
+    worker-side) or return raw chunks that the driving thread maps
+    through a single ``make_process`` closure at the gather — the same
+    deterministic per-row function either way.
     """
     decode = program.decode_plan.decode
     table = scan_node.table
+    alias = scan_node.alias
 
     def driver(ctx: ExecContext, outer: EvalEnv | None):
-        value_env = ctx.env(Row(), outer)
-        matcher = compile_sarg_matcher(program, value_env)
         snapshot = ctx.storage.scan_snapshot(table)
         page_ids = snapshot.page_ids
         if not page_ids:
             return
-        backend = get_backend(ctx.workers)
-        ranges = partition_ranges(
-            len(page_ids), backend.workers * _PARTITIONS_PER_WORKER
-        )
-        tasks = [
-            (
-                lambda lo=lo, hi=hi: _scan_partition(
-                    snapshot, decode, matcher, make_process(ctx, outer), lo, hi
+        backend = get_backend(ctx.workers, ctx.backend)
+        ranges = scan_ranges(len(page_ids), backend.workers)
+        post = None
+        if backend.kind == "process":
+            sargs = _value_bound_sargs(program, ctx, outer)
+            datatypes = tuple(ctx.schemas[alias])
+            tasks = [
+                partial(
+                    run_scan_morsel,
+                    ScanMorsel(
+                        pages=snapshot.freeze_range(lo, hi),
+                        relation_id=snapshot.relation_id,
+                        datatypes=datatypes,
+                        sargs=sargs,
+                        out_positions=out_positions,
+                    ),
                 )
-            )
-            for lo, hi in ranges
-        ]
+                for lo, hi in ranges
+            ]
+            if out_positions is None:
+                post = make_process(ctx, outer)
+        else:
+            value_env = ctx.env(Row(), outer)
+            matcher = compile_sarg_matcher(program, value_env)
+            tasks = [
+                (
+                    lambda lo=lo, hi=hi: _scan_partition(
+                        snapshot, decode, matcher, make_process(ctx, outer), lo, hi
+                    )
+                )
+                for lo, hi in ranges
+            ]
         fetch = ctx.storage.buffer.fetch
         merge = ctx.storage.counters.merge
         index = 0
@@ -287,6 +312,8 @@ def _partitioned_driver(scan_node: ScanNode, program: _ScanProgram, make_process
                 fetch(page_ids[index])
                 index += 1
                 for out in chunks:
+                    if post is not None:
+                        out = post(out)
                     if out:
                         yield out
 
@@ -441,7 +468,12 @@ def parallel_output_driver(
 
             return process
 
-        return _partitioned_driver(scan_node, program, make_direct)
+        return _partitioned_driver(
+            scan_node,
+            program,
+            make_direct,
+            out_positions=_column_positions(project.exprs, alias),
+        )
 
     if test is None:
 
@@ -656,7 +688,10 @@ def parallel_nested_loop_driver(node: NestedLoopJoinNode, ctx: ExecContext):
         snapshot = ctx.storage.scan_snapshot(inner_table)
         inner_pages = snapshot.page_ids
         buckets = _build_buckets(snapshot, decode, key_positions)
-        backend = get_backend(ctx.workers)
+        # Probe tasks close over the shared buckets and compiled
+        # residuals — unpicklable, so the exchange stays on threads
+        # whatever REPRO_BACKEND selects for scans.
+        backend = get_backend(ctx.workers, "thread")
         fetch = ctx.storage.buffer.fetch
         merge = ctx.storage.counters.merge
         for outer_batch in outer_source(ctx, outer):
@@ -760,7 +795,9 @@ def parallel_hash_join_driver(node: HashJoinNode, ctx: ExecContext):
 
     def driver(ctx: ExecContext, outer: EvalEnv | None):
         table = build_hash_table(node, program, ctx, outer)
-        backend = get_backend(ctx.workers)
+        # The shared build table and residual closures cannot cross a
+        # process boundary; probes pin to the thread backend.
+        backend = get_backend(ctx.workers, "thread")
         merge = ctx.storage.counters.merge
         for outer_batch in outer_source(ctx, outer):
             tasks = [
@@ -783,3 +820,247 @@ def parallel_hash_join_driver(node: HashJoinNode, ctx: ExecContext):
                 yield out
 
     return driver
+
+
+# ---------------------------------------------------------------------------
+# breaker: partial aggregation over scan morsels
+# ---------------------------------------------------------------------------
+
+
+def _agg_partition(
+    snapshot,
+    decode,
+    matcher,
+    key_positions: tuple[int, ...],
+    arg_positions: tuple[int | None, ...],
+    aggregates,
+    lo: int,
+    hi: int,
+) -> tuple[CostCounters, int, list[tuple]]:
+    """One thread-pool task: fold a page range into per-group partials.
+
+    The thread twin of :func:`~repro.engine.scheduler.run_agg_morsel`
+    (no freeze, no pickle): returns ``(counters, page_count, runs)``
+    with runs ``(key, states, tid, values)`` in first-occurrence order
+    under streaming (adjacency) group semantics, RSI charged in the
+    serial scan's page-aligned batch quanta.
+    """
+    counters = CostCounters()
+    count_rsi = counters.count_rsi_call
+    get_page = snapshot.get_page
+    page_ids = snapshot.page_ids
+    relation_id = snapshot.relation_id
+    runs: list[tuple] = []
+    current_key: object = None
+    states: list[_AggState] = []
+    saw_rows = False
+    for index in range(lo, hi):
+        page_id = page_ids[index]
+        rows = decode_page_rows(page_id, get_page(page_id), relation_id, decode)
+        if matcher is not None:
+            rows = [item for item in rows if matcher(item[1])]
+        for start in range(0, len(rows), DEFAULT_BATCH_SIZE):
+            chunk = rows[start : start + DEFAULT_BATCH_SIZE]
+            count_rsi(len(chunk))
+            for tid, values in chunk:
+                key = tuple([values[p] for p in key_positions])
+                if not saw_rows or key != current_key:
+                    current_key = key
+                    states = [_AggState(call) for call in aggregates]
+                    runs.append((key, states, tid, values))
+                saw_rows = True
+                for state, position in zip(states, arg_positions):
+                    state.add(None if position is None else values[position])
+    return counters, hi - lo, runs
+
+
+def parallel_aggregate_driver(node: AggregateNode, ctx: ExecContext):
+    """A morsel-parallel ``Scan→Aggregate`` driver, or ``None``.
+
+    Eligible exactly where ``fuse._scan_aggregate_driver`` is (bare
+    segment scan, no residual, plain-column keys and arguments) plus the
+    parallel preconditions (no index access, subquery-free SARG values
+    and HAVING).  Workers fold morsels into per-group partial states
+    with streaming group semantics; the gather merges a morsel's first
+    run into the previous morsel's last run when they share a key
+    (:meth:`_AggState.merge` — the mergeable-partial twin of the
+    counter-merge discipline), so group boundaries, representatives,
+    and results reproduce the serial scan-order fold bit-for-bit.
+    Aggregate folds touch no counters, so the fetch replay per morsel
+    keeps the serial page trace.
+    """
+    from .fuse import _collapse
+
+    project, filters, bottom = _collapse(node.child)
+    if project is not None or filters or not isinstance(bottom, ScanNode):
+        return None
+    scan_node = bottom
+    scan_program: _ScanProgram = _program(scan_node, ctx, _build_scan)
+    if scan_program.residual is not None:
+        return None
+    if not _segment_scan_eligible(scan_node, scan_program):
+        return None
+    having_exprs = [] if node.having is None else [node.having]
+    if not _subquery_free(_scan_exprs(scan_node) + having_exprs):
+        return None
+    alias = scan_node.alias
+    for column in node.group_by:
+        if column.alias != alias:
+            return None
+    arg_positions: list[int | None] = []
+    for call in node.aggregates:
+        if call.argument is None:
+            arg_positions.append(None)
+        elif (
+            type(call.argument) is BoundColumn
+            and call.argument.alias == alias
+        ):
+            arg_positions.append(call.argument.position)
+        else:
+            return None
+    positions = tuple(arg_positions)
+    key_positions = tuple(column.position for column in node.group_by)
+    aggregates = tuple(node.aggregates)
+    agg_program = _program(node, ctx, _build_aggregate)
+    having = agg_program.having
+    grouped = bool(node.group_by)
+    decode = scan_program.decode_plan.decode
+    table = scan_node.table
+
+    def driver(ctx: ExecContext, outer: EvalEnv | None):
+        having_env = None if having is None else ctx.env(Row(), outer)
+
+        def emit(representative: Row, states) -> Row | None:
+            results = tuple([state.result() for state in states])
+            out = representative.with_alias(AGGREGATE_ALIAS, results)
+            if having is not None:
+                having_env.row = out
+                if having(having_env) is not True:
+                    return None
+            return out
+
+        emitted: list[Row] = []
+        snapshot = ctx.storage.scan_snapshot(table)
+        page_ids = snapshot.page_ids
+        pending: tuple | None = None  # (key, states, representative Row)
+        if page_ids:
+            backend = get_backend(ctx.workers, ctx.backend)
+            ranges = scan_ranges(len(page_ids), backend.workers)
+            if backend.kind == "process":
+                sargs = _value_bound_sargs(scan_program, ctx, outer)
+                datatypes = tuple(ctx.schemas[alias])
+                calls = tuple(
+                    AggCallSpec(call.name, position, call.distinct)
+                    for call, position in zip(aggregates, positions)
+                )
+                tasks = [
+                    partial(
+                        run_agg_morsel,
+                        AggMorsel(
+                            pages=snapshot.freeze_range(lo, hi),
+                            relation_id=snapshot.relation_id,
+                            datatypes=datatypes,
+                            sargs=sargs,
+                            key_positions=key_positions,
+                            arg_positions=positions,
+                            calls=calls,
+                        ),
+                    )
+                    for lo, hi in ranges
+                ]
+            else:
+                value_env = ctx.env(Row(), outer)
+                matcher = compile_sarg_matcher(scan_program, value_env)
+                tasks = [
+                    (
+                        lambda lo=lo, hi=hi: _agg_partition(
+                            snapshot,
+                            decode,
+                            matcher,
+                            key_positions,
+                            positions,
+                            aggregates,
+                            lo,
+                            hi,
+                        )
+                    )
+                    for lo, hi in ranges
+                ]
+            fetch = ctx.storage.buffer.fetch
+            merge = ctx.storage.counters.merge
+            index = 0
+            for counters, page_count, runs in backend.imap(tasks):
+                merge(counters)
+                for __ in range(page_count):
+                    fetch(page_ids[index])
+                    index += 1
+                for key, states, tid, values in runs:
+                    if pending is not None and key == pending[0]:
+                        # Boundary group continues across the morsel
+                        # seam: fold the partial states in.
+                        for mine, other in zip(pending[1], states):
+                            mine.merge(other)
+                    else:
+                        if pending is not None:
+                            out = emit(pending[2], pending[1])
+                            if out is not None:
+                                emitted.append(out)
+                        pending = (
+                            key,
+                            states,
+                            Row(values={alias: values}, tids={alias: tid}),
+                        )
+        if pending is not None:
+            out = emit(pending[2], pending[1])
+            if out is not None:
+                emitted.append(out)
+        elif not grouped:
+            # Aggregates over an empty input still produce one row.
+            out = emit(Row(), [_AggState(call) for call in aggregates])
+            if out is not None:
+                emitted.append(out)
+        if emitted:
+            yield emitted
+
+    return driver
+
+
+# ---------------------------------------------------------------------------
+# breaker: parallel sorted-run generation
+# ---------------------------------------------------------------------------
+
+
+def parallel_run_sorter(ctx: ExecContext, keys):
+    """A drop-in ``run_sorter`` for :class:`ExternalSorter`: per-worker
+    sorted slices k-way-merged into one run.
+
+    The workspace splits into contiguous slices, each stably sorted on a
+    thread worker (``Row`` objects and key closures do not pickle, so
+    the sort breaker always uses the thread backend), and
+    ``heapq.merge`` reassembles them — equal keys prefer the earlier
+    slice, which combined with slice contiguity and per-slice stability
+    reproduces the serial stable sort's order exactly.  Run boundaries,
+    contents, and temp-list traffic are untouched, so the sort's cost
+    trace is bit-identical to the serial sorter's.
+    """
+    keys = list(keys)
+
+    def sort_run(rows):
+        backend = get_backend(ctx.workers, "thread")
+        if backend.workers <= 1 or len(rows) < _SORT_SLICE_MIN_ROWS:
+            return _sorted_run(rows, keys)
+        slices = [
+            rows[lo:hi]
+            for lo, hi in partition_ranges(len(rows), backend.workers)
+        ]
+        tasks = [
+            (lambda part=part: _sorted_run(part, keys)) for part in slices
+        ]
+        ordered = list(backend.imap(tasks))
+
+        def merge_key(row, _keys=keys):
+            return _HeapKey(row, _keys)
+
+        return list(heapq.merge(*ordered, key=merge_key))
+
+    return sort_run

@@ -63,6 +63,20 @@ class ScanSnapshot:
     relation_id: int
     get_page: Callable[[int], object]
 
+    def freeze_range(self, lo: int, hi: int) -> tuple:
+        """Materialize pages ``lo:hi`` as picklable ``(page_id, Page)`` pairs.
+
+        ``get_page`` is a bound method (often over the live page store or
+        a pinned session version) and cannot cross a process boundary;
+        the pages themselves are plain frozen dataclasses and can.  The
+        driving thread freezes each morsel's pages up front and ships
+        them to the worker process.
+        """
+        return tuple(
+            (page_id, self.get_page(page_id))
+            for page_id in self.page_ids[lo:hi]
+        )
+
 
 @dataclass(frozen=True)
 class CommittedMeta:

@@ -22,13 +22,18 @@ class ColumnSpec:
     Values range over [low, low + distinct); ``distinct`` therefore plays
     the role ICARD will measure once an index exists on the column.
     ``sequential`` columns instead take the values low, low+1, ... in row
-    order (key-like, duplicate-free).
+    order (key-like, duplicate-free).  A nonzero ``zipf`` exponent skews
+    the draw: value rank ``r`` (1-based) is drawn with weight
+    ``1 / r**zipf``, so ``zipf=1.4`` over ``distinct=40`` puts roughly a
+    third of all rows on the hottest value — the shape that starves
+    static range partitioning.
     """
 
     name: str
     distinct: int
     low: int = 0
     sequential: bool = False
+    zipf: float = 0.0
 
 
 @dataclass
@@ -48,6 +53,10 @@ class TableSpec:
     columns: list[ColumnSpec]
     indexes: list[IndexSpec] = field(default_factory=list)
     pad_bytes: int = 0  # adds a PAD VARCHAR column to widen tuples
+    #: Sort rows by this column before loading, so equal values sit on
+    #: contiguous pages — with a skewed column this concentrates the hot
+    #: value's pages in one static partition.
+    cluster_by: str | None = None
 
     def column(self, name: str) -> ColumnSpec:
         """The column spec for a name; raises KeyError when absent."""
@@ -75,6 +84,11 @@ def build_database(
         db.execute(f"CREATE TABLE {spec.name} ({columns_sql})")
         rows = []
         padding = "x" * spec.pad_bytes
+        zipf_values = {
+            column.name: _zipf_values(column, spec.rows, rng)
+            for column in spec.columns
+            if column.zipf
+        }
         for row_number in range(spec.rows):
             row = []
             for column in spec.columns:
@@ -83,11 +97,16 @@ def build_database(
                 ):
                     # Key-like columns get distinct sequential values.
                     row.append(column.low + row_number)
+                elif column.zipf:
+                    row.append(zipf_values[column.name][row_number])
                 else:
                     row.append(column.low + rng.randrange(column.distinct))
             if spec.pad_bytes:
                 row.append(padding)
             rows.append(tuple(row))
+        if spec.cluster_by is not None:
+            position = [c.name for c in spec.columns].index(spec.cluster_by)
+            rows.sort(key=lambda row: row[position])
         load_rows(db, spec.name, rows)
         for index in spec.indexes:
             unique = "UNIQUE " if index.unique else ""
@@ -100,6 +119,21 @@ def build_database(
     if collect_stats:
         db.execute("UPDATE STATISTICS")
     return db
+
+
+def _zipf_values(
+    column: ColumnSpec, rows: int, rng: random.Random
+) -> list[int]:
+    """``rows`` draws from a Zipf(``column.zipf``) over the value domain.
+
+    Rank 1 (weight ``1/1**s``) maps to ``column.low``, rank 2 to
+    ``low + 1``, and so on — deterministic given the seeded ``rng``.
+    """
+    weights = [
+        1.0 / (rank ** column.zipf) for rank in range(1, column.distinct + 1)
+    ]
+    values = [column.low + rank for rank in range(column.distinct)]
+    return rng.choices(values, weights=weights, k=rows)
 
 
 def random_chain_spec(
